@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Ablation studies for the design choices DESIGN.md calls out:
+ *
+ *  1. Steering heuristic components (Section 2.1): the full heuristic
+ *     (operand affinity + criticality + load-balance threshold) vs.
+ *     disabling the load-balance override (threshold -> huge) and vs.
+ *     pure load balancing (threshold -> 0, approximating Mod_N).
+ *  2. The distant-ILP threshold of the no-exploration interval scheme:
+ *     the paper's raw 160/1000 vs. this model's recalibrated 300/1000
+ *     and a high 500/1000.
+ *  3. The fine-grained scheme's branch stride (every branch vs. every
+ *     5th vs. every 20th).
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace clustersim;
+using namespace clustersim::bench;
+
+namespace {
+
+void
+printSpeedups(const char *title, const MatrixResult &m,
+              std::size_t baseline)
+{
+    std::printf("%s\n", title);
+    for (std::size_t v = 0; v < m.variants.size(); v++) {
+        if (v == baseline)
+            continue;
+        std::vector<double> r;
+        for (std::size_t b = 0; b < m.benchmarks.size(); b++)
+            r.push_back(m.at(b, v).ipc / m.at(b, baseline).ipc);
+        std::printf("  %-22s %.3f vs %s\n", m.variants[v].c_str(),
+                    geomean(r), m.variants[baseline].c_str());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t insts = runLength(argc, argv, 800000);
+    header("Ablations", "steering heuristic, distant-ILP threshold, "
+           "fine-grained stride", insts);
+
+    // ---- 1. steering ------------------------------------------------------
+    ProcessorConfig full = staticSubsetConfig(16);
+    ProcessorConfig no_balance = full;
+    no_balance.loadBalanceThreshold = 1 << 20; // never override
+    ProcessorConfig pure_balance = full;
+    pure_balance.loadBalanceThreshold = 0; // always least-loaded
+
+    std::vector<Variant> steer = {
+        {"full-heuristic", full, nullptr},
+        {"no-load-balance", no_balance, nullptr},
+        {"pure-load-balance", pure_balance, nullptr},
+    };
+    std::fprintf(stderr, "== steering ==\n");
+    MatrixResult ms = runMatrix(allBenchmarks(), steer, defaultWarmup,
+                                insts);
+    printSpeedups("steering heuristic (16 clusters, geomean IPC "
+                  "ratio):", ms, 0);
+
+    // ---- 2. distant-ILP threshold -----------------------------------------
+    std::vector<Variant> thresh = {
+        {"ilp-160", clusteredConfig(16),
+         [] {
+             IntervalIlpParams p;
+             p.distantPerMille = 160;
+             return std::make_unique<IntervalIlpController>(p);
+         }},
+        {"ilp-300 (default)", clusteredConfig(16),
+         [] { return makeIlp(1000); }},
+        {"ilp-500", clusteredConfig(16),
+         [] {
+             IntervalIlpParams p;
+             p.distantPerMille = 500;
+             return std::make_unique<IntervalIlpController>(p);
+         }},
+    };
+    std::fprintf(stderr, "== threshold ==\n");
+    MatrixResult mt = runMatrix(allBenchmarks(), thresh, defaultWarmup,
+                                insts);
+    printSpeedups("no-exploration distant-ILP threshold:", mt, 1);
+
+    // ---- 3. fine-grained stride -------------------------------------------
+    auto fg_stride = [](int stride) {
+        return [stride]() -> std::unique_ptr<ReconfigController> {
+            FinegrainParams p;
+            p.branchStride = stride;
+            return std::make_unique<FinegrainController>(p);
+        };
+    };
+    std::vector<Variant> strides = {
+        {"fg-every-branch", clusteredConfig(16), fg_stride(1)},
+        {"fg-every-5th (paper)", clusteredConfig(16), fg_stride(5)},
+        {"fg-every-20th", clusteredConfig(16), fg_stride(20)},
+    };
+    std::fprintf(stderr, "== stride ==\n");
+    MatrixResult mf = runMatrix(allBenchmarks(), strides, defaultWarmup,
+                                insts);
+    printSpeedups("fine-grained reconfiguration stride:", mf, 1);
+
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses.
+ *
+ * Every harness accepts an optional instruction-count argument:
+ *     bench_figN [instructions-per-run]
+ * Runs are ~10x shorter than the paper's measurement windows by
+ * default; phase lengths in the workload models are scaled to match
+ * (see EXPERIMENTS.md).
+ */
+
+#ifndef CLUSTERSIM_BENCH_COMMON_HH
+#define CLUSTERSIM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "reconfig/finegrain.hh"
+#include "reconfig/interval_explore.hh"
+#include "reconfig/interval_ilp.hh"
+#include "sim/experiment.hh"
+#include "sim/presets.hh"
+
+namespace clustersim {
+namespace bench {
+
+/** Default measured instructions per (benchmark, variant) run. */
+inline constexpr std::uint64_t defaultRun = 2000000;
+
+inline std::uint64_t
+runLength(int argc, char **argv, std::uint64_t fallback = defaultRun)
+{
+    return argc > 1 ? std::strtoull(argv[1], nullptr, 10) : fallback;
+}
+
+/** Interval-explore controller with this repo's scaled bounds. */
+inline std::unique_ptr<ReconfigController>
+makeExplore()
+{
+    IntervalExploreParams p;
+    p.initialInterval = 10000;   // paper value
+    p.maxInterval = 10000000;    // paper: 1B, scaled with run lengths
+    return std::make_unique<IntervalExploreController>(p);
+}
+
+/** Interval controller without exploration at a fixed length. */
+inline std::unique_ptr<ReconfigController>
+makeIlp(std::uint64_t interval)
+{
+    IntervalIlpParams p;
+    p.intervalLength = interval;
+    return std::make_unique<IntervalIlpController>(p);
+}
+
+/** Fine-grained branch-boundary controller (paper defaults). */
+inline std::unique_ptr<ReconfigController>
+makeFinegrain()
+{
+    FinegrainParams p;
+    return std::make_unique<FinegrainController>(p);
+}
+
+/** Subroutine call/return variant (3 samples). */
+inline std::unique_ptr<ReconfigController>
+makeSubroutine()
+{
+    FinegrainParams p;
+    p.subroutineMode = true;
+    p.samplesNeeded = 3;
+    return std::make_unique<FinegrainController>(p);
+}
+
+/** Print the standard harness header. */
+inline void
+header(const char *artifact, const char *description,
+       std::uint64_t insts)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("%s -- %s\n", artifact, description);
+    std::printf("measured instructions per run: %llu "
+                "(paper windows are ~10x longer)\n",
+                static_cast<unsigned long long>(insts));
+    std::printf("================================================="
+                "=============\n\n");
+}
+
+} // namespace bench
+} // namespace clustersim
+
+#endif // CLUSTERSIM_BENCH_COMMON_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): throughput of the
+ * predictors, network scheduling, cache arrays, workload generation,
+ * and whole-processor simulation speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/processor.hh"
+#include "interconnect/network.hh"
+#include "memory/cache_bank.hh"
+#include "predictor/bank_predictor.hh"
+#include "predictor/combining.hh"
+#include "sim/presets.hh"
+#include "workload/benchmarks.hh"
+
+using namespace clustersim;
+
+static void
+BM_CombiningPredictor(benchmark::State &state)
+{
+    CombiningPredictor pred;
+    Rng rng(1);
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        bool taken = rng.chance(0.7);
+        benchmark::DoNotOptimize(pred.predict(pc));
+        pred.update(pc, taken);
+        pc = 0x1000 + ((pc + 4) & 0xFFF);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CombiningPredictor);
+
+static void
+BM_BankPredictor(benchmark::State &state)
+{
+    BankPredictor pred;
+    Rng rng(2);
+    for (auto _ : state) {
+        Addr pc = 0x1000 + (rng.range(256) << 2);
+        benchmark::DoNotOptimize(pred.predict(pc));
+        pred.update(pc, static_cast<int>(rng.range(16)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BankPredictor);
+
+static void
+BM_NetworkSchedule(benchmark::State &state)
+{
+    Network net(makeRing(16), 1);
+    Rng rng(3);
+    Cycle t = 0;
+    for (auto _ : state) {
+        int src = static_cast<int>(rng.range(16));
+        int dst = static_cast<int>(rng.range(16));
+        benchmark::DoNotOptimize(net.schedule(src, dst, t));
+        t++;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkSchedule);
+
+static void
+BM_CacheBankAccess(benchmark::State &state)
+{
+    CacheBank cache(32 * 1024, 2, 32);
+    Rng rng(4);
+    for (auto _ : state) {
+        Addr a = rng.range(1 << 18);
+        benchmark::DoNotOptimize(cache.access(a, false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheBankAccess);
+
+static void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    SyntheticWorkload trace(makeBenchmark("gzip"));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trace.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+static void
+BM_ProcessorSimulation(benchmark::State &state)
+{
+    // Whole-machine simulation throughput in committed instructions.
+    SyntheticWorkload trace(makeBenchmark("gzip"));
+    Processor proc(clusteredConfig(static_cast<int>(state.range(0))),
+                   &trace);
+    for (auto _ : state)
+        proc.run(1000);
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ProcessorSimulation)->Arg(4)->Arg(16);
+
+static void
+BM_ProcessorSimulationDecentralized(benchmark::State &state)
+{
+    SyntheticWorkload trace(makeBenchmark("gzip"));
+    Processor proc(clusteredConfig(16, InterconnectKind::Ring, true),
+                   &trace);
+    for (auto _ : state)
+        proc.run(1000);
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ProcessorSimulationDecentralized);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 3 reproduction: IPC of fixed (static) cluster organizations
+ * with 2, 4, 8, and 16 clusters -- centralized cache, ring
+ * interconnect. The paper's headline shape: fp/media codes with
+ * distant ILP keep improving to 16 clusters; integer codes peak around
+ * 4 clusters and then *degrade* as communication costs take over.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace clustersim;
+using namespace clustersim::bench;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t insts = runLength(argc, argv, 1000000);
+    header("Figure 3", "IPCs for fixed cluster organizations "
+           "(2/4/8/16 clusters, centralized cache, ring)", insts);
+
+    std::vector<Variant> variants;
+    for (int n : {2, 4, 8, 16})
+        variants.push_back({"c" + std::to_string(n),
+                            staticSubsetConfig(n), nullptr});
+
+    MatrixResult m = runMatrix(allBenchmarks(), variants,
+                               defaultWarmup, insts);
+    std::printf("%s\n", ipcTable(m).format().c_str());
+
+    // Shape summary: which static configuration wins per benchmark.
+    std::printf("best static configuration per benchmark:\n");
+    for (std::size_t b = 0; b < m.benchmarks.size(); b++) {
+        std::size_t best = 0;
+        for (std::size_t v = 1; v < m.variants.size(); v++)
+            if (m.at(b, v).ipc > m.at(b, best).ipc)
+                best = v;
+        std::printf("  %-8s -> %s\n", m.benchmarks[b].c_str(),
+                    m.variants[best].c_str());
+    }
+    std::printf("\npaper shape: djpeg/galgel/mgrid/swim scale to 16;"
+                " cjpeg/crafty/gzip/parser/vpr peak at ~4 and"
+                " degrade beyond.\n");
+    return 0;
+}

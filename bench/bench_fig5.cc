@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 5 reproduction: interval-based dynamic schemes vs. the static
+ * base cases (centralized cache, ring). Bars, as in the paper:
+ * static-4, static-16, interval+exploration (variable interval), and
+ * interval schemes with no exploration (distant-ILP driven) at three
+ * fixed interval lengths.
+ *
+ * Paper headline: interval+exploration gains ~11% over the best static
+ * organization (and the no-exploration scheme about the same overall,
+ * winning big on djpeg but losing on galgel/gzip); ~8.3 of 16 clusters
+ * are disabled on average.
+ */
+
+#include "bench/bench_common.hh"
+
+#include "common/stats.hh"
+#include "sim/energy.hh"
+
+using namespace clustersim;
+using namespace clustersim::bench;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t insts = runLength(argc, argv);
+    header("Figure 5", "interval-based reconfiguration schemes "
+           "(centralized cache, ring)", insts);
+
+    std::vector<Variant> variants = {
+        {"static-4", staticSubsetConfig(4), nullptr},
+        {"static-16", staticSubsetConfig(16), nullptr},
+        {"ivl-explore", clusteredConfig(16), [] { return makeExplore(); }},
+        {"ivl-ilp-1K", clusteredConfig(16), [] { return makeIlp(1000); }},
+        {"ivl-ilp-10K", clusteredConfig(16),
+         [] { return makeIlp(10000); }},
+        {"ivl-ilp-100K", clusteredConfig(16),
+         [] { return makeIlp(100000); }},
+    };
+
+    MatrixResult m = runMatrix(allBenchmarks(), variants,
+                               defaultWarmup, insts);
+    std::printf("%s\n", ipcTable(m).format().c_str());
+
+    std::printf("geomean speedup over the best static fixed "
+                "organization / over the per-benchmark best static\n"
+                "(paper: ~1.11 over the best static fixed "
+                "organization):\n");
+    for (std::size_t v = 2; v < variants.size(); v++) {
+        std::printf("  %-14s %.3f / %.3f\n", m.variants[v].c_str(),
+                    speedupOverBestFixed(m, v, {0, 1}),
+                    speedupOverBest(m, v, {0, 1}));
+    }
+
+    // Average active clusters + leakage footprint of the explore runs.
+    std::vector<double> active;
+    for (std::size_t b = 0; b < m.benchmarks.size(); b++)
+        active.push_back(m.at(b, 2).avgActiveClusters);
+    double avg_active = amean(active);
+    std::printf("\ninterval-explore: avg active clusters %.1f of 16 "
+                "(paper: 7.7, i.e. 8.3 disabled); est. leakage "
+                "savings %.0f%%\n", avg_active,
+                100.0 * leakageSavings(avg_active, 16));
+    return 0;
+}

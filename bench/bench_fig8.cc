@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 8 reproduction: the grid interconnect (Section 2.3 / 6).
+ * Bars: static-4, static-16, and interval+exploration on a 4x4 grid
+ * with a centralized cache. Paper headline: better connectivity makes
+ * communication cheaper, so static-16 is ~8% better than static-4 and
+ * the dynamic scheme's edge shrinks to ~7%.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace clustersim;
+using namespace clustersim::bench;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t insts = runLength(argc, argv);
+    header("Figure 8", "interval-based mechanism with the grid "
+           "interconnect (centralized cache)", insts);
+
+    std::vector<Variant> variants = {
+        {"static-4", staticSubsetConfig(4, InterconnectKind::Grid),
+         nullptr},
+        {"static-16", staticSubsetConfig(16, InterconnectKind::Grid),
+         nullptr},
+        {"ivl-explore", clusteredConfig(16, InterconnectKind::Grid),
+         [] { return makeExplore(); }},
+    };
+
+    MatrixResult m = runMatrix(allBenchmarks(), variants,
+                               defaultWarmup, insts);
+    std::printf("%s\n", ipcTable(m).format().c_str());
+
+    // Static-16 vs static-4 on the grid (paper: +8%).
+    std::vector<double> ratios;
+    for (std::size_t b = 0; b < m.benchmarks.size(); b++)
+        ratios.push_back(m.at(b, 1).ipc / m.at(b, 0).ipc);
+    std::printf("static-16 / static-4 geomean: %.3f (paper: ~1.08)\n",
+                geomean(ratios));
+    std::printf("ivl-explore speedup over the best static fixed "
+                "organization: %.3f (paper: ~1.07)\n",
+                speedupOverBestFixed(m, 2, {0, 1}));
+    std::printf("ivl-explore speedup over per-benchmark best static:"
+                " %.3f\n", speedupOverBest(m, 2, {0, 1}));
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Building a custom workload with the public API: construct a
+ * three-phase synthetic program from scratch, inspect the generated
+ * instruction stream, and characterize it on the clustered machine.
+ * This is the template to start from when modelling your own program.
+ *
+ *   ./build/examples/custom_workload
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "sim/presets.hh"
+#include "sim/simulation.hh"
+#include "workload/synthetic.hh"
+
+using namespace clustersim;
+
+int
+main()
+{
+    // ---- 1. Describe the program ------------------------------------------
+    // Phase "init": streaming writes over a big array.
+    PhaseSpec init;
+    init.name = "init";
+    init.avgBlockLen = 10;
+    init.fracLoad = 0.1;
+    init.fracStore = 0.4;
+    init.chainCount = 12;
+    init.uniformBlockMix = true;
+    init.fracBiased = 0.95;
+    init.biasedTakenProb = 0.98;
+    init.streamSpanKB = 512;
+
+    // Phase "build": pointer-heavy data-structure construction.
+    PhaseSpec build;
+    build.name = "build";
+    build.chainCount = 3;
+    build.fracPointerChase = 0.1;
+    build.pAddrChainDep = 0.6;
+    build.fracCallBlocks = 0.06;
+    build.numFunctions = 6;
+
+    // Phase "query": wide independent lookups (lots of distant ILP).
+    PhaseSpec query;
+    query.name = "query";
+    query.avgBlockLen = 12;
+    query.chainCount = 18;
+    query.uniformBlockMix = true;
+    query.fracBiased = 0.9;
+    query.biasedTakenProb = 0.97;
+    query.fracStreamMem = 0.5;
+    query.footprintKB = 128;
+    query.hotFraction = 0.9;
+
+    WorkloadSpec spec;
+    spec.name = "kv-store";
+    spec.seed = 2026;
+    spec.phases = {init, build, query};
+    spec.schedule = {{0, 40000}, {1, 120000}, {2, 200000}};
+
+    // ---- 2. Inspect the generated stream ----------------------------------
+    SyntheticWorkload trace(spec);
+    std::map<OpClass, int> mix;
+    for (int i = 0; i < 100000; i++)
+        mix[trace.next().op]++;
+    std::printf("instruction mix over 100K instructions:\n");
+    for (const auto &[op, count] : mix)
+        std::printf("  %-10s %5.1f%%\n", opClassName(op),
+                    count / 1000.0);
+
+    // ---- 3. Characterize it on the clustered machine -----------------------
+    std::printf("\nIPC by static cluster count (centralized cache,"
+                " ring):\n");
+    for (int n : {2, 4, 8, 16}) {
+        SimResult r = runSimulation(staticSubsetConfig(n), spec,
+                                    nullptr, defaultWarmup, 300000);
+        std::printf("  %2d clusters: IPC %.3f  (distant-ILP frac"
+                    " %.2f)\n", n, r.ipc, r.distantFraction);
+    }
+
+    std::printf("\nTweak the PhaseSpec knobs (chainCount, "
+                "pAddrChainDep, fracPointerChase, branch classes, "
+                "stream spans)\nto steer where your program lands on "
+                "the communication-parallelism trade-off.\n");
+    return 0;
+}

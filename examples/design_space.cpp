@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Design-space exploration: sweep cluster count x interconnect x cache
+ * organization for one benchmark and print the IPC surface -- the kind
+ * of study Sections 2, 5, and 6 of the paper are built from.
+ *
+ *   ./build/examples/design_space [benchmark] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "common/table.hh"
+#include "sim/presets.hh"
+#include "sim/simulation.hh"
+
+using namespace clustersim;
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "gzip";
+    std::uint64_t insts = argc > 2
+        ? std::strtoull(argv[2], nullptr, 10) : 400000;
+
+    WorkloadSpec w = makeBenchmark(bench);
+
+    std::printf("design space for %s (%llu instructions/point)\n\n",
+                bench.c_str(),
+                static_cast<unsigned long long>(insts));
+
+    Table t({"clusters", "ring+central", "grid+central",
+             "ring+dcache", "grid+dcache"});
+
+    for (int n : {2, 4, 8, 16}) {
+        t.startRow();
+        t.cell(n);
+        for (auto [kind, dcache] :
+             {std::pair{InterconnectKind::Ring, false},
+              std::pair{InterconnectKind::Grid, false},
+              std::pair{InterconnectKind::Ring, true},
+              std::pair{InterconnectKind::Grid, true}}) {
+            ProcessorConfig cfg = staticSubsetConfig(n, kind, dcache);
+            SimResult r = runSimulation(cfg, w, nullptr,
+                                        defaultWarmup, insts);
+            t.cell(r.ipc);
+            std::fprintf(stderr, ".");
+        }
+        std::fprintf(stderr, "\n");
+    }
+
+    std::printf("%s\n", t.format().c_str());
+
+    // Communication anatomy at the largest machine.
+    ProcessorConfig full = staticSubsetConfig(16);
+    SimResult base = runSimulation(full, w, nullptr, defaultWarmup,
+                                   insts);
+    ProcessorConfig ideal = full;
+    ideal.freeMemComm = true;
+    ideal.freeRegComm = true;
+    SimResult free_comm = runSimulation(ideal, w, nullptr,
+                                        defaultWarmup, insts);
+    std::printf("16-cluster ring: IPC %.3f; with free communication "
+                "%.3f (+%.0f%%) -- the communication-parallelism "
+                "trade-off.\n", base.ipc, free_comm.ipc,
+                100.0 * (free_comm.ipc / base.ipc - 1.0));
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Multithreaded cluster partitioning (the paper's Sections 1 and 8):
+ * clusters freed by single-thread tuning can be dedicated to other
+ * threads, improving total throughput while avoiding cross-thread
+ * interference.
+ *
+ * This demo approximates a partitioned machine by running each thread
+ * on an independent processor sized to its partition (cross-thread
+ * cache/network interference is not modelled -- partitions are
+ * disjoint by construction, which is exactly the paper's argument for
+ * partitioning over sharing). It compares:
+ *
+ *   1. one thread using all 16 clusters;
+ *   2. two threads on a fixed 8 + 8 split;
+ *   3. an ILP-aware split: each thread gets what its distant ILP can
+ *      use (measured by its per-thread best static configuration).
+ *
+ *   ./build/examples/multithread_partition [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/presets.hh"
+#include "sim/simulation.hh"
+
+using namespace clustersim;
+
+namespace {
+
+/** Throughput (combined IPC) of two threads on disjoint partitions. */
+double
+partitionedThroughput(const WorkloadSpec &a, int clusters_a,
+                      const WorkloadSpec &b, int clusters_b,
+                      std::uint64_t insts)
+{
+    SimResult ra = runSimulation(staticSubsetConfig(clusters_a), a,
+                                 nullptr, defaultWarmup, insts);
+    SimResult rb = runSimulation(staticSubsetConfig(clusters_b), b,
+                                 nullptr, defaultWarmup, insts);
+    return ra.ipc + rb.ipc;
+}
+
+/** Best static configuration (<= limit clusters) for one thread. */
+int
+bestConfig(const WorkloadSpec &w, int limit, std::uint64_t insts)
+{
+    int best = 2;
+    double best_ipc = 0.0;
+    for (int n : {2, 4, 8, 16}) {
+        if (n > limit)
+            break;
+        SimResult r = runSimulation(staticSubsetConfig(n), w, nullptr,
+                                    defaultWarmup, insts);
+        if (r.ipc > best_ipc) {
+            best_ipc = r.ipc;
+            best = n;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t insts = argc > 1
+        ? std::strtoull(argv[1], nullptr, 10) : 400000;
+
+    // An integer thread (little distant ILP) + an fp thread (lots).
+    WorkloadSpec tint = makeBenchmark("gzip");
+    WorkloadSpec tfp = makeBenchmark("swim");
+
+    std::printf("threads: %s (integer) + %s (fp); %llu instructions "
+                "per run\n\n", tint.name.c_str(), tfp.name.c_str(),
+                static_cast<unsigned long long>(insts));
+
+    // 1. Single-thread baselines.
+    SimResult solo_int = runSimulation(staticSubsetConfig(16), tint,
+                                       nullptr, defaultWarmup, insts);
+    SimResult solo_fp = runSimulation(staticSubsetConfig(16), tfp,
+                                      nullptr, defaultWarmup, insts);
+    std::printf("single thread on all 16 clusters: %s %.2f IPC, "
+                "%s %.2f IPC\n", tint.name.c_str(), solo_int.ipc,
+                tfp.name.c_str(), solo_fp.ipc);
+
+    // 2. Fixed even split.
+    double even = partitionedThroughput(tint, 8, tfp, 8, insts);
+    std::printf("fixed 8+8 partition: combined throughput %.2f IPC\n",
+                even);
+
+    // 3. ILP-aware split: give the integer thread only what it can
+    //    use; the fp thread gets the rest.
+    int int_share = bestConfig(tint, 8, insts / 2);
+    int fp_share = 16 - int_share;
+    double aware = partitionedThroughput(tint, int_share, tfp,
+                                         fp_share, insts);
+    std::printf("ILP-aware %d+%d partition: combined throughput %.2f "
+                "IPC\n\n", int_share, fp_share, aware);
+
+    std::printf("the paper's argument: tuning frees clusters a low-ILP"
+                " thread cannot use (it often prefers ~4), so a\n"
+                "co-scheduled high-ILP thread inherits them -- total"
+                " throughput rises without hurting either thread.\n");
+    return 0;
+}

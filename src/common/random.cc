@@ -1,0 +1,81 @@
+#include "common/random.hh"
+
+#include <cmath>
+
+namespace clustersim {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u)
+{
+    next32();
+    state_ += seed;
+    next32();
+}
+
+std::uint32_t
+Rng::next32()
+{
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    std::uint32_t xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+}
+
+std::uint64_t
+Rng::next64()
+{
+    return (static_cast<std::uint64_t>(next32()) << 32) | next32();
+}
+
+std::uint32_t
+Rng::range(std::uint32_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Lemire-style rejection to avoid modulo bias.
+    std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+        std::uint32_t r = next32();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::uniform()
+{
+    return next32() * (1.0 / 4294967296.0);
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint32_t
+Rng::geometric(double p)
+{
+    if (p >= 1.0)
+        return 0;
+    if (p <= 0.0)
+        return 0;
+    double u = uniform();
+    if (u <= 0.0)
+        u = 1e-12;
+    return static_cast<std::uint32_t>(std::log(u) / std::log(1.0 - p));
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next64(), next64());
+}
+
+} // namespace clustersim

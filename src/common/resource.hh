@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Cycle-slot reservation helper used to model single-issue ports (cache
+ * banks, L2 pipelines, non-pipelined functional units).
+ */
+
+#ifndef CLUSTERSIM_COMMON_RESOURCE_HH
+#define CLUSTERSIM_COMMON_RESOURCE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace clustersim {
+
+/**
+ * Reserves one slot per cycle within a sliding window. A slot holds the
+ * cycle number that owns it; stale values (from lapped windows) read as
+ * free. Requests later than the window ahead of previous reservations
+ * are always satisfiable, which keeps this allocation-free and O(wait).
+ */
+class SlotReserver
+{
+  public:
+    explicit SlotReserver(std::size_t window = 1024)
+        : slots_(window, neverCycle)
+    {}
+
+    /** Reserve the first free cycle at or after want; returns it. */
+    Cycle
+    reserve(Cycle want)
+    {
+        Cycle t = want;
+        for (;;) {
+            Cycle &slot = slots_[t % slots_.size()];
+            if (slot != t) {
+                slot = t;
+                return t;
+            }
+            t++;
+        }
+    }
+
+    /**
+     * Reserve a busy period of len consecutive cycles starting at or
+     * after want (for non-pipelined units). Returns the start cycle.
+     */
+    Cycle
+    reserveSpan(Cycle want, Cycle len)
+    {
+        Cycle start = want;
+        for (;;) {
+            bool ok = true;
+            for (Cycle i = 0; i < len; i++) {
+                if (slots_[(start + i) % slots_.size()] == start + i) {
+                    start = start + i + 1;
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok)
+                break;
+        }
+        for (Cycle i = 0; i < len; i++)
+            slots_[(start + i) % slots_.size()] = start + i;
+        return start;
+    }
+
+  private:
+    std::vector<Cycle> slots_;
+};
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_COMMON_RESOURCE_HH

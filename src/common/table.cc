@@ -1,0 +1,83 @@
+#include "common/table.hh"
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    CSIM_ASSERT(!headers_.empty());
+}
+
+void
+Table::startRow()
+{
+    rows_.emplace_back();
+}
+
+void
+Table::cell(const std::string &text)
+{
+    CSIM_ASSERT(!rows_.empty(), "cell() before startRow()");
+    CSIM_ASSERT(rows_.back().size() < headers_.size(), "row overflow");
+    rows_.back().push_back(text);
+}
+
+void
+Table::cell(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    cell(os.str());
+}
+
+void
+Table::cell(std::uint64_t value)
+{
+    cell(std::to_string(value));
+}
+
+void
+Table::cell(int value)
+{
+    cell(std::to_string(value));
+}
+
+std::string
+Table::format() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); c++)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); c++)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < headers_.size(); c++) {
+            std::string text = c < row.size() ? row[c] : "";
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << text;
+            if (c + 1 < headers_.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+    emitRow(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w;
+    total += 2 * (headers_.size() - 1);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emitRow(row);
+    return os.str();
+}
+
+} // namespace clustersim

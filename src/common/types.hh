@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef CLUSTERSIM_COMMON_TYPES_HH
+#define CLUSTERSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace clustersim {
+
+/** Simulated time, in processor cycles. */
+using Cycle = std::uint64_t;
+
+/** Dynamic instruction sequence number (monotonically increasing). */
+using InstSeqNum = std::uint64_t;
+
+/** Byte address in the simulated address space. */
+using Addr = std::uint64_t;
+
+/** Index of a cluster (0-based). */
+using ClusterId = std::int32_t;
+
+/** Sentinel for "no cluster". */
+inline constexpr ClusterId invalidCluster = -1;
+
+/** Sentinel cycle meaning "not yet known / never". */
+inline constexpr Cycle neverCycle = std::numeric_limits<Cycle>::max();
+
+/** Logical (architectural) register index, or -1 for none. */
+using RegIndex = std::int16_t;
+
+/** Sentinel for "no register operand". */
+inline constexpr RegIndex invalidReg = -1;
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_COMMON_TYPES_HH

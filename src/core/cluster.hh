@@ -1,0 +1,78 @@
+/**
+ * @file
+ * One execution cluster: issue-queue and register-file occupancy plus
+ * functional-unit schedulers.
+ */
+
+#ifndef CLUSTERSIM_CORE_CLUSTER_HH
+#define CLUSTERSIM_CORE_CLUSTER_HH
+
+#include <vector>
+
+#include "common/resource.hh"
+#include "core/params.hh"
+#include "workload/isa.hh"
+
+namespace clustersim {
+
+/**
+ * A cluster's structural resources. Occupancy counters change at
+ * dispatch (allocate) and at scheduled issue/commit events (release);
+ * the functional units are slot reservers so instruction latencies and
+ * structural conflicts compose without a per-cycle scheduler scan.
+ */
+class Cluster
+{
+  public:
+    Cluster(int id, const ClusterParams &params, const FuLatencies &lat);
+
+    int id() const { return id_; }
+
+    // --- issue queue ---------------------------------------------------------
+    bool iqHasSpace(bool fp) const;
+    void iqAllocate(bool fp);
+    void iqRelease(bool fp);
+    int iqOccupancy(bool fp) const { return fp ? fpIqUsed_ : intIqUsed_; }
+    int iqTotalOccupancy() const { return fpIqUsed_ + intIqUsed_; }
+
+    // --- register file ---------------------------------------------------------
+    bool regHasSpace(bool fp) const;
+    void regAllocate(bool fp);
+    void regRelease(bool fp);
+    int regsFree(bool fp) const;
+
+    // --- functional units -------------------------------------------------------
+    /**
+     * Reserve the functional unit for the op class at or after cycle
+     * ready; returns the issue cycle. Non-pipelined units (divides)
+     * occupy their unit for the full latency.
+     */
+    Cycle reserveFu(OpClass op, Cycle ready);
+
+    /** Execution latency of the op class. */
+    Cycle latency(OpClass op) const;
+
+    const ClusterParams &params() const { return params_; }
+
+  private:
+    SlotReserver &unitFor(OpClass op);
+
+    int id_;
+    ClusterParams params_;
+    FuLatencies lat_;
+
+    int intIqUsed_ = 0;
+    int fpIqUsed_ = 0;
+    int intRegsUsed_ = 0;
+    int fpRegsUsed_ = 0;
+
+    /** One reserver per FU instance, grouped by kind. */
+    std::vector<SlotReserver> intAlus_;
+    std::vector<SlotReserver> intMultDivs_;
+    std::vector<SlotReserver> fpAlus_;
+    std::vector<SlotReserver> fpMultDivs_;
+};
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_CORE_CLUSTER_HH

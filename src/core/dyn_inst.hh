@@ -1,0 +1,99 @@
+/**
+ * @file
+ * In-flight (renamed) instruction state.
+ */
+
+#ifndef CLUSTERSIM_CORE_DYN_INST_HH
+#define CLUSTERSIM_CORE_DYN_INST_HH
+
+#include <array>
+#include <vector>
+
+#include "core/params.hh"
+#include "workload/isa.hh"
+
+namespace clustersim {
+
+/**
+ * A produced value: who made it, where it lives, and when it becomes
+ * available in each cluster. Cross-cluster availability entries are
+ * filled lazily when the first consumer in that cluster schedules a
+ * transfer; later consumers in the same cluster share the transfer.
+ */
+struct ValueInfo {
+    InstSeqNum producer = 0;  ///< 0 = initial architectural state
+    Addr producerPc = 0;
+    int cluster = 0;          ///< producing cluster
+    Cycle completeAt = 0;     ///< neverCycle while in flight
+    std::array<Cycle, maxClusters> availAt; ///< per-cluster arrival
+
+    ValueInfo() { availAt.fill(neverCycle); }
+
+    /** Initial architectural state: ready everywhere at cycle 0. */
+    static ValueInfo
+    initial()
+    {
+        ValueInfo v;
+        v.completeAt = 0;
+        v.availAt.fill(0);
+        return v;
+    }
+};
+
+/** A consumer waiting on an in-flight producer. */
+struct Waiter {
+    InstSeqNum consumer = 0;
+    int srcIdx = 0;
+};
+
+/** One in-flight instruction (a ROB entry). */
+struct DynInst {
+    MicroOp op;
+    InstSeqNum seq = 0;
+    int cluster = invalidCluster;
+
+    // --- timing ------------------------------------------------------------
+    Cycle fetchCycle = 0;
+    Cycle dispatchCycle = 0;  ///< cycle dispatched/renamed
+    Cycle enterIqCycle = 0;   ///< dispatch + dispatch-network latency
+    Cycle issueCycle = neverCycle;
+    Cycle completeCycle = neverCycle;
+
+    // --- operands -----------------------------------------------------------
+    /** Availability of each source in this instruction's cluster. */
+    std::array<Cycle, 2> srcReady = {0, 0};
+    /** Producer pc per source (criticality training); 0 = none. */
+    std::array<Addr, 2> srcProducerPc = {0, 0};
+    int pendingSrcs = 0;      ///< sources whose ready time is unknown
+    bool issueScheduled = false;
+    bool completed = false;
+
+    /** The value this instruction produces (valid if op.dest != -1). */
+    ValueInfo value;
+
+    /** Consumers registered while this instruction is in flight. */
+    std::vector<Waiter> waiters;
+
+    // --- memory -------------------------------------------------------------
+    bool addrGenScheduled = false;
+    Cycle addrReadyAt = neverCycle;   ///< address computed in-cluster
+    Cycle addrAtBankAt = neverCycle;  ///< address arrived at LSQ/bank
+    Cycle storeDataAt = neverCycle;   ///< store data ready in-cluster
+    int bank = -1;                    ///< actual cache bank
+    int predictedBank = -1;           ///< decentralized steering input
+    bool loadIssuedToCache = false;
+
+    // --- control ------------------------------------------------------------
+    bool mispredicted = false; ///< fetch stalled behind this branch
+
+    // --- bookkeeping ----------------------------------------------------------
+    bool distant = false;  ///< issued >= distantDepth younger than head
+    RegIndex prevDest = invalidReg; ///< logical dest (for reg freeing)
+    int prevDestCluster = invalidCluster; ///< cluster of the previous
+                                          ///< mapping of op.dest
+    bool prevDestHadReg = false;    ///< previous mapping held a phys reg
+};
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_CORE_DYN_INST_HH

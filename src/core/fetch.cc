@@ -1,0 +1,80 @@
+#include "core/fetch.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+FetchUnit::FetchUnit(const ProcessorConfig &cfg, TraceSource *trace,
+                     L2Cache *l2)
+    : cfg_(cfg), trace_(trace), l2_(l2), branch_(cfg.branch),
+      icache_(cfg.icacheBytes, cfg.icacheWays, cfg.icacheLineBytes)
+{
+    CSIM_ASSERT(trace_ && l2_);
+}
+
+void
+FetchUnit::cycle(Cycle now)
+{
+    if (stalledOnBranch_ || now < stallUntil_)
+        return;
+
+    int taken_seen = 0;
+    for (int i = 0; i < cfg_.fetchWidth; i++) {
+        if (static_cast<int>(queue_.size()) >= cfg_.fetchQueueSize)
+            break;
+
+        MicroOp op;
+        if (pending_) {
+            op = *pending_;
+            pending_.reset();
+        } else {
+            op = trace_->next();
+        }
+
+        // Instruction cache: a miss stalls fetch until the line fills.
+        if (!icache_.access(op.pc, false).hit) {
+            icacheMisses_.inc();
+            stallUntil_ = l2_->access(op.pc, false, now + 1);
+            pending_ = op;
+            break;
+        }
+
+        FetchEntry entry;
+        entry.op = op;
+        entry.readyAt = now + cfg_.frontEndDepth;
+        if (op.isControl()) {
+            bool correct = branch_.predict(op);
+            entry.mispredicted = !correct;
+            queue_.push_back(entry);
+            fetched_.inc();
+            if (!correct) {
+                // Fetch is on the wrong path from here: stall until the
+                // core resolves this branch.
+                stalledOnBranch_ = true;
+                break;
+            }
+            if (op.taken && ++taken_seen >= cfg_.maxFetchBlocks)
+                break;
+        } else {
+            queue_.push_back(entry);
+            fetched_.inc();
+        }
+    }
+}
+
+void
+FetchUnit::resumeAt(Cycle c)
+{
+    stalledOnBranch_ = false;
+    stallUntil_ = std::max(stallUntil_, c);
+}
+
+void
+FetchUnit::resetStats()
+{
+    fetched_.reset();
+    icacheMisses_.reset();
+    branch_.resetStats();
+}
+
+} // namespace clustersim

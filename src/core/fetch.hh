@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Front end: trace-driven fetch with I-cache, branch unit, and the
+ * fetch queue (Table 1: 8-wide across up to two basic blocks, 64-entry
+ * fetch queue).
+ *
+ * The simulator is trace-driven: wrong-path instructions are not
+ * generated, so on a misprediction fetch simply stalls behind the
+ * offending branch until the core reports its resolution, at which
+ * point fetch resumes after the configured redirect penalty.
+ */
+
+#ifndef CLUSTERSIM_CORE_FETCH_HH
+#define CLUSTERSIM_CORE_FETCH_HH
+
+#include <deque>
+#include <optional>
+
+#include "common/stats.hh"
+#include "core/params.hh"
+#include "memory/cache_bank.hh"
+#include "memory/l2_cache.hh"
+#include "predictor/branch_unit.hh"
+#include "workload/trace_source.hh"
+
+namespace clustersim {
+
+/** One fetched instruction waiting for dispatch. */
+struct FetchEntry {
+    MicroOp op;
+    Cycle readyAt = 0;        ///< earliest dispatch cycle
+    bool mispredicted = false; ///< fetch is stalled behind this branch
+};
+
+/** The fetch stage. */
+class FetchUnit
+{
+  public:
+    FetchUnit(const ProcessorConfig &cfg, TraceSource *trace,
+              L2Cache *l2);
+
+    /** Fetch up to fetchWidth instructions for cycle now. */
+    void cycle(Cycle now);
+
+    bool queueEmpty() const { return queue_.empty(); }
+    std::size_t queueSize() const { return queue_.size(); }
+    const FetchEntry &front() const { return queue_.front(); }
+    void pop() { queue_.pop_front(); }
+
+    /** A mispredicted branch resolved; fetch may resume at cycle c. */
+    void resumeAt(Cycle c);
+
+    bool stalledOnBranch() const { return stalledOnBranch_; }
+
+    const BranchUnit &branchUnit() const { return branch_; }
+    BranchUnit &branchUnit() { return branch_; }
+
+    std::uint64_t fetched() const { return fetched_.value(); }
+    std::uint64_t icacheMisses() const { return icacheMisses_.value(); }
+    void resetStats();
+
+  private:
+    const ProcessorConfig &cfg_;
+    TraceSource *trace_;
+    L2Cache *l2_;
+
+    BranchUnit branch_;
+    CacheBank icache_;
+    std::deque<FetchEntry> queue_;
+    std::optional<MicroOp> pending_; ///< op stalled on an I-cache miss
+
+    bool stalledOnBranch_ = false;
+    Cycle stallUntil_ = 0;
+
+    Counter fetched_;
+    Counter icacheMisses_;
+};
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_CORE_FETCH_HH

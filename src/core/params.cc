@@ -1,0 +1,36 @@
+#include "core/params.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+ProcessorConfig
+defaultConfig()
+{
+    ProcessorConfig cfg;
+    return cfg;
+}
+
+ProcessorConfig
+monolithicConfig(int equivalent_clusters)
+{
+    CSIM_ASSERT(equivalent_clusters >= 1 &&
+                equivalent_clusters <= maxClusters);
+    ProcessorConfig cfg;
+    cfg.name = "monolithic";
+    cfg.numClusters = 1;
+    cfg.cluster.intIssueQueue *= equivalent_clusters;
+    cfg.cluster.fpIssueQueue *= equivalent_clusters;
+    cfg.cluster.intRegs *= equivalent_clusters;
+    cfg.cluster.fpRegs *= equivalent_clusters;
+    cfg.cluster.intAlus *= equivalent_clusters;
+    cfg.cluster.intMultDivs *= equivalent_clusters;
+    cfg.cluster.fpAlus *= equivalent_clusters;
+    cfg.cluster.fpMultDivs *= equivalent_clusters;
+    cfg.lsqPerCluster *= equivalent_clusters;
+    cfg.freeRegComm = true;
+    cfg.freeMemComm = true;
+    return cfg;
+}
+
+} // namespace clustersim

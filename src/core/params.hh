@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Processor configuration (Tables 1 and 2 of the paper).
+ */
+
+#ifndef CLUSTERSIM_CORE_PARAMS_HH
+#define CLUSTERSIM_CORE_PARAMS_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "memory/l1_cache.hh"
+#include "memory/l2_cache.hh"
+#include "predictor/branch_unit.hh"
+
+namespace clustersim {
+
+/** Hard upper bound on clusters (array sizing). */
+inline constexpr int maxClusters = 16;
+
+/** Interconnect choice (Section 2.3). */
+enum class InterconnectKind { Ring, Grid };
+
+/** Per-cluster resources (Table 1 defaults). */
+struct ClusterParams {
+    int intIssueQueue = 15; ///< integer issue-queue entries
+    int fpIssueQueue = 15;  ///< floating-point issue-queue entries
+    int intRegs = 30;       ///< integer physical registers
+    int fpRegs = 30;        ///< fp physical registers
+    int intAlus = 1;
+    int intMultDivs = 1;
+    int fpAlus = 1;
+    int fpMultDivs = 1;
+};
+
+/** Functional-unit latencies (SimpleScalar defaults). */
+struct FuLatencies {
+    Cycle intAlu = 1;
+    Cycle intMult = 3;
+    Cycle intDiv = 20;  ///< non-pipelined
+    Cycle fpAlu = 2;
+    Cycle fpMult = 4;
+    Cycle fpDiv = 12;   ///< non-pipelined
+};
+
+/** Complete processor configuration. */
+struct ProcessorConfig {
+    std::string name = "clustered-16";
+
+    int numClusters = 16;        ///< hardware clusters
+    ClusterParams cluster;
+    FuLatencies fuLat;
+
+    InterconnectKind interconnect = InterconnectKind::Ring;
+    Cycle hopLatency = 1;        ///< cycles per interconnect hop
+
+    // Front end (Table 1).
+    int fetchWidth = 8;
+    int fetchQueueSize = 64;
+    int maxFetchBlocks = 2;      ///< taken branches per fetch group
+    int dispatchWidth = 16;
+    int commitWidth = 16;
+    int robSize = 480;
+    Cycle frontEndDepth = 10;    ///< fetch-to-dispatch pipeline depth
+    Cycle redirectPenalty = 2;   ///< resolve-to-refetch base penalty
+                                 ///< (total mispredict penalty is
+                                 ///< frontEndDepth + redirectPenalty +
+                                 ///< cluster-to-front-end hops >= 12)
+
+    BranchUnitParams branch;
+    L1Params l1;
+    L2Params l2;
+    int lsqPerCluster = 15;      ///< LSQ entries per cluster (Table 2)
+
+    // I-cache (Table 1: 32KB 2-way).
+    std::size_t icacheBytes = 32 * 1024;
+    int icacheWays = 2;
+    int icacheLineBytes = 32;
+
+    // Steering.
+    int loadBalanceThreshold = 4; ///< IQ-occupancy imbalance trigger
+
+    // Distant-ILP bookkeeping (Section 4.3).
+    int distantDepth = 120; ///< "distant" = >= this much younger than
+                            ///< the ROB head at issue
+
+    // Idealization toggles for the in-text communication-cost studies.
+    bool freeRegComm = false;  ///< zero-cost register communication
+    bool freeMemComm = false;  ///< zero-cost load/store communication
+    bool perfectBankPred = false; ///< ideal bank prediction, free
+                                  ///< store-address broadcasts
+
+    /** Largest number of simultaneously active clusters. */
+    int activeClustersAtReset = 0; ///< 0 = all
+};
+
+/** The paper's default 16-cluster centralized-cache ring machine. */
+ProcessorConfig defaultConfig();
+
+/**
+ * A monolithic processor with the aggregate resources of an N-cluster
+ * machine and no communication costs (the Table 3 baseline).
+ */
+ProcessorConfig monolithicConfig(int equivalent_clusters = 16);
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_CORE_PARAMS_HH

@@ -1,0 +1,676 @@
+#include "core/processor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+namespace {
+
+std::unique_ptr<Topology>
+buildTopology(const ProcessorConfig &cfg)
+{
+    if (cfg.interconnect == InterconnectKind::Grid)
+        return makeGrid(cfg.numClusters);
+    return makeRing(cfg.numClusters);
+}
+
+} // namespace
+
+Processor::Processor(const ProcessorConfig &cfg, TraceSource *trace,
+                     ReconfigController *controller)
+    : cfg_(cfg), trace_(trace), controller_(controller),
+      dtlb_(),
+      bankPred_(1024, 4096, maxClusters),
+      critPred_(8192),
+      rob_(cfg.robSize)
+{
+    CSIM_ASSERT(trace_, "processor needs a trace source");
+    CSIM_ASSERT(cfg_.numClusters >= 1 &&
+                cfg_.numClusters <= maxClusters,
+                "cluster count out of range");
+
+    network_ = std::make_unique<Network>(buildTopology(cfg_),
+                                         cfg_.hopLatency);
+    l2_ = std::make_unique<L2Cache>(cfg_.l2);
+    l1_ = std::make_unique<L1Cache>(cfg_.l1, cfg_.numClusters, l2_.get());
+    fetch_ = std::make_unique<FetchUnit>(cfg_, trace_, l2_.get());
+    lsq_ = std::make_unique<LoadStoreQueue>(cfg_.l1.decentralized,
+                                            cfg_.numClusters,
+                                            cfg_.lsqPerCluster);
+    for (int c = 0; c < cfg_.numClusters; c++) {
+        clusters_.push_back(std::make_unique<Cluster>(
+            c, cfg_.cluster, cfg_.fuLat));
+    }
+
+    renameTable_.fill(0);
+    for (auto &v : archValues_)
+        v = ValueInfo::initial();
+
+    activeClusters_ = cfg_.activeClustersAtReset > 0
+        ? std::min(cfg_.activeClustersAtReset, cfg_.numClusters)
+        : cfg_.numClusters;
+    if (controller_) {
+        controller_->attach(cfg_.numClusters, activeClusters_);
+        activeClusters_ = std::clamp(controller_->targetClusters(), 1,
+                                     cfg_.numClusters);
+    }
+}
+
+Processor::~Processor() = default;
+
+int
+Processor::numSources(const MicroOp &op)
+{
+    int n = 0;
+    if (op.src1 != invalidReg)
+        n++;
+    if (op.src2 != invalidReg)
+        n++;
+    return n;
+}
+
+bool
+Processor::usesFpIq(const MicroOp &op)
+{
+    return op.isFp();
+}
+
+void
+Processor::setActiveClusters(int n)
+{
+    CSIM_ASSERT(n >= 1 && n <= cfg_.numClusters);
+    activeClusters_ = n;
+}
+
+void
+Processor::step()
+{
+    cycle_++;
+    processIqEvents();
+    doCommit();
+    retryPendingLoads();
+    doDispatch();
+    doFetch();
+    applyReconfig();
+    stats_.cycles++;
+    stats_.activeClusterSum += activeClusters_;
+}
+
+void
+Processor::run(std::uint64_t instructions)
+{
+    std::uint64_t goal = stats_.committed + instructions;
+    while (stats_.committed < goal)
+        step();
+}
+
+void
+Processor::resetStats()
+{
+    Cycle saved_cycle = cycle_;
+    (void)saved_cycle;
+    stats_ = ProcessorStats{};
+    fetch_->resetStats();
+    network_->resetStats();
+    l1_->resetStats();
+    l2_->resetStats();
+    lsq_->resetStats();
+    dtlb_.resetStats();
+}
+
+// ---------------------------------------------------------------------------
+// Rename / value plumbing
+// ---------------------------------------------------------------------------
+
+ValueInfo &
+Processor::valueOf(RegIndex reg)
+{
+    InstSeqNum pseq = renameTable_[static_cast<std::size_t>(reg)];
+    if (pseq != 0) {
+        DynInst *prod = rob_.find(pseq);
+        if (prod)
+            return prod->value;
+    }
+    return archValues_[static_cast<std::size_t>(reg)];
+}
+
+Cycle
+Processor::availIn(ValueInfo &v, int cluster)
+{
+    CSIM_ASSERT(v.completeAt != neverCycle,
+                "availIn on an unscheduled value");
+    if (cfg_.freeRegComm || cluster == v.cluster)
+        return v.completeAt;
+    Cycle &slot = v.availAt[static_cast<std::size_t>(cluster)];
+    if (slot != neverCycle)
+        return slot;
+    Cycle start = std::max(v.completeAt, cycle_);
+    slot = network_->schedule(v.cluster, cluster, start);
+    stats_.regTransfers++;
+    return slot;
+}
+
+void
+Processor::resolveSource(DynInst &inst, int idx, RegIndex reg)
+{
+    InstSeqNum pseq = renameTable_[static_cast<std::size_t>(reg)];
+    DynInst *prod = pseq ? rob_.find(pseq) : nullptr;
+    ValueInfo &v = prod ? prod->value
+                        : archValues_[static_cast<std::size_t>(reg)];
+    inst.srcProducerPc[static_cast<std::size_t>(idx)] = v.producerPc;
+    if (v.completeAt == neverCycle) {
+        // Producer still unscheduled: wait for its wakeup.
+        prod->waiters.push_back({inst.seq, idx});
+        inst.pendingSrcs++;
+        inst.srcReady[static_cast<std::size_t>(idx)] = neverCycle;
+    } else {
+        inst.srcReady[static_cast<std::size_t>(idx)] =
+            availIn(v, inst.cluster);
+    }
+}
+
+void
+Processor::onSourceKnown(DynInst &inst, int idx)
+{
+    const MicroOp &op = inst.op;
+    if (op.isLoad()) {
+        if (idx == 0)
+            scheduleAddrGen(inst);
+        return;
+    }
+    if (op.isStore()) {
+        if (idx == 1) {
+            scheduleAddrGen(inst);
+        } else {
+            inst.storeDataAt = inst.srcReady[0];
+            lsq_->setStoreData(inst.seq, inst.storeDataAt);
+            if (inst.addrReadyAt != neverCycle && !inst.completed) {
+                markComplete(inst, std::max(inst.addrReadyAt,
+                                            inst.storeDataAt));
+            }
+        }
+        return;
+    }
+    if (inst.pendingSrcs == 0 && !inst.issueScheduled)
+        scheduleExec(inst);
+}
+
+void
+Processor::scheduleExec(DynInst &inst)
+{
+    Cluster &cl = *clusters_[static_cast<std::size_t>(inst.cluster)];
+    Cycle ready = inst.enterIqCycle + 1;
+    for (int s = 0; s < 2; s++) {
+        if (inst.srcReady[static_cast<std::size_t>(s)] != neverCycle) {
+            ready = std::max(ready,
+                             inst.srcReady[static_cast<std::size_t>(s)]);
+        }
+    }
+
+    Cycle issue = cl.reserveFu(inst.op.op, ready);
+    inst.issueCycle = issue;
+    inst.issueScheduled = true;
+    iqEvents_.push({issue, inst.seq, inst.cluster, usesFpIq(inst.op)});
+
+    // Criticality training: the later-arriving operand's producer was
+    // critical for this instruction.
+    Addr pc0 = inst.srcProducerPc[0];
+    Addr pc1 = inst.srcProducerPc[1];
+    if (pc0 && pc1 && inst.srcReady[0] != inst.srcReady[1]) {
+        bool first_later = inst.srcReady[0] > inst.srcReady[1];
+        critPred_.train(first_later ? pc0 : pc1, true);
+        critPred_.train(first_later ? pc1 : pc0, false);
+    }
+
+    Cycle done = issue + cl.latency(inst.op.op);
+    markComplete(inst, done);
+    if (inst.op.dest != invalidReg)
+        producerScheduled(inst);
+}
+
+void
+Processor::scheduleAddrGen(DynInst &inst)
+{
+    if (inst.addrGenScheduled)
+        return;
+    inst.addrGenScheduled = true;
+
+    Cluster &cl = *clusters_[static_cast<std::size_t>(inst.cluster)];
+    int addr_idx = inst.op.isStore() ? 1 : 0;
+    Cycle src = inst.srcReady[static_cast<std::size_t>(addr_idx)];
+    Cycle ready = std::max(inst.enterIqCycle + 1,
+                           src == neverCycle ? 0 : src);
+
+    Cycle issue = cl.reserveFu(OpClass::IntAlu, ready);
+    inst.issueCycle = issue;
+    inst.issueScheduled = true;
+    iqEvents_.push({issue, inst.seq, inst.cluster, false});
+
+    Cycle addr_done = issue + 1 + dtlb_.translate(inst.op.effAddr);
+    inst.addrReadyAt = addr_done;
+    addressReady(inst);
+}
+
+void
+Processor::addressReady(DynInst &inst)
+{
+    const MicroOp &op = inst.op;
+    Cycle addr_done = inst.addrReadyAt;
+
+    if (!cfg_.l1.decentralized) {
+        inst.bank = l1_->bankFor(op.effAddr, cfg_.l1.banks);
+        Cycle at_lsq = cfg_.freeMemComm
+            ? addr_done
+            : network_->schedule(inst.cluster, 0, addr_done);
+        inst.addrAtBankAt = at_lsq;
+        lsq_->setAddress(inst.seq, op.effAddr, inst.bank, at_lsq,
+                         at_lsq);
+    } else {
+        int bank = l1_->bankFor(op.effAddr, activeClusters_);
+        bankPred_.update(op.pc, static_cast<int>((op.effAddr >> 3) %
+                                                 maxClusters));
+        if (inst.predictedBank >= 0) {
+            stats_.bankLookups++;
+            bool ok = inst.predictedBank == bank;
+            bankPred_.recordOutcome(ok);
+            if (!ok)
+                stats_.bankMispredicts++;
+        }
+        inst.bank = bank;
+
+        Cycle at_bank = (bank == inst.cluster || cfg_.freeMemComm)
+            ? addr_done
+            : network_->schedule(inst.cluster, bank, addr_done);
+        inst.addrAtBankAt = at_bank;
+
+        Cycle bcast = at_bank;
+        if (op.isStore() && !cfg_.freeMemComm &&
+            !cfg_.perfectBankPred) {
+            for (int k = 0; k < activeClusters_; k++) {
+                if (k == inst.cluster)
+                    continue;
+                bcast = std::max(bcast, network_->schedule(
+                    inst.cluster, k, addr_done));
+            }
+        }
+        lsq_->setAddress(inst.seq, op.effAddr, bank, at_bank, bcast);
+    }
+
+    if (op.isLoad()) {
+        if (!tryLoad(inst))
+            pendingLoads_.push_back(inst.seq);
+    } else if (inst.storeDataAt != neverCycle && !inst.completed) {
+        markComplete(inst, std::max(inst.addrReadyAt, inst.storeDataAt));
+    }
+}
+
+bool
+Processor::tryLoad(DynInst &inst)
+{
+    LoadCheckResult res = lsq_->checkLoad(inst.seq);
+    if (res.status == LoadCheck::BlockedOlderStore ||
+        res.status == LoadCheck::WaitStoreData)
+        return false;
+
+    Cycle complete;
+    bool decentralized = cfg_.l1.decentralized;
+    int home = decentralized ? inst.bank : 0;
+
+    if (res.status == LoadCheck::Forward) {
+        // Forward from the store's cluster through the LSQ/bank.
+        Cycle data = res.readyCycle;
+        if (cfg_.freeMemComm) {
+            complete = data + 1;
+        } else {
+            Cycle at_home = res.srcCluster == home
+                ? data
+                : network_->schedule(res.srcCluster, home, data);
+            Cycle done = std::max(at_home, inst.addrAtBankAt) + 1;
+            complete = home == inst.cluster
+                ? done
+                : network_->schedule(home, inst.cluster, done);
+        }
+    } else {
+        Cycle start = std::max(res.readyCycle, inst.addrAtBankAt);
+        Cycle l2_hops = (decentralized && !cfg_.freeMemComm)
+            ? network_->latency(home, 0)
+            : 0;
+        Cycle done = l1_->access(inst.op.effAddr, false, start,
+                                 inst.bank, l2_hops);
+        complete = (home == inst.cluster || cfg_.freeMemComm)
+            ? done
+            : network_->schedule(home, inst.cluster, done);
+    }
+
+    lsq_->markAccessed(inst.seq);
+    markComplete(inst, complete);
+    if (inst.op.dest != invalidReg)
+        producerScheduled(inst);
+    return true;
+}
+
+void
+Processor::producerScheduled(DynInst &inst)
+{
+    ValueInfo &v = inst.value;
+    v.completeAt = inst.completeCycle;
+    v.availAt[static_cast<std::size_t>(inst.cluster)] =
+        inst.completeCycle;
+    for (const Waiter &w : inst.waiters) {
+        DynInst *consumer = rob_.find(w.consumer);
+        CSIM_ASSERT(consumer, "waiter vanished");
+        consumer->srcReady[static_cast<std::size_t>(w.srcIdx)] =
+            availIn(v, consumer->cluster);
+        consumer->pendingSrcs--;
+        onSourceKnown(*consumer, w.srcIdx);
+    }
+    inst.waiters.clear();
+}
+
+void
+Processor::markComplete(DynInst &inst, Cycle when)
+{
+    CSIM_ASSERT(!inst.completed, "completed twice");
+    inst.completeCycle = when;
+    inst.completed = true;
+    if (inst.mispredicted) {
+        // Fetch resumes after the redirect travels back to the front
+        // end; the front-end refill depth adds the rest of the penalty.
+        Cycle resume = when + network_->latency(inst.cluster, 0) +
+                       cfg_.redirectPenalty;
+        fetch_->resumeAt(resume);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-cycle stages
+// ---------------------------------------------------------------------------
+
+void
+Processor::processIqEvents()
+{
+    while (!iqEvents_.empty() && iqEvents_.top().cycle <= cycle_) {
+        IqEvent ev = iqEvents_.top();
+        iqEvents_.pop();
+        clusters_[static_cast<std::size_t>(ev.cluster)]->iqRelease(ev.fp);
+        DynInst *inst = rob_.find(ev.seq);
+        if (inst) {
+            inst->distant = (ev.seq - rob_.headSeq()) >=
+                static_cast<InstSeqNum>(cfg_.distantDepth);
+            if (inst->distant)
+                stats_.distantIssued++;
+        }
+    }
+}
+
+void
+Processor::doCommit()
+{
+    for (int w = 0; w < cfg_.commitWidth; w++) {
+        if (rob_.empty())
+            break;
+        DynInst &head = rob_.head();
+        if (!head.completed || head.completeCycle > cycle_)
+            break;
+
+        const MicroOp &op = head.op;
+        if (op.dest != invalidReg) {
+            if (head.prevDestHadReg) {
+                clusters_[static_cast<std::size_t>(
+                    head.prevDestCluster)]->regRelease(isFpReg(op.dest));
+            }
+            archValues_[static_cast<std::size_t>(op.dest)] = head.value;
+        }
+
+        if (op.isMem()) {
+            if (op.isStore()) {
+                Cycle hops = (cfg_.l1.decentralized && !cfg_.freeMemComm)
+                    ? network_->latency(head.bank, 0)
+                    : 0;
+                l1_->access(op.effAddr, true, cycle_, head.bank, hops);
+            }
+            lsq_->release(head.seq);
+        }
+
+        if (op.isControl()) {
+            stats_.committedBranches++;
+            if (head.mispredicted)
+                stats_.mispredicts++;
+        }
+
+        if (controller_)
+            controller_->onCommit({op.pc, op.op, head.distant, cycle_});
+
+        stats_.committed++;
+        rob_.retireHead();
+    }
+}
+
+void
+Processor::retryPendingLoads()
+{
+    for (std::size_t i = 0; i < pendingLoads_.size();) {
+        DynInst *inst = rob_.find(pendingLoads_[i]);
+        CSIM_ASSERT(inst, "pending load vanished");
+        if (tryLoad(*inst)) {
+            pendingLoads_[i] = pendingLoads_.back();
+            pendingLoads_.pop_back();
+        } else {
+            i++;
+        }
+    }
+}
+
+void
+Processor::doDispatch()
+{
+    if (cycle_ < dispatchStallUntil_ || pendingTarget_ != 0)
+        return;
+
+    for (int w = 0; w < cfg_.dispatchWidth; w++) {
+        if (fetch_->queueEmpty()) {
+            if (w == 0)
+                stats_.stallEmpty++;
+            break;
+        }
+        if (rob_.full()) {
+            if (w == 0)
+                stats_.stallRob++;
+            break;
+        }
+        const FetchEntry &fe = fetch_->front();
+        if (cycle_ < fe.readyAt) {
+            if (w == 0)
+                stats_.stallEmpty++;
+            break;
+        }
+        const MicroOp &op = fe.op;
+
+        bool fp_iq = usesFpIq(op);
+        bool has_dest = op.dest != invalidReg;
+        bool dest_fp = has_dest && isFpReg(op.dest);
+        bool is_mem = op.isMem();
+
+        // Centralized LSQ / distributed store slots gate dispatch as a
+        // whole; distributed load slots restrict the cluster choice.
+        if (is_mem && !lsq_->distributed() &&
+            !lsq_->canAllocate(op.isStore(), 0, activeClusters_)) {
+            if (w == 0)
+                stats_.stallLsq++;
+            break;
+        }
+        if (is_mem && lsq_->distributed() && op.isStore() &&
+            !lsq_->canAllocate(true, 0, activeClusters_)) {
+            if (w == 0)
+                stats_.stallLsq++;
+            break;
+        }
+
+        SteerContext ctx;
+        for (int c = 0; c < activeClusters_; c++) {
+            Cluster &cl = *clusters_[static_cast<std::size_t>(c)];
+            if (!cl.iqHasSpace(fp_iq))
+                continue;
+            if (has_dest && !cl.regHasSpace(dest_fp))
+                continue;
+            if (is_mem && lsq_->distributed() && !op.isStore() &&
+                !lsq_->canAllocate(false, c, activeClusters_))
+                continue;
+            ctx.feasibleMask |= 1u << c;
+        }
+        if (ctx.feasibleMask == 0) {
+            if (w == 0) {
+                bool any_iq = false;
+                for (int c = 0; c < activeClusters_; c++) {
+                    if (clusters_[static_cast<std::size_t>(c)]
+                            ->iqHasSpace(fp_iq))
+                        any_iq = true;
+                }
+                if (!any_iq)
+                    stats_.stallIq++;
+                else
+                    stats_.stallReg++;
+            }
+            break;
+        }
+
+        // Operand affinity inputs.
+        int nsrc = 0;
+        RegIndex srcs[2] = {op.src1, op.src2};
+        for (int s = 0; s < 2; s++) {
+            if (srcs[s] == invalidReg)
+                continue;
+            nsrc++;
+            ValueInfo &v = valueOf(srcs[s]);
+            if (v.producer != 0) {
+                ctx.srcCluster[s] = v.cluster;
+                ctx.srcCritical[s] = critPred_.isCritical(v.producerPc);
+            }
+        }
+        (void)nsrc;
+
+        if (is_mem && cfg_.l1.decentralized) {
+            ctx.predictedBank = cfg_.perfectBankPred
+                ? static_cast<int>((op.effAddr >> 3) %
+                      static_cast<std::uint64_t>(activeClusters_))
+                : bankPred_.predict(op.pc) % activeClusters_;
+        }
+
+        int cluster = pickCluster(ctx, clusters_, activeClusters_,
+                                  cfg_.loadBalanceThreshold);
+        if (cluster == invalidCluster)
+            break;
+
+        // --- allocate -------------------------------------------------------
+        DynInst &inst = rob_.allocate(op);
+        inst.cluster = cluster;
+        inst.fetchCycle = fe.readyAt - cfg_.frontEndDepth;
+        inst.dispatchCycle = cycle_;
+        inst.enterIqCycle = cycle_ + network_->latency(0, cluster);
+        inst.mispredicted = fe.mispredicted;
+        inst.predictedBank = ctx.predictedBank;
+
+        Cluster &cl = *clusters_[static_cast<std::size_t>(cluster)];
+        cl.iqAllocate(fp_iq);
+        if (has_dest)
+            cl.regAllocate(dest_fp);
+        if (is_mem) {
+            lsq_->allocate(inst.seq, op.isStore(), cluster,
+                           activeClusters_);
+            if (op.isStore())
+                stats_.stores++;
+            else
+                stats_.loads++;
+        }
+
+        // --- rename ---------------------------------------------------------
+        for (int s = 0; s < 2; s++) {
+            if (srcs[s] != invalidReg)
+                resolveSource(inst, s, srcs[s]);
+            else
+                inst.srcReady[static_cast<std::size_t>(s)] = 0;
+        }
+        if (has_dest) {
+            ValueInfo &prev = valueOf(op.dest);
+            inst.prevDestCluster = prev.cluster;
+            inst.prevDestHadReg = prev.producer != 0;
+            inst.value = ValueInfo();
+            inst.value.producer = inst.seq;
+            inst.value.producerPc = op.pc;
+            inst.value.cluster = cluster;
+            inst.value.completeAt = neverCycle;
+            renameTable_[static_cast<std::size_t>(op.dest)] = inst.seq;
+        }
+
+        // --- kick off scheduling for parts whose inputs are known ----------
+        if (op.isLoad()) {
+            if (inst.srcReady[0] != neverCycle)
+                scheduleAddrGen(inst);
+        } else if (op.isStore()) {
+            if (inst.srcReady[1] != neverCycle)
+                scheduleAddrGen(inst);
+            if (inst.srcReady[0] != neverCycle) {
+                inst.storeDataAt = std::max(inst.srcReady[0],
+                                            inst.enterIqCycle);
+                lsq_->setStoreData(inst.seq, inst.storeDataAt);
+                if (inst.addrReadyAt != neverCycle && !inst.completed) {
+                    markComplete(inst, std::max(inst.addrReadyAt,
+                                                inst.storeDataAt));
+                }
+            }
+        } else {
+            if (inst.pendingSrcs == 0)
+                scheduleExec(inst);
+        }
+
+        fetch_->pop();
+    }
+}
+
+void
+Processor::doFetch()
+{
+    fetch_->cycle(cycle_);
+}
+
+void
+Processor::applyReconfig()
+{
+    int target = activeClusters_;
+    if (controller_) {
+        target = std::clamp(controller_->targetClusters(), 1,
+                            cfg_.numClusters);
+    }
+
+    if (!cfg_.l1.decentralized) {
+        if (target != activeClusters_) {
+            activeClusters_ = target;
+            stats_.reconfigurations++;
+        }
+        return;
+    }
+
+    // Decentralized: a change requires draining in-flight work, then
+    // stalling while the L1 is flushed (the bank mapping changes).
+    if (pendingTarget_ == 0) {
+        if (target != activeClusters_)
+            pendingTarget_ = target;
+        return;
+    }
+    if (pendingTarget_ == activeClusters_) {
+        pendingTarget_ = 0;
+        return;
+    }
+    if (rob_.empty() && lsq_->size() == 0) {
+        std::uint64_t flushed = l1_->flushAll(cycle_);
+        stats_.flushWritebacks += flushed;
+        dispatchStallUntil_ = cycle_ + flushed + 10;
+        activeClusters_ = pendingTarget_;
+        pendingTarget_ = 0;
+        stats_.reconfigurations++;
+    }
+}
+
+} // namespace clustersim

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * The clustered out-of-order processor model (Section 2).
+ *
+ * Timing model. The simulator advances cycle by cycle for the in-order
+ * stages (fetch, dispatch, commit) but evaluates the out-of-order
+ * machinery *eagerly*: as soon as all of an instruction's input times
+ * are known, its functional unit, network transfers, and cache accesses
+ * are reserved (possibly at future cycles) and its completion time is
+ * computed. Structural resources (FUs, network links, cache ports) are
+ * cycle-slot reservers, so contention is modelled without a per-cycle
+ * scheduler scan. The only state that must wait for simulated time is
+ * disambiguation behind stores whose addresses are not yet computed.
+ *
+ * Misprediction model. The core is trace-driven; fetch stalls behind a
+ * mispredicted branch until it resolves, then resumes after
+ * cluster-to-front-end hops plus the redirect penalty and the front-end
+ * refill depth (>= 12 cycles total, per Table 1).
+ */
+
+#ifndef CLUSTERSIM_CORE_PROCESSOR_HH
+#define CLUSTERSIM_CORE_PROCESSOR_HH
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "core/cluster.hh"
+#include "core/fetch.hh"
+#include "core/params.hh"
+#include "core/rob.hh"
+#include "core/steering.hh"
+#include "interconnect/network.hh"
+#include "memory/l1_cache.hh"
+#include "memory/l2_cache.hh"
+#include "memory/lsq.hh"
+#include "memory/tlb.hh"
+#include "predictor/bank_predictor.hh"
+#include "predictor/criticality.hh"
+#include "reconfig/controller.hh"
+
+namespace clustersim {
+
+/** Aggregate end-of-run statistics. */
+struct ProcessorStats {
+    Cycle cycles = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t committedBranches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t distantIssued = 0;
+    std::uint64_t regTransfers = 0;   ///< cross-cluster operand moves
+    std::uint64_t bankLookups = 0;
+    std::uint64_t bankMispredicts = 0;
+    std::uint64_t reconfigurations = 0;
+    std::uint64_t flushWritebacks = 0;
+    // dispatch-stall accounting (cycles lost per cause)
+    std::uint64_t stallIq = 0;     ///< no cluster had an IQ slot
+    std::uint64_t stallReg = 0;    ///< no cluster had a free register
+    std::uint64_t stallLsq = 0;    ///< LSQ full
+    std::uint64_t stallRob = 0;    ///< ROB full
+    std::uint64_t stallEmpty = 0;  ///< fetch queue empty (front end)
+    double activeClusterSum = 0;      ///< integral of active clusters
+
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(committed) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    double avgActiveClusters() const
+    {
+        return cycles ? activeClusterSum / static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** The processor. */
+class Processor
+{
+  public:
+    /**
+     * @param cfg        Configuration (not copied lazily: stored).
+     * @param trace      Committed-path instruction source (not owned).
+     * @param controller Optional cluster-count controller (not owned).
+     */
+    Processor(const ProcessorConfig &cfg, TraceSource *trace,
+              ReconfigController *controller = nullptr);
+    ~Processor();
+
+    Processor(const Processor &) = delete;
+    Processor &operator=(const Processor &) = delete;
+
+    /** Advance one cycle. */
+    void step();
+
+    /** Run until the given number of instructions has committed. */
+    void run(std::uint64_t instructions);
+
+    /** Reset statistics (for post-warmup measurement). */
+    void resetStats();
+
+    Cycle cycle() const { return cycle_; }
+    std::uint64_t committed() const { return stats_.committed; }
+    double ipc() const { return stats_.ipc(); }
+
+    int activeClusters() const { return activeClusters_; }
+    /** Directly set the active cluster count (used by tests). */
+    void setActiveClusters(int n);
+
+    const ProcessorStats &stats() const { return stats_; }
+    const ProcessorConfig &config() const { return cfg_; }
+    const Network &network() const { return *network_; }
+    const L1Cache &l1() const { return *l1_; }
+    const L2Cache &l2() const { return *l2_; }
+    const Tlb &dtlb() const { return dtlb_; }
+    const FetchUnit &fetch() const { return *fetch_; }
+    const LoadStoreQueue &lsq() const { return *lsq_; }
+    const BankPredictor &bankPredictor() const { return bankPred_; }
+
+  private:
+    // --- pipeline stages (called youngest-first each cycle) ---------------
+    void doCommit();
+    void retryPendingLoads();
+    void doDispatch();
+    void doFetch();
+    void applyReconfig();
+    void processIqEvents();
+
+    // --- rename / value plumbing -----------------------------------------
+    /** The ValueInfo currently mapped to a logical register. */
+    ValueInfo &valueOf(RegIndex reg);
+    /** Arrival time of a value in a cluster (schedules the transfer). */
+    Cycle availIn(ValueInfo &v, int cluster);
+    /** Resolve one source operand at dispatch. */
+    void resolveSource(DynInst &inst, int idx, RegIndex reg);
+    /** A source's ready time just became known. */
+    void onSourceKnown(DynInst &inst, int idx);
+    /** All compute inputs known: reserve FU and complete eagerly. */
+    void scheduleExec(DynInst &inst);
+    /** Address operand known: schedule address generation. */
+    void scheduleAddrGen(DynInst &inst);
+    /** Address generated: register with the LSQ, kick off access. */
+    void addressReady(DynInst &inst);
+    /** Try to issue a pending load to forward/cache. */
+    bool tryLoad(DynInst &inst);
+    /** Producer's completion time known: propagate to consumers. */
+    void producerScheduled(DynInst &inst);
+    /** Record completion and handle branch resolution. */
+    void markComplete(DynInst &inst, Cycle when);
+
+    /** Number of source operands the op class actually reads. */
+    static int numSources(const MicroOp &op);
+    /** Does this instruction occupy the fp issue queue? */
+    static bool usesFpIq(const MicroOp &op);
+
+    // --- configuration / substrates ----------------------------------------
+    ProcessorConfig cfg_;
+    TraceSource *trace_;
+    ReconfigController *controller_;
+
+    std::unique_ptr<Network> network_;
+    std::unique_ptr<L2Cache> l2_;
+    std::unique_ptr<L1Cache> l1_;
+    std::unique_ptr<FetchUnit> fetch_;
+    std::unique_ptr<LoadStoreQueue> lsq_;
+    std::vector<std::unique_ptr<Cluster>> clusters_;
+    Tlb dtlb_;
+    BankPredictor bankPred_;
+    CriticalityPredictor critPred_;
+
+    ReorderBuffer rob_;
+
+    // --- rename state -----------------------------------------------------
+    /** Latest producer seq per logical register (0 = architectural). */
+    std::array<InstSeqNum, numLogicalRegs> renameTable_;
+    /** Architectural (committed) value per logical register. */
+    std::array<ValueInfo, numLogicalRegs> archValues_;
+
+    // --- dynamic state ------------------------------------------------------
+    Cycle cycle_ = 0;
+    int activeClusters_ = 0;
+    int pendingTarget_ = 0;     ///< decentralized reconfig in progress
+    Cycle dispatchStallUntil_ = 0;
+
+    /** Loads waiting for older-store disambiguation. */
+    std::vector<InstSeqNum> pendingLoads_;
+
+    /** IQ-release events: (issueCycle, seq). */
+    struct IqEvent {
+        Cycle cycle;
+        InstSeqNum seq;
+        int cluster;
+        bool fp;
+        bool operator>(const IqEvent &o) const { return cycle > o.cycle; }
+    };
+    std::priority_queue<IqEvent, std::vector<IqEvent>,
+                        std::greater<IqEvent>> iqEvents_;
+
+    ProcessorStats stats_;
+};
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_CORE_PROCESSOR_HH

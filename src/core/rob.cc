@@ -1,0 +1,61 @@
+#include "core/rob.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+ReorderBuffer::ReorderBuffer(int capacity) : cap_(capacity)
+{
+    CSIM_ASSERT(capacity >= 1);
+}
+
+DynInst &
+ReorderBuffer::allocate(const MicroOp &op)
+{
+    CSIM_ASSERT(!full(), "ROB overflow");
+    buf_.emplace_back();
+    DynInst &inst = buf_.back();
+    inst.op = op;
+    inst.seq = nextSeq_++;
+    return inst;
+}
+
+DynInst &
+ReorderBuffer::head()
+{
+    CSIM_ASSERT(!buf_.empty(), "ROB underflow");
+    return buf_.front();
+}
+
+const DynInst &
+ReorderBuffer::head() const
+{
+    CSIM_ASSERT(!buf_.empty(), "ROB underflow");
+    return buf_.front();
+}
+
+InstSeqNum
+ReorderBuffer::headSeq() const
+{
+    return buf_.empty() ? nextSeq_ : buf_.front().seq;
+}
+
+void
+ReorderBuffer::retireHead()
+{
+    CSIM_ASSERT(!buf_.empty(), "ROB underflow");
+    buf_.pop_front();
+}
+
+DynInst *
+ReorderBuffer::find(InstSeqNum seq)
+{
+    if (buf_.empty())
+        return nullptr;
+    InstSeqNum head_seq = buf_.front().seq;
+    if (seq < head_seq || seq >= head_seq + buf_.size())
+        return nullptr;
+    return &buf_[static_cast<std::size_t>(seq - head_seq)];
+}
+
+} // namespace clustersim

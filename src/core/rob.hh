@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reorder buffer: a contiguous-sequence window of DynInsts.
+ */
+
+#ifndef CLUSTERSIM_CORE_ROB_HH
+#define CLUSTERSIM_CORE_ROB_HH
+
+#include <deque>
+
+#include "core/dyn_inst.hh"
+
+namespace clustersim {
+
+/**
+ * The ROB. Sequence numbers are assigned densely at dispatch, so lookup
+ * is an offset from the head. The simulator is trace-driven with
+ * fetch-gated mispredictions, so entries never squash; they enter at
+ * dispatch and leave at commit.
+ */
+class ReorderBuffer
+{
+  public:
+    explicit ReorderBuffer(int capacity);
+
+    bool full() const { return static_cast<int>(buf_.size()) >= cap_; }
+    bool empty() const { return buf_.empty(); }
+    std::size_t size() const { return buf_.size(); }
+    int capacity() const { return cap_; }
+
+    /** Allocate the next entry; returns its assigned sequence number. */
+    DynInst &allocate(const MicroOp &op);
+
+    /** Oldest in-flight instruction. */
+    DynInst &head();
+    const DynInst &head() const;
+
+    /** Sequence number of the oldest in-flight instruction. */
+    InstSeqNum headSeq() const;
+
+    /** Retire the head. */
+    void retireHead();
+
+    /** Lookup by sequence number; nullptr if retired or not present. */
+    DynInst *find(InstSeqNum seq);
+
+    /** Next sequence number that will be assigned. */
+    InstSeqNum nextSeq() const { return nextSeq_; }
+
+  private:
+    int cap_;
+    std::deque<DynInst> buf_;
+    InstSeqNum nextSeq_ = 1; ///< seq 0 is reserved for initial values
+};
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_CORE_ROB_HH

@@ -1,0 +1,55 @@
+#include "core/steering.hh"
+
+namespace clustersim {
+
+int
+pickCluster(const SteerContext &ctx,
+            const std::vector<std::unique_ptr<Cluster>> &clusters,
+            int active, int threshold)
+{
+    int best = invalidCluster;
+    int best_score = -1;
+    int best_occ = 1 << 30;
+    int min_occ = 1 << 30;
+    int min_occ_cluster = invalidCluster;
+
+    for (int c = 0; c < active; c++) {
+        if (!(ctx.feasibleMask & (1u << c)))
+            continue;
+        const Cluster &cl = *clusters[static_cast<std::size_t>(c)];
+        int occ = cl.iqTotalOccupancy();
+        if (occ < min_occ) {
+            min_occ = occ;
+            min_occ_cluster = c;
+        }
+
+        int score = 0;
+        for (int s = 0; s < 2; s++) {
+            if (ctx.srcCluster[s] == c)
+                score += ctx.srcCritical[s] ? 4 : 2;
+        }
+        // In the decentralized model the bank's cluster dominates: the
+        // cache transfer costs two messages where a register transfer
+        // costs one (Section 5).
+        if (ctx.predictedBank == c)
+            score += 6;
+
+        if (score > best_score ||
+            (score == best_score && occ < best_occ)) {
+            best = c;
+            best_score = score;
+            best_occ = occ;
+        }
+    }
+
+    if (best == invalidCluster)
+        return invalidCluster;
+
+    // Load-balance override: when the preferred cluster is much more
+    // loaded than the least-loaded one, fall back to the latter.
+    if (best_occ - min_occ > threshold)
+        return min_occ_cluster;
+    return best;
+}
+
+} // namespace clustersim

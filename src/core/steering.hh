@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Instruction steering heuristic (Section 2.1): operand affinity with
+ * criticality priority and a load-balance override; in the
+ * decentralized cache model, memory ops prefer their predicted bank's
+ * cluster (Section 5).
+ */
+
+#ifndef CLUSTERSIM_CORE_STEERING_HH
+#define CLUSTERSIM_CORE_STEERING_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/cluster.hh"
+
+namespace clustersim {
+
+/** Per-instruction inputs to the steering decision. */
+struct SteerContext {
+    /** Producing cluster of each source, or invalidCluster when the
+     *  value is old enough to be available everywhere / absent. */
+    int srcCluster[2] = {invalidCluster, invalidCluster};
+    /** Is the source's producer predicted critical? */
+    bool srcCritical[2] = {false, false};
+    /** Predicted cache bank cluster for memory ops (-1 if n/a). */
+    int predictedBank = -1;
+    /** Bitmask of clusters with all required structural resources. */
+    std::uint32_t feasibleMask = 0;
+};
+
+/**
+ * Pick a cluster for an instruction.
+ *
+ * @param ctx       Steering inputs.
+ * @param clusters  All hardware clusters (occupancy source).
+ * @param active    Number of active clusters (dispatch mask).
+ * @param threshold IQ-occupancy imbalance that triggers the
+ *                  least-loaded override.
+ * @return Cluster id, or invalidCluster when no feasible cluster.
+ */
+int pickCluster(const SteerContext &ctx,
+                const std::vector<std::unique_ptr<Cluster>> &clusters,
+                int active, int threshold);
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_CORE_STEERING_HH

@@ -1,0 +1,77 @@
+#include "interconnect/grid.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+GridTopology::GridTopology(int nodes)
+{
+    CSIM_ASSERT(nodes >= 1, "grid needs at least one node");
+    // Most-square factorization.
+    rows_ = static_cast<int>(std::sqrt(static_cast<double>(nodes)));
+    while (rows_ > 1 && nodes % rows_ != 0)
+        rows_--;
+    cols_ = nodes / rows_;
+}
+
+int
+GridTopology::numLinks() const
+{
+    // Directed horizontal links: 2 * rows * (cols-1); vertical likewise.
+    return 2 * rows_ * (cols_ - 1) + 2 * cols_ * (rows_ - 1);
+}
+
+int
+GridTopology::hops(int src, int dst) const
+{
+    int sr = src / cols_, sc = src % cols_;
+    int dr = dst / cols_, dc = dst % cols_;
+    return std::abs(sr - dr) + std::abs(sc - dc);
+}
+
+int
+GridTopology::linkId(int a, int b) const
+{
+    int ar = a / cols_, ac = a % cols_;
+    int br = b / cols_, bc = b % cols_;
+    // Horizontal links first: for each row r and column c in [0,cols-2],
+    // eastbound link id = r*(cols-1)+c, westbound ids follow the whole
+    // eastbound block. Vertical links follow all horizontal ones.
+    int h_count = rows_ * (cols_ - 1);
+    int v_count = cols_ * (rows_ - 1);
+    if (ar == br) {
+        CSIM_ASSERT(std::abs(ac - bc) == 1, "non-adjacent grid hop");
+        if (bc == ac + 1)
+            return ar * (cols_ - 1) + ac;           // east
+        return h_count + ar * (cols_ - 1) + bc;     // west
+    }
+    CSIM_ASSERT(ac == bc && std::abs(ar - br) == 1, "non-adjacent hop");
+    if (br == ar + 1)
+        return 2 * h_count + ac * (rows_ - 1) + ar; // south
+    return 2 * h_count + v_count + ac * (rows_ - 1) + br; // north
+}
+
+std::vector<int>
+GridTopology::route(int src, int dst) const
+{
+    std::vector<int> links;
+    int cur = src;
+    int dr = dst / cols_, dc = dst % cols_;
+    // X (column) first, then Y (row): dimension-ordered routing.
+    while (cur % cols_ != dc) {
+        int next = (cur % cols_ < dc) ? cur + 1 : cur - 1;
+        links.push_back(linkId(cur, next));
+        cur = next;
+    }
+    while (cur / cols_ != dr) {
+        int next = (cur / cols_ < dr) ? cur + cols_ : cur - cols_;
+        links.push_back(linkId(cur, next));
+        cur = next;
+    }
+    return links;
+}
+
+} // namespace clustersim

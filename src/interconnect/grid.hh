@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Two-dimensional grid (mesh) topology with XY routing (Section 2.3's
+ * higher-cost, higher-performance alternative).
+ */
+
+#ifndef CLUSTERSIM_INTERCONNECT_GRID_HH
+#define CLUSTERSIM_INTERCONNECT_GRID_HH
+
+#include "interconnect/topology.hh"
+
+namespace clustersim {
+
+/**
+ * R x C mesh, row-major node numbering, dimension-ordered (XY) routing.
+ * Each directed edge between adjacent nodes is one link; a 4x4 grid has
+ * 48 links and a maximum distance of 6 hops, matching the paper.
+ */
+class GridTopology : public Topology
+{
+  public:
+    /** Builds the most-square RxC mesh with R*C == nodes. */
+    explicit GridTopology(int nodes);
+
+    int numNodes() const override { return rows_ * cols_; }
+    int numLinks() const override;
+    int hops(int src, int dst) const override;
+    std::vector<int> route(int src, int dst) const override;
+    std::string name() const override { return "grid"; }
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+  private:
+    /** Link id of the directed edge from node a to adjacent node b. */
+    int linkId(int a, int b) const;
+
+    int rows_;
+    int cols_;
+};
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_INTERCONNECT_GRID_HH

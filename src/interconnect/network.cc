@@ -1,0 +1,62 @@
+#include "interconnect/network.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+Network::Network(std::unique_ptr<Topology> topology, Cycle hop_latency)
+    : topology_(std::move(topology)), hopLatency_(hop_latency)
+{
+    CSIM_ASSERT(topology_, "network needs a topology");
+    CSIM_ASSERT(hop_latency >= 1);
+    occupancy_.assign(static_cast<std::size_t>(topology_->numLinks()),
+                      std::vector<Cycle>(windowSize, neverCycle));
+}
+
+Cycle
+Network::reserveLink(int link, Cycle want)
+{
+    auto &slots = occupancy_[static_cast<std::size_t>(link)];
+    // Occupied slots hold their owning cycle number; any other value
+    // (including stale ones from > windowSize cycles ago) means free.
+    Cycle t = want;
+    for (;;) {
+        Cycle &slot = slots[t % windowSize];
+        if (slot != t) {
+            slot = t;
+            return t;
+        }
+        t++;
+    }
+}
+
+Cycle
+Network::schedule(int src, int dst, Cycle ready)
+{
+    if (src == dst)
+        return ready;
+
+    std::vector<int> links = topology_->route(src, dst);
+    Cycle depart = ready;
+    Cycle arrive = ready;
+    for (int link : links) {
+        depart = reserveLink(link, depart);
+        arrive = depart + hopLatency_;
+        depart = arrive; // earliest start of the next hop
+    }
+
+    transfers_.inc();
+    totalHops_.inc(links.size());
+    totalLatency_.inc(arrive - ready);
+    return arrive;
+}
+
+void
+Network::resetStats()
+{
+    transfers_.reset();
+    totalHops_.reset();
+    totalLatency_.reset();
+}
+
+} // namespace clustersim

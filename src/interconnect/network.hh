@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Cycle-accurate link-reservation network model.
+ *
+ * The data network carries register values, cache requests/replies and
+ * store-address broadcasts. Each unidirectional link carries one
+ * transfer per cycle; a multi-hop transfer reserves its links hop by
+ * hop, waiting at intermediate nodes when a link is busy.
+ */
+
+#ifndef CLUSTERSIM_INTERCONNECT_NETWORK_HH
+#define CLUSTERSIM_INTERCONNECT_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "interconnect/topology.hh"
+
+namespace clustersim {
+
+/**
+ * Network: schedules point-to-point transfers over a Topology.
+ *
+ * Link occupancy is tracked in a sliding window of cycles; a request for
+ * a busy cycle is pushed to the next free cycle of that link. This
+ * models the queuing component of communication latency without a full
+ * event queue.
+ */
+class Network
+{
+  public:
+    /**
+     * @param topology    Owned topology.
+     * @param hop_latency Cycles per hop when uncontended (paper: 1).
+     */
+    Network(std::unique_ptr<Topology> topology, Cycle hop_latency);
+
+    /**
+     * Schedule a one-word transfer from src to dst whose payload is
+     * ready at cycle ready.
+     * @return Arrival cycle at dst (== ready when src == dst).
+     */
+    Cycle schedule(int src, int dst, Cycle ready);
+
+    /** Hop distance helper (no scheduling). */
+    int hops(int src, int dst) const { return topology_->hops(src, dst); }
+
+    /** Uncontended latency between two nodes. */
+    Cycle
+    latency(int src, int dst) const
+    {
+        return static_cast<Cycle>(topology_->hops(src, dst)) * hopLatency_;
+    }
+
+    const Topology &topology() const { return *topology_; }
+    Cycle hopLatency() const { return hopLatency_; }
+
+    // --- statistics --------------------------------------------------------
+    std::uint64_t transfers() const { return transfers_.value(); }
+    std::uint64_t totalHops() const { return totalHops_.value(); }
+    /** Total latency including queuing, summed over transfers. */
+    std::uint64_t totalLatency() const { return totalLatency_.value(); }
+
+    double
+    avgLatency() const
+    {
+        return transfers() ? static_cast<double>(totalLatency()) /
+                                 static_cast<double>(transfers())
+                           : 0.0;
+    }
+
+    void resetStats();
+
+  private:
+    /** Reserve the first free slot of link at or after cycle want. */
+    Cycle reserveLink(int link, Cycle want);
+
+    std::unique_ptr<Topology> topology_;
+    Cycle hopLatency_;
+
+    /** Per-link occupancy window: slot s holds the cycle that owns it. */
+    static constexpr std::size_t windowSize = 1024;
+    std::vector<std::vector<Cycle>> occupancy_;
+
+    Counter transfers_;
+    Counter totalHops_;
+    Counter totalLatency_;
+};
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_INTERCONNECT_NETWORK_HH

@@ -1,0 +1,43 @@
+#include "interconnect/ring.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+RingTopology::RingTopology(int nodes) : nodes_(nodes)
+{
+    CSIM_ASSERT(nodes >= 1, "ring needs at least one node");
+}
+
+int
+RingTopology::hops(int src, int dst) const
+{
+    int cw = (dst - src + nodes_) % nodes_;
+    int ccw = (src - dst + nodes_) % nodes_;
+    return std::min(cw, ccw);
+}
+
+std::vector<int>
+RingTopology::route(int src, int dst) const
+{
+    std::vector<int> links;
+    if (src == dst)
+        return links;
+    int cw = (dst - src + nodes_) % nodes_;
+    int ccw = (src - dst + nodes_) % nodes_;
+    int node = src;
+    if (cw <= ccw) {
+        for (int h = 0; h < cw; h++) {
+            links.push_back(node);
+            node = (node + 1) % nodes_;
+        }
+    } else {
+        for (int h = 0; h < ccw; h++) {
+            links.push_back(nodes_ + node);
+            node = (node + nodes_ - 1) % nodes_;
+        }
+    }
+    return links;
+}
+
+} // namespace clustersim

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Dual unidirectional ring topology (the paper's primary interconnect).
+ */
+
+#ifndef CLUSTERSIM_INTERCONNECT_RING_HH
+#define CLUSTERSIM_INTERCONNECT_RING_HH
+
+#include "interconnect/topology.hh"
+
+namespace clustersim {
+
+/**
+ * Two unidirectional rings (clockwise and counter-clockwise). A
+ * transfer takes the shorter direction; ties go clockwise. For N nodes
+ * there are 2N links and the maximum distance is N/2 hops.
+ *
+ * Link ids: clockwise link from node i (to i+1) is i; counter-clockwise
+ * link from node i (to i-1) is N + i.
+ */
+class RingTopology : public Topology
+{
+  public:
+    explicit RingTopology(int nodes);
+
+    int numNodes() const override { return nodes_; }
+    int numLinks() const override { return 2 * nodes_; }
+    int hops(int src, int dst) const override;
+    std::vector<int> route(int src, int dst) const override;
+    std::string name() const override { return "ring"; }
+
+  private:
+    int nodes_;
+};
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_INTERCONNECT_RING_HH

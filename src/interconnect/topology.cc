@@ -1,0 +1,30 @@
+#include "interconnect/topology.hh"
+
+#include "interconnect/grid.hh"
+#include "interconnect/ring.hh"
+
+namespace clustersim {
+
+int
+Topology::maxHops() const
+{
+    int best = 0;
+    for (int s = 0; s < numNodes(); s++)
+        for (int d = 0; d < numNodes(); d++)
+            best = std::max(best, hops(s, d));
+    return best;
+}
+
+std::unique_ptr<Topology>
+makeRing(int nodes)
+{
+    return std::make_unique<RingTopology>(nodes);
+}
+
+std::unique_ptr<Topology>
+makeGrid(int nodes)
+{
+    return std::make_unique<GridTopology>(nodes);
+}
+
+} // namespace clustersim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Interconnect topology interface (Section 2.3).
+ *
+ * A topology knows node count, link count, hop distances, and the
+ * per-link route between any two nodes. Links are *unidirectional*
+ * channels carrying one transfer per cycle; the paper's 16-cluster ring
+ * has 32 links (two unidirectional rings) and the 4x4 grid has 48.
+ */
+
+#ifndef CLUSTERSIM_INTERCONNECT_TOPOLOGY_HH
+#define CLUSTERSIM_INTERCONNECT_TOPOLOGY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace clustersim {
+
+/** Abstract interconnect topology. */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    /** Number of nodes (clusters). */
+    virtual int numNodes() const = 0;
+
+    /** Number of unidirectional links. */
+    virtual int numLinks() const = 0;
+
+    /** Hop count of the route from src to dst (0 when src == dst). */
+    virtual int hops(int src, int dst) const = 0;
+
+    /** Ordered link ids traversed from src to dst (empty if src==dst). */
+    virtual std::vector<int> route(int src, int dst) const = 0;
+
+    /** Topology name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Largest hop count between any two nodes. */
+    int maxHops() const;
+};
+
+/** Factory helpers. */
+std::unique_ptr<Topology> makeRing(int nodes);
+std::unique_ptr<Topology> makeGrid(int nodes);
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_INTERCONNECT_TOPOLOGY_HH

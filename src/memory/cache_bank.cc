@@ -1,0 +1,122 @@
+#include "memory/cache_bank.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+namespace {
+
+int
+log2i(std::size_t v)
+{
+    int s = 0;
+    while ((1ULL << s) < v)
+        s++;
+    return s;
+}
+
+} // namespace
+
+CacheBank::CacheBank(std::size_t size_bytes, int ways, int line_bytes)
+    : ways_(ways), lineBytes_(line_bytes)
+{
+    CSIM_ASSERT(ways >= 1 && line_bytes >= 8);
+    CSIM_ASSERT((static_cast<std::size_t>(line_bytes) &
+                 (static_cast<std::size_t>(line_bytes) - 1)) == 0,
+                "line size must be a power of two");
+    std::size_t lines = size_bytes / static_cast<std::size_t>(line_bytes);
+    CSIM_ASSERT(lines >= static_cast<std::size_t>(ways),
+                "cache too small for its associativity");
+    sets_ = lines / static_cast<std::size_t>(ways);
+    CSIM_ASSERT((sets_ & (sets_ - 1)) == 0,
+                "cache set count must be a power of two");
+    lineShift_ = log2i(static_cast<std::size_t>(line_bytes));
+    lines_.resize(sets_ * static_cast<std::size_t>(ways));
+}
+
+std::size_t
+CacheBank::setIndex(Addr addr) const
+{
+    return (addr >> lineShift_) & (sets_ - 1);
+}
+
+Addr
+CacheBank::lineAddr(Addr addr) const
+{
+    return addr >> lineShift_ << lineShift_;
+}
+
+CacheAccessResult
+CacheBank::access(Addr addr, bool write)
+{
+    accesses_.inc();
+    useClock_++;
+
+    CacheAccessResult res;
+    Addr tag = addr >> lineShift_;
+    std::size_t base = setIndex(addr) * static_cast<std::size_t>(ways_);
+
+    Line *victim = nullptr;
+    for (int w = 0; w < ways_; w++) {
+        Line &line = lines_[base + static_cast<std::size_t>(w)];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock_;
+            line.dirty = line.dirty || write;
+            res.hit = true;
+            return res;
+        }
+        if (!line.valid) {
+            if (!victim || victim->valid)
+                victim = &line;
+        } else if (!victim || (victim->valid &&
+                               line.lastUse < victim->lastUse)) {
+            victim = &line;
+        }
+    }
+
+    misses_.inc();
+    if (victim->valid && victim->dirty) {
+        res.writeback = true;
+        res.victimAddr = victim->tag << lineShift_;
+        writebacks_.inc();
+    }
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tag;
+    victim->lastUse = useClock_;
+    return res;
+}
+
+bool
+CacheBank::probe(Addr addr) const
+{
+    Addr tag = addr >> lineShift_;
+    std::size_t base = setIndex(addr) * static_cast<std::size_t>(ways_);
+    for (int w = 0; w < ways_; w++) {
+        const Line &line = lines_[base + static_cast<std::size_t>(w)];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+CacheBank::flush(std::vector<Addr> &dirty_lines)
+{
+    for (auto &line : lines_) {
+        if (line.valid && line.dirty)
+            dirty_lines.push_back(line.tag << lineShift_);
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+void
+CacheBank::resetStats()
+{
+    accesses_.reset();
+    misses_.reset();
+    writebacks_.reset();
+}
+
+} // namespace clustersim

@@ -1,0 +1,115 @@
+#include "memory/l1_cache.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+L1Cache::L1Cache(const L1Params &params, int num_clusters, L2Cache *l2)
+    : params_(params), l2_(l2)
+{
+    CSIM_ASSERT(l2 != nullptr);
+    if (params_.decentralized) {
+        for (int c = 0; c < num_clusters; c++) {
+            arrays_.push_back(std::make_unique<CacheBank>(
+                params_.bankSizeBytes, params_.bankWays,
+                params_.bankLineBytes));
+            ports_.emplace_back(1024);
+        }
+    } else {
+        // One shared array; the port structure is the word interleave.
+        arrays_.push_back(std::make_unique<CacheBank>(
+            params_.sizeBytes, params_.ways, params_.lineBytes));
+        for (int b = 0; b < params_.banks; b++)
+            ports_.emplace_back(1024);
+    }
+}
+
+int
+L1Cache::bankFor(Addr addr, int active_banks) const
+{
+    std::uint64_t word = addr >> 3;
+    if (params_.decentralized) {
+        CSIM_ASSERT(active_banks >= 1 &&
+                    active_banks <= static_cast<int>(arrays_.size()));
+        return static_cast<int>(word %
+                                static_cast<std::uint64_t>(active_banks));
+    }
+    return static_cast<int>(word %
+                            static_cast<std::uint64_t>(params_.banks));
+}
+
+Cycle
+L1Cache::access(Addr addr, bool write, Cycle when, int bank,
+                Cycle l2_hops_lat)
+{
+    CSIM_ASSERT(bank >= 0 && bank < static_cast<int>(ports_.size()));
+    Cycle start = ports_[static_cast<std::size_t>(bank)].reserve(when);
+
+    CacheBank &array = params_.decentralized
+        ? *arrays_[static_cast<std::size_t>(bank)]
+        : *arrays_[0];
+    CacheAccessResult res = array.access(addr, write);
+
+    Cycle ram = params_.decentralized ? params_.bankRamLatency
+                                      : params_.ramLatency;
+    Cycle done = start + ram;
+    if (!res.hit) {
+        // Demand miss: request to the L2 and back.
+        Cycle l2_done = l2_->access(addr, false, done + l2_hops_lat);
+        done = l2_done + l2_hops_lat;
+    }
+    if (res.writeback) {
+        // Victim writeback consumes an L2 port slot but is buffered off
+        // the critical path.
+        l2_->access(res.victimAddr, true, done);
+    }
+    return done;
+}
+
+std::uint64_t
+L1Cache::flushAll(Cycle when)
+{
+    std::vector<Addr> dirty;
+    for (auto &array : arrays_)
+        array->flush(dirty);
+    // The flushed lines drain through the L2 port.
+    Cycle t = when;
+    for (Addr a : dirty)
+        t = l2_->access(a, true, t);
+    return dirty.size();
+}
+
+std::uint64_t
+L1Cache::accesses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &array : arrays_)
+        n += array->accesses();
+    return n;
+}
+
+std::uint64_t
+L1Cache::misses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &array : arrays_)
+        n += array->misses();
+    return n;
+}
+
+double
+L1Cache::missRate() const
+{
+    std::uint64_t a = accesses();
+    return a ? static_cast<double>(misses()) / static_cast<double>(a)
+             : 0.0;
+}
+
+void
+L1Cache::resetStats()
+{
+    for (auto &array : arrays_)
+        array->resetStats();
+}
+
+} // namespace clustersim

@@ -1,0 +1,25 @@
+#include "memory/l2_cache.hh"
+
+namespace clustersim {
+
+L2Cache::L2Cache(const L2Params &params)
+    : params_(params),
+      array_(params.sizeBytes, params.ways, params.lineBytes),
+      port_(2048)
+{
+}
+
+Cycle
+L2Cache::access(Addr addr, bool write, Cycle when)
+{
+    Cycle start = port_.reserve(when);
+    CacheAccessResult res = array_.access(addr, write);
+    Cycle done = start + params_.accessLatency;
+    if (!res.hit)
+        done += params_.memoryLatency;
+    // Dirty-victim writebacks to memory are absorbed by write buffers;
+    // they do not delay the demand access.
+    return done;
+}
+
+} // namespace clustersim

@@ -1,0 +1,236 @@
+#include "memory/lsq.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+LoadStoreQueue::LoadStoreQueue(bool distributed, int num_clusters,
+                               int per_cluster)
+    : distributed_(distributed), numClusters_(num_clusters),
+      perCluster_(per_cluster),
+      occupancy_(static_cast<std::size_t>(num_clusters), 0)
+{
+    CSIM_ASSERT(num_clusters >= 1 && per_cluster >= 1);
+}
+
+bool
+LoadStoreQueue::canAllocate(bool is_store, int cluster,
+                            int active_clusters) const
+{
+    if (!distributed_) {
+        int cap = perCluster_ * numClusters_;
+        return static_cast<int>(queue_.size()) < cap;
+    }
+    if (is_store) {
+        // Needs a dummy slot in every active cluster.
+        for (int c = 0; c < active_clusters; c++)
+            if (occupancy_[static_cast<std::size_t>(c)] >= perCluster_)
+                return false;
+        return true;
+    }
+    return occupancy_[static_cast<std::size_t>(cluster)] < perCluster_;
+}
+
+void
+LoadStoreQueue::allocate(InstSeqNum seq, bool is_store, int cluster,
+                         int active_clusters)
+{
+    CSIM_ASSERT(queue_.empty() || queue_.back().seq < seq,
+                "LSQ allocation out of program order");
+    LsqEntry e;
+    e.seq = seq;
+    e.isStore = is_store;
+    e.cluster = cluster;
+    if (distributed_) {
+        if (is_store) {
+            e.dummyClusters = active_clusters;
+            for (int c = 0; c < active_clusters; c++)
+                occupancy_[static_cast<std::size_t>(c)]++;
+        } else {
+            occupancy_[static_cast<std::size_t>(cluster)]++;
+        }
+    }
+    queue_.push_back(e);
+}
+
+LsqEntry *
+LoadStoreQueue::find(InstSeqNum seq)
+{
+    auto it = std::lower_bound(
+        queue_.begin(), queue_.end(), seq,
+        [](const LsqEntry &e, InstSeqNum s) { return e.seq < s; });
+    if (it != queue_.end() && it->seq == seq)
+        return &*it;
+    return nullptr;
+}
+
+const LsqEntry *
+LoadStoreQueue::find(InstSeqNum seq) const
+{
+    return const_cast<LoadStoreQueue *>(this)->find(seq);
+}
+
+void
+LoadStoreQueue::setAddress(InstSeqNum seq, Addr addr, int bank,
+                           Cycle known_at, Cycle broadcast_at)
+{
+    LsqEntry *e = find(seq);
+    CSIM_ASSERT(e, "setAddress: unknown LSQ entry");
+    CSIM_ASSERT(!e->addrValid, "address set twice");
+    e->addr = addr;
+    e->bank = bank;
+    e->addrValid = true;
+    e->addrKnownAt = known_at;
+    e->broadcastAt = broadcast_at;
+    if (distributed_ && e->isStore) {
+        // Resolution frees the dummy slots everywhere except the bank
+        // that will service the store.
+        for (int c = 0; c < e->dummyClusters; c++) {
+            if (c != bank)
+                occupancy_[static_cast<std::size_t>(c)]--;
+        }
+        if (bank >= e->dummyClusters) {
+            // Bank outside the dummy range (active set grew): the entry
+            // moves to the bank's cluster.
+            occupancy_[static_cast<std::size_t>(bank)]++;
+        }
+        e->dummyClusters = 0;
+    }
+}
+
+void
+LoadStoreQueue::setStoreData(InstSeqNum seq, Cycle when)
+{
+    LsqEntry *e = find(seq);
+    CSIM_ASSERT(e && e->isStore, "setStoreData: not a store");
+    e->dataReadyAt = when;
+}
+
+Cycle
+LoadStoreQueue::visibleAt(const LsqEntry &store, int cluster) const
+{
+    if (!store.addrValid)
+        return neverCycle;
+    if (!distributed_)
+        return store.addrKnownAt;
+    return cluster == store.bank ? store.addrKnownAt : store.broadcastAt;
+}
+
+LoadCheckResult
+LoadStoreQueue::checkLoad(InstSeqNum seq) const
+{
+    const LsqEntry *load = find(seq);
+    CSIM_ASSERT(load && !load->isStore && load->addrValid,
+                "checkLoad: not a resolved load");
+
+    LoadCheckResult res;
+    const LsqEntry *fwd = nullptr;
+    Cycle fwd_visible = 0;
+    Cycle visible_bound = load->addrKnownAt;
+    int where = distributed_ ? load->bank : 0;
+
+    for (const LsqEntry &e : queue_) {
+        if (e.seq >= seq)
+            break;
+        if (!e.isStore)
+            continue;
+        if (!e.addrValid) {
+            // Address not even computed yet: its resolution time is
+            // unknown, so the load must wait in simulated time.
+            blocked_.inc();
+            res.status = LoadCheck::BlockedOlderStore;
+            return res;
+        }
+        Cycle vis = visibleAt(e, where);
+        visible_bound = std::max(visible_bound, vis);
+        if ((e.addr >> 3) == (load->addr >> 3)) {
+            fwd = &e; // latest older same-word store wins
+            fwd_visible = vis;
+        }
+    }
+
+    if (fwd) {
+        if (fwd->dataReadyAt == neverCycle) {
+            res.status = LoadCheck::WaitStoreData;
+            return res;
+        }
+        forwards_.inc();
+        res.status = LoadCheck::Forward;
+        res.readyCycle = std::max(fwd->dataReadyAt, fwd_visible);
+        res.srcCluster = fwd->cluster;
+        return res;
+    }
+
+    res.status = LoadCheck::Access;
+    res.readyCycle = visible_bound;
+    return res;
+}
+
+void
+LoadStoreQueue::markAccessed(InstSeqNum seq)
+{
+    LsqEntry *e = find(seq);
+    CSIM_ASSERT(e, "markAccessed: unknown entry");
+    e->accessed = true;
+}
+
+void
+LoadStoreQueue::release(InstSeqNum seq)
+{
+    CSIM_ASSERT(!queue_.empty() && queue_.front().seq == seq,
+                "LSQ release out of order");
+    LsqEntry &e = queue_.front();
+    if (distributed_) {
+        if (e.isStore) {
+            if (e.dummyClusters > 0) {
+                // Committing an unresolved store cannot happen: commit
+                // waits for the address.
+                CSIM_PANIC("releasing unresolved store");
+            }
+            occupancy_[static_cast<std::size_t>(e.bank)]--;
+        } else {
+            occupancy_[static_cast<std::size_t>(e.cluster)]--;
+        }
+    }
+    queue_.pop_front();
+}
+
+void
+LoadStoreQueue::squashAfter(InstSeqNum seq)
+{
+    while (!queue_.empty() && queue_.back().seq > seq) {
+        LsqEntry &e = queue_.back();
+        if (distributed_) {
+            if (e.isStore) {
+                if (e.dummyClusters > 0) {
+                    for (int c = 0; c < e.dummyClusters; c++)
+                        occupancy_[static_cast<std::size_t>(c)]--;
+                } else {
+                    occupancy_[static_cast<std::size_t>(e.bank)]--;
+                }
+            } else {
+                occupancy_[static_cast<std::size_t>(e.cluster)]--;
+            }
+        }
+        queue_.pop_back();
+    }
+}
+
+const LsqEntry &
+LoadStoreQueue::entry(InstSeqNum seq) const
+{
+    const LsqEntry *e = find(seq);
+    CSIM_ASSERT(e, "entry: unknown LSQ entry");
+    return *e;
+}
+
+void
+LoadStoreQueue::resetStats()
+{
+    forwards_.reset();
+    blocked_.reset();
+}
+
+} // namespace clustersim

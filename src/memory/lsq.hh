@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Load-store queue, in both organizations:
+ *
+ *  - centralized (Section 2.1): one program-ordered queue of 15N
+ *    entries co-located with the cache at cluster 0;
+ *  - distributed (Section 5): 15 entries per cluster; a store whose
+ *    address is unknown occupies a *dummy slot* in every active
+ *    cluster's LSQ until its address broadcast resolves, blocking
+ *    younger loads in those clusters (the Zyuban/Kogge policy the paper
+ *    adopts).
+ *
+ * This class models ordering, occupancy, disambiguation, and
+ * store-to-load forwarding; transport timing (hops to banks, broadcast
+ * latency) is supplied by the processor through the cycle arguments.
+ */
+
+#ifndef CLUSTERSIM_MEMORY_LSQ_HH
+#define CLUSTERSIM_MEMORY_LSQ_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace clustersim {
+
+/** Disambiguation verdict for a load with a known address. */
+enum class LoadCheck {
+    BlockedOlderStore, ///< an older store's address is not yet computed
+    WaitStoreData,     ///< forwarding store found, but data time unknown
+    Forward,           ///< forward from an older same-word store
+    Access,            ///< may access the cache bank
+};
+
+/**
+ * Result of LoadStoreQueue::checkLoad. Times may lie in the future: the
+ * core schedules eagerly once all older store addresses are *computed*
+ * (even if their visibility cycle has not yet arrived).
+ */
+struct LoadCheckResult {
+    LoadCheck status = LoadCheck::Access;
+    /** Forward: cycle the store data is ready; Access: earliest cycle
+     *  the load may access the bank (all older stores visible). */
+    Cycle readyCycle = 0;
+    int srcCluster = 0;   ///< Forward: cluster holding the store data
+};
+
+/** One LSQ entry. */
+struct LsqEntry {
+    InstSeqNum seq = 0;
+    bool isStore = false;
+    int cluster = 0;             ///< cluster the op was steered to
+    int bank = 0;                ///< cache bank (decentralized)
+    Addr addr = 0;
+    bool addrValid = false;
+    Cycle addrKnownAt = neverCycle;  ///< at own cluster / the LSQ
+    Cycle broadcastAt = neverCycle;  ///< at all other clusters (dist.)
+    Cycle dataReadyAt = neverCycle;  ///< store data availability
+    bool accessed = false;           ///< load has been sent to the cache
+    int dummyClusters = 0;           ///< active clusters at allocation
+};
+
+/** The load-store queue. */
+class LoadStoreQueue
+{
+  public:
+    /**
+     * @param distributed  Organization flag.
+     * @param num_clusters Hardware cluster count.
+     * @param per_cluster  Entries per cluster (15 in the paper).
+     */
+    LoadStoreQueue(bool distributed, int num_clusters, int per_cluster);
+
+    /** Can an op be allocated? (Stores need dummy slots everywhere.) */
+    bool canAllocate(bool is_store, int cluster, int active_clusters)
+        const;
+
+    /** Allocate in program order (seq must be increasing). */
+    void allocate(InstSeqNum seq, bool is_store, int cluster,
+                  int active_clusters);
+
+    /** Record a computed effective address. */
+    void setAddress(InstSeqNum seq, Addr addr, int bank,
+                    Cycle known_at, Cycle broadcast_at);
+
+    /** Record store data availability. */
+    void setStoreData(InstSeqNum seq, Cycle when);
+
+    /** Disambiguate a load whose address is known. */
+    LoadCheckResult checkLoad(InstSeqNum seq) const;
+
+    /** Mark a load as having been issued to the cache. */
+    void markAccessed(InstSeqNum seq);
+
+    /** Release the entry at commit (entries commit in order). */
+    void release(InstSeqNum seq);
+
+    /** Squash all entries younger than seq. */
+    void squashAfter(InstSeqNum seq);
+
+    /** Entry accessor (must exist). */
+    const LsqEntry &entry(InstSeqNum seq) const;
+
+    std::size_t size() const { return queue_.size(); }
+    bool distributed() const { return distributed_; }
+
+    std::uint64_t forwards() const { return forwards_.value(); }
+    std::uint64_t blockedChecks() const { return blocked_.value(); }
+    void resetStats();
+
+  private:
+    LsqEntry *find(InstSeqNum seq);
+    const LsqEntry *find(InstSeqNum seq) const;
+
+    /** Cycle at which a store's address is visible in `cluster`. */
+    Cycle visibleAt(const LsqEntry &store, int cluster) const;
+
+    bool distributed_;
+    int numClusters_;
+    int perCluster_;
+
+    std::deque<LsqEntry> queue_; ///< program order (seq ascending)
+    std::vector<int> occupancy_; ///< per cluster (index 0 only when
+                                 ///< centralized)
+
+    mutable Counter forwards_;
+    mutable Counter blocked_;
+};
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_MEMORY_LSQ_HH

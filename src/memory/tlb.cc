@@ -1,0 +1,72 @@
+#include "memory/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+namespace {
+
+int
+log2i(std::size_t v)
+{
+    int s = 0;
+    while ((1ULL << s) < v)
+        s++;
+    return s;
+}
+
+} // namespace
+
+Tlb::Tlb(std::size_t entries, int ways, std::size_t page_bytes,
+         Cycle miss_penalty)
+    : ways_(ways), pageShift_(log2i(page_bytes)),
+      missPenalty_(miss_penalty)
+{
+    CSIM_ASSERT(entries % static_cast<std::size_t>(ways) == 0);
+    sets_ = entries / static_cast<std::size_t>(ways);
+    CSIM_ASSERT((sets_ & (sets_ - 1)) == 0,
+                "TLB set count must be a power of two");
+    entries_.resize(entries);
+}
+
+Cycle
+Tlb::translate(Addr addr)
+{
+    accesses_.inc();
+    useClock_++;
+
+    Addr vpn = addr >> pageShift_;
+    std::size_t base =
+        (vpn & (sets_ - 1)) * static_cast<std::size_t>(ways_);
+
+    Entry *victim = nullptr;
+    for (int w = 0; w < ways_; w++) {
+        Entry &e = entries_[base + static_cast<std::size_t>(w)];
+        if (e.valid && e.vpn == vpn) {
+            e.lastUse = useClock_;
+            return 0;
+        }
+        if (!e.valid) {
+            if (!victim || victim->valid)
+                victim = &e;
+        } else if (!victim ||
+                   (victim->valid && e.lastUse < victim->lastUse)) {
+            victim = &e;
+        }
+    }
+
+    misses_.inc();
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lastUse = useClock_;
+    return missPenalty_;
+}
+
+void
+Tlb::resetStats()
+{
+    accesses_.reset();
+    misses_.reset();
+}
+
+} // namespace clustersim

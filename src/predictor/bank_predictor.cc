@@ -1,0 +1,57 @@
+#include "predictor/bank_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+BankPredictor::BankPredictor(std::size_t l1_entries,
+                             std::size_t l2_entries, int max_banks)
+    : historyTable_(l1_entries, 0),
+      bankTable_(l2_entries, 0),
+      l1Mask_(l1_entries - 1),
+      l2Mask_(l2_entries - 1),
+      maxBanks_(max_banks)
+{
+    CSIM_ASSERT((l1_entries & (l1_entries - 1)) == 0);
+    CSIM_ASSERT((l2_entries & (l2_entries - 1)) == 0);
+    CSIM_ASSERT(max_banks >= 1 && max_banks <= 256);
+}
+
+std::size_t
+BankPredictor::l1Index(Addr pc) const
+{
+    return (pc >> 2) & l1Mask_;
+}
+
+std::size_t
+BankPredictor::l2Index(Addr pc) const
+{
+    std::uint32_t hist = historyTable_[l1Index(pc)];
+    return (hist ^ static_cast<std::uint32_t>(pc >> 2)) & l2Mask_;
+}
+
+int
+BankPredictor::predict(Addr pc) const
+{
+    return bankTable_[l2Index(pc)] % maxBanks_;
+}
+
+void
+BankPredictor::update(Addr pc, int actual_bank)
+{
+    bankTable_[l2Index(pc)] = static_cast<std::uint8_t>(actual_bank);
+    auto &hist = historyTable_[l1Index(pc)];
+    // Keep three 4-bit bank numbers of history.
+    hist = ((hist << 4) |
+            (static_cast<std::uint32_t>(actual_bank) & 0xF)) & 0xFFF;
+}
+
+void
+BankPredictor::recordOutcome(bool was_correct)
+{
+    lookups_.inc();
+    if (was_correct)
+        correct_.inc();
+}
+
+} // namespace clustersim

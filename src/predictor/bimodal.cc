@@ -1,0 +1,32 @@
+#include "predictor/bimodal.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+BimodalPredictor::BimodalPredictor(std::size_t entries)
+    : table_(entries, SatCounter(2, 1)), mask_(entries - 1)
+{
+    CSIM_ASSERT(entries > 0 && (entries & (entries - 1)) == 0,
+                "bimodal table size must be a power of two");
+}
+
+std::size_t
+BimodalPredictor::index(Addr pc) const
+{
+    return (pc >> 2) & mask_;
+}
+
+bool
+BimodalPredictor::predict(Addr pc) const
+{
+    return table_[index(pc)].predictTaken();
+}
+
+void
+BimodalPredictor::update(Addr pc, bool taken)
+{
+    table_[index(pc)].update(taken);
+}
+
+} // namespace clustersim

@@ -1,0 +1,76 @@
+#include "predictor/branch_unit.hh"
+
+namespace clustersim {
+
+BranchUnit::BranchUnit(const BranchUnitParams &params)
+    : direction_(params.bimodalEntries, params.l1Entries,
+                 params.l2Entries, params.historyBits,
+                 params.chooserEntries),
+      btb_(params.btbSets, params.btbWays),
+      ras_(params.rasDepth)
+{
+}
+
+bool
+BranchUnit::predict(const MicroOp &op)
+{
+    lookups_.inc();
+
+    bool correct = true;
+    switch (op.op) {
+      case OpClass::Call: {
+        // Calls are always taken; the target is static, so a BTB hit
+        // with the right target means a correct fetch redirect.
+        auto tgt = btb_.lookup(op.pc);
+        if (!tgt || *tgt != op.target) {
+            correct = false;
+            targetMispredicts_.inc();
+        }
+        ras_.push(op.fallthru());
+        btb_.update(op.pc, op.target);
+        break;
+      }
+      case OpClass::Return: {
+        Addr predicted = ras_.pop();
+        if (predicted != op.target) {
+            correct = false;
+            targetMispredicts_.inc();
+        }
+        break;
+      }
+      case OpClass::CondBranch: {
+        bool pred_taken = direction_.predict(op.pc);
+        if (pred_taken != op.taken) {
+            correct = false;
+            dirMispredicts_.inc();
+        } else if (op.taken) {
+            auto tgt = btb_.lookup(op.pc);
+            if (!tgt || *tgt != op.target) {
+                correct = false;
+                targetMispredicts_.inc();
+            }
+        }
+        direction_.update(op.pc, op.taken);
+        if (op.taken)
+            btb_.update(op.pc, op.target);
+        break;
+      }
+      default:
+        return true; // not a control op
+    }
+
+    if (!correct)
+        mispredicts_.inc();
+    return correct;
+}
+
+void
+BranchUnit::resetStats()
+{
+    lookups_.reset();
+    mispredicts_.reset();
+    dirMispredicts_.reset();
+    targetMispredicts_.reset();
+}
+
+} // namespace clustersim

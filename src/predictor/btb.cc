@@ -1,0 +1,64 @@
+#include "predictor/btb.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+Btb::Btb(std::size_t sets, int ways)
+    : sets_(sets), ways_(ways),
+      entries_(sets * static_cast<std::size_t>(ways))
+{
+    CSIM_ASSERT((sets & (sets - 1)) == 0, "BTB sets must be a power of 2");
+    CSIM_ASSERT(ways >= 1);
+}
+
+std::size_t
+Btb::setIndex(Addr pc) const
+{
+    return (pc >> 2) & (sets_ - 1);
+}
+
+std::optional<Addr>
+Btb::lookup(Addr pc) const
+{
+    std::size_t base = setIndex(pc) * static_cast<std::size_t>(ways_);
+    for (int w = 0; w < ways_; w++) {
+        const Entry &e = entries_[base + static_cast<std::size_t>(w)];
+        if (e.valid && e.tag == pc)
+            return e.target;
+    }
+    return std::nullopt;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    std::size_t base = setIndex(pc) * static_cast<std::size_t>(ways_);
+    useClock_++;
+
+    for (int w = 0; w < ways_; w++) {
+        Entry &e = entries_[base + static_cast<std::size_t>(w)];
+        if (e.valid && e.tag == pc) {
+            e.target = target;
+            e.lastUse = useClock_;
+            return;
+        }
+    }
+    // Miss: fill the invalid or least-recently-used way.
+    Entry *lru = nullptr;
+    for (int w = 0; w < ways_; w++) {
+        Entry &e = entries_[base + static_cast<std::size_t>(w)];
+        if (!e.valid) {
+            lru = &e;
+            break;
+        }
+        if (!lru || e.lastUse < lru->lastUse)
+            lru = &e;
+    }
+    lru->valid = true;
+    lru->tag = pc;
+    lru->target = target;
+    lru->lastUse = useClock_;
+}
+
+} // namespace clustersim

@@ -1,0 +1,47 @@
+#include "predictor/combining.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+CombiningPredictor::CombiningPredictor(std::size_t bimodal_entries,
+                                       std::size_t l1_entries,
+                                       std::size_t l2_entries,
+                                       int history_bits,
+                                       std::size_t chooser_entries)
+    : bimodal_(bimodal_entries),
+      twoLevel_(l1_entries, l2_entries, history_bits),
+      chooser_(chooser_entries, SatCounter(2, 2)),
+      chooserMask_(chooser_entries - 1)
+{
+    CSIM_ASSERT((chooser_entries & (chooser_entries - 1)) == 0,
+                "chooser size must be a power of two");
+}
+
+std::size_t
+CombiningPredictor::chooserIndex(Addr pc) const
+{
+    return (pc >> 2) & chooserMask_;
+}
+
+bool
+CombiningPredictor::predict(Addr pc) const
+{
+    bool use_two_level = chooser_[chooserIndex(pc)].predictTaken();
+    return use_two_level ? twoLevel_.predict(pc) : bimodal_.predict(pc);
+}
+
+void
+CombiningPredictor::update(Addr pc, bool taken)
+{
+    bool bim = bimodal_.predict(pc);
+    bool two = twoLevel_.predict(pc);
+    // Chooser trains toward whichever component was correct (when they
+    // disagree).
+    if (bim != two)
+        chooser_[chooserIndex(pc)].update(two == taken);
+    bimodal_.update(pc, taken);
+    twoLevel_.update(pc, taken);
+}
+
+} // namespace clustersim

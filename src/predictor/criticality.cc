@@ -1,0 +1,32 @@
+#include "predictor/criticality.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+CriticalityPredictor::CriticalityPredictor(std::size_t entries)
+    : table_(entries, SatCounter(3, 4)), mask_(entries - 1)
+{
+    CSIM_ASSERT((entries & (entries - 1)) == 0,
+                "criticality table size must be a power of two");
+}
+
+std::size_t
+CriticalityPredictor::index(Addr pc) const
+{
+    return (pc >> 2) & mask_;
+}
+
+bool
+CriticalityPredictor::isCritical(Addr pc) const
+{
+    return table_[index(pc)].predictTaken();
+}
+
+void
+CriticalityPredictor::train(Addr pc, bool critical)
+{
+    table_[index(pc)].update(critical);
+}
+
+} // namespace clustersim

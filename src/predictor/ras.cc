@@ -1,0 +1,46 @@
+#include "predictor/ras.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+ReturnAddressStack::ReturnAddressStack(std::size_t depth)
+    : stack_(depth, 0)
+{
+    CSIM_ASSERT(depth > 0);
+}
+
+void
+ReturnAddressStack::push(Addr return_pc)
+{
+    topIdx_ = (topIdx_ + 1) % stack_.size();
+    stack_[topIdx_] = return_pc;
+    if (size_ < stack_.size())
+        size_++;
+}
+
+Addr
+ReturnAddressStack::pop()
+{
+    if (size_ == 0)
+        return 0;
+    Addr v = stack_[topIdx_];
+    topIdx_ = (topIdx_ + stack_.size() - 1) % stack_.size();
+    size_--;
+    return v;
+}
+
+Addr
+ReturnAddressStack::top() const
+{
+    return size_ ? stack_[topIdx_] : 0;
+}
+
+void
+ReturnAddressStack::clear()
+{
+    size_ = 0;
+    topIdx_ = 0;
+}
+
+} // namespace clustersim

@@ -1,0 +1,58 @@
+#include "predictor/twolevel.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+TwoLevelPredictor::TwoLevelPredictor(std::size_t l1_entries,
+                                     std::size_t l2_entries,
+                                     int history_bits)
+    : historyTable_(l1_entries, 0),
+      patternTable_(l2_entries, SatCounter(2, 1)),
+      l1Mask_(l1_entries - 1),
+      l2Mask_(l2_entries - 1),
+      historyMask_((1u << history_bits) - 1)
+{
+    CSIM_ASSERT((l1_entries & (l1_entries - 1)) == 0,
+                "two-level L1 size must be a power of two");
+    CSIM_ASSERT((l2_entries & (l2_entries - 1)) == 0,
+                "two-level L2 size must be a power of two");
+    CSIM_ASSERT(history_bits > 0 && history_bits <= 16);
+}
+
+std::size_t
+TwoLevelPredictor::l1Index(Addr pc) const
+{
+    return (pc >> 2) & l1Mask_;
+}
+
+std::size_t
+TwoLevelPredictor::l2Index(Addr pc) const
+{
+    std::uint32_t hist = historyTable_[l1Index(pc)];
+    // XOR-fold the PC into the history (gshare-like within PAg) to reduce
+    // pattern-table interference between branches with equal histories.
+    return (hist ^ static_cast<std::uint32_t>(pc >> 2)) & l2Mask_;
+}
+
+bool
+TwoLevelPredictor::predict(Addr pc) const
+{
+    return patternTable_[l2Index(pc)].predictTaken();
+}
+
+void
+TwoLevelPredictor::update(Addr pc, bool taken)
+{
+    patternTable_[l2Index(pc)].update(taken);
+    auto &hist = historyTable_[l1Index(pc)];
+    hist = ((hist << 1) | (taken ? 1u : 0u)) & historyMask_;
+}
+
+std::uint32_t
+TwoLevelPredictor::history(Addr pc) const
+{
+    return historyTable_[l1Index(pc)];
+}
+
+} // namespace clustersim

@@ -1,0 +1,12 @@
+#include "reconfig/controller.hh"
+
+namespace clustersim {
+
+void
+ReconfigController::attach(int hw_clusters, int initial)
+{
+    hwClusters_ = hw_clusters;
+    (void)initial;
+}
+
+} // namespace clustersim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reconfiguration controller interface.
+ *
+ * A controller observes the committed instruction stream (the paper's
+ * algorithms run in software off hardware event counters) and exposes a
+ * desired number of active clusters; the processor applies changes by
+ * masking the steering heuristic (centralized cache) or by draining,
+ * flushing, and remapping (decentralized cache).
+ */
+
+#ifndef CLUSTERSIM_RECONFIG_CONTROLLER_HH
+#define CLUSTERSIM_RECONFIG_CONTROLLER_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "workload/isa.hh"
+
+namespace clustersim {
+
+/** Per-committed-instruction information visible to controllers. */
+struct CommitEvent {
+    Addr pc = 0;
+    OpClass op = OpClass::IntAlu;
+    bool distant = false; ///< issued >= distantDepth younger than head
+    Cycle cycle = 0;      ///< commit cycle
+};
+
+/** Base class for cluster-count controllers. */
+class ReconfigController
+{
+  public:
+    virtual ~ReconfigController() = default;
+
+    /**
+     * Called once when attached to a processor.
+     * @param hw_clusters Hardware cluster count.
+     * @param initial     Initially active clusters.
+     */
+    virtual void attach(int hw_clusters, int initial);
+
+    /** Observe one committed instruction. */
+    virtual void onCommit(const CommitEvent &ev) = 0;
+
+    /** Desired number of active clusters. */
+    virtual int targetClusters() const = 0;
+
+    /** Controller name for reports. */
+    virtual std::string name() const = 0;
+
+  protected:
+    int hwClusters_ = 16;
+};
+
+/** Fixed-configuration controller (the static base cases). */
+class StaticController : public ReconfigController
+{
+  public:
+    explicit StaticController(int clusters) : clusters_(clusters) {}
+
+    void onCommit(const CommitEvent &) override {}
+    int targetClusters() const override { return clusters_; }
+    std::string
+    name() const override
+    {
+        return "static-" + std::to_string(clusters_);
+    }
+
+  private:
+    int clusters_;
+};
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_RECONFIG_CONTROLLER_HH

@@ -1,0 +1,47 @@
+#include "reconfig/distant_ilp.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+DistantIlpTracker::DistantIlpTracker(int window)
+    : ring_(static_cast<std::size_t>(window))
+{
+    CSIM_ASSERT(window >= 1);
+}
+
+DistantIlpTracker::Evicted
+DistantIlpTracker::push(Addr pc, bool distant, bool marked)
+{
+    Evicted ev;
+    if (size_ == ring_.size()) {
+        Slot &old = ring_[head_];
+        ev.valid = true;
+        ev.pc = old.pc;
+        ev.marked = old.marked;
+        // The count currently covers the window-1 instructions after
+        // `old` plus `old` itself; remove old's own contribution, then
+        // the incoming instruction completes "the W that followed".
+        if (old.distant)
+            count_--;
+        ev.distantFollowing = count_ + (distant ? 1 : 0);
+    } else {
+        size_++;
+    }
+
+    ring_[head_] = {pc, distant, marked};
+    if (distant)
+        count_++;
+    head_ = (head_ + 1) % ring_.size();
+    return ev;
+}
+
+void
+DistantIlpTracker::reset()
+{
+    head_ = 0;
+    size_ = 0;
+    count_ = 0;
+}
+
+} // namespace clustersim

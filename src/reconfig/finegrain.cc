@@ -1,0 +1,95 @@
+#include "reconfig/finegrain.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+FinegrainController::FinegrainController(const FinegrainParams &params)
+    : params_(params), table_(params.tableEntries),
+      tracker_(params.ilpWindow), target_(params.bigConfig)
+{
+    CSIM_ASSERT((params_.tableEntries &
+                 (params_.tableEntries - 1)) == 0,
+                "reconfiguration table size must be a power of two");
+    CSIM_ASSERT(params_.branchStride >= 1 && params_.samplesNeeded >= 1);
+}
+
+void
+FinegrainController::attach(int hw_clusters, int initial)
+{
+    ReconfigController::attach(hw_clusters, initial);
+    if (params_.bigConfig > hw_clusters)
+        params_.bigConfig = hw_clusters;
+    if (params_.smallConfig > hw_clusters)
+        params_.smallConfig = hw_clusters;
+    target_ = params_.bigConfig;
+}
+
+FinegrainController::TableEntry &
+FinegrainController::entryFor(Addr pc)
+{
+    return table_[(pc >> 2) & (table_.size() - 1)];
+}
+
+bool
+FinegrainController::isReconfigPoint(const CommitEvent &ev)
+{
+    if (params_.subroutineMode) {
+        return ev.op == OpClass::Call || ev.op == OpClass::Return;
+    }
+    if (!isControlOp(ev.op))
+        return false;
+    branchCounter_ = (branchCounter_ + 1) % params_.branchStride;
+    return branchCounter_ == 0;
+}
+
+void
+FinegrainController::onCommit(const CommitEvent &ev)
+{
+    // Periodic table flush so stale advice ages out.
+    if (++sinceFlush_ >= params_.flushPeriod) {
+        sinceFlush_ = 0;
+        tableFlushes_++;
+        for (auto &e : table_)
+            e = TableEntry{};
+    }
+
+    bool point = isReconfigPoint(ev);
+    if (point) {
+        reconfigPoints_++;
+        TableEntry &e = entryFor(ev.pc);
+        if (e.valid && e.tag == ev.pc && e.decided) {
+            target_ = e.advice;
+        } else {
+            // Unknown branch: run wide so its distant ILP is visible.
+            target_ = params_.bigConfig;
+        }
+    }
+
+    // Window bookkeeping; when a sampled branch leaves the window we
+    // learn the distant-ILP degree of the 360 instructions after it.
+    DistantIlpTracker::Evicted old = tracker_.push(ev.pc, ev.distant,
+                                                   point);
+    if (old.valid && old.marked) {
+        TableEntry &e = entryFor(old.pc);
+        if (!e.valid || e.tag != old.pc) {
+            e = TableEntry{};
+            e.valid = true;
+            e.tag = old.pc;
+        }
+        if (!e.decided) {
+            e.samples++;
+            e.distantSum += old.distantFollowing;
+            if (e.samples >= params_.samplesNeeded) {
+                double avg = static_cast<double>(e.distantSum) /
+                             static_cast<double>(e.samples);
+                e.advice = avg > params_.distantThreshold
+                    ? params_.bigConfig
+                    : params_.smallConfig;
+                e.decided = true;
+            }
+        }
+    }
+}
+
+} // namespace clustersim

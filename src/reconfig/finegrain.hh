@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fine-grained reconfiguration at basic-block boundaries (Section 4.4),
+ * and the subroutine call/return variant.
+ *
+ * Every Nth branch (or every call/return) is a potential
+ * reconfiguration point. A 16K-entry reconfiguration table maps the
+ * branch PC to an advised configuration (4 or 16 clusters). Until M
+ * samples of a branch have been observed, dispatch uses 16 clusters so
+ * the distant-ILP degree of the 360 instructions following the branch
+ * can be measured; after M samples the advised configuration is
+ * installed. The table is flushed every flushPeriod instructions so
+ * stale advice ages out.
+ */
+
+#ifndef CLUSTERSIM_RECONFIG_FINEGRAIN_HH
+#define CLUSTERSIM_RECONFIG_FINEGRAIN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "reconfig/controller.hh"
+#include "reconfig/distant_ilp.hh"
+
+namespace clustersim {
+
+/** Tunables (paper defaults: every 5th branch, 10 samples, 16K table,
+ *  10M-instruction flush period, 360-instruction window). */
+struct FinegrainParams {
+    /** Reconfigure at every Nth branch. */
+    int branchStride = 5;
+    /** Samples per branch before advice is installed. */
+    int samplesNeeded = 10;
+    std::size_t tableEntries = 16384;
+    std::uint64_t flushPeriod = 10000000ULL;
+    int ilpWindow = 360;
+    /** Distant count in the window above which 16 clusters pay off.
+     *  The paper's 160-per-1000 scales to ~58 per 360; this
+     *  simulator's distant counts run higher, so the default is
+     *  recalibrated to 108 (see EXPERIMENTS.md). */
+    int distantThreshold = 108;
+    int smallConfig = 4;
+    int bigConfig = 16;
+    /** Reconfigure at calls/returns instead of every Nth branch. */
+    bool subroutineMode = false;
+};
+
+/** Fine-grained (branch-boundary) reconfiguration controller. */
+class FinegrainController : public ReconfigController
+{
+  public:
+    explicit FinegrainController(const FinegrainParams &params = {});
+
+    void attach(int hw_clusters, int initial) override;
+    void onCommit(const CommitEvent &ev) override;
+    int targetClusters() const override { return target_; }
+    std::string
+    name() const override
+    {
+        return params_.subroutineMode ? "finegrain-subroutine"
+                                      : "finegrain-branch";
+    }
+
+    std::uint64_t reconfigPoints() const { return reconfigPoints_; }
+    std::uint64_t tableFlushes() const { return tableFlushes_; }
+
+  private:
+    struct TableEntry {
+        bool valid = false;
+        Addr tag = 0;
+        int samples = 0;
+        std::int64_t distantSum = 0;
+        bool decided = false;
+        int advice = 16;
+    };
+
+    TableEntry &entryFor(Addr pc);
+    bool isReconfigPoint(const CommitEvent &ev);
+
+    FinegrainParams params_;
+    std::vector<TableEntry> table_;
+    DistantIlpTracker tracker_;
+
+    int branchCounter_ = 0;
+    std::uint64_t sinceFlush_ = 0;
+    int target_;
+
+    std::uint64_t reconfigPoints_ = 0;
+    std::uint64_t tableFlushes_ = 0;
+};
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_RECONFIG_FINEGRAIN_HH

@@ -1,0 +1,107 @@
+#include "reconfig/interval_ilp.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+IntervalIlpController::IntervalIlpController(
+    const IntervalIlpParams &params)
+    : params_(params), target_(params.bigConfig)
+{
+    CSIM_ASSERT(params_.intervalLength >= 100);
+}
+
+void
+IntervalIlpController::attach(int hw_clusters, int initial)
+{
+    ReconfigController::attach(hw_clusters, initial);
+    if (params_.bigConfig > hw_clusters)
+        params_.bigConfig = hw_clusters;
+    if (params_.smallConfig > hw_clusters)
+        params_.smallConfig = hw_clusters;
+    target_ = params_.bigConfig;
+    measuring_ = true;
+}
+
+void
+IntervalIlpController::onCommit(const CommitEvent &ev)
+{
+    if (!startCycleValid_) {
+        intervalStartCycle_ = ev.cycle;
+        startCycleValid_ = true;
+    }
+    instsInInterval_++;
+    if (isControlOp(ev.op))
+        branchesInInterval_++;
+    if (isMemOp(ev.op))
+        memrefsInInterval_++;
+    if (ev.distant)
+        distantInInterval_++;
+    if (instsInInterval_ >= params_.intervalLength)
+        endInterval(ev.cycle);
+}
+
+void
+IntervalIlpController::endInterval(Cycle now)
+{
+    double ipc = now > intervalStartCycle_
+        ? static_cast<double>(instsInInterval_) /
+              static_cast<double>(now - intervalStartCycle_)
+        : 0.0;
+    std::uint64_t branches = branchesInInterval_;
+    std::uint64_t memrefs = memrefsInInterval_;
+    std::uint64_t distant = distantInInterval_;
+
+    instsInInterval_ = 0;
+    branchesInInterval_ = 0;
+    memrefsInInterval_ = 0;
+    distantInInterval_ = 0;
+    startCycleValid_ = false;
+
+    double metric_sig =
+        static_cast<double>(params_.intervalLength) /
+        params_.metricDivisor;
+    auto differs = [&](std::uint64_t a, std::uint64_t b) {
+        return std::llabs(static_cast<long long>(a) -
+                          static_cast<long long>(b)) >
+               static_cast<long long>(metric_sig);
+    };
+
+    if (measuring_) {
+        // Interval ran at bigConfig: decide from the distant-ILP degree.
+        double per_mille = 1000.0 * static_cast<double>(distant) /
+            static_cast<double>(params_.intervalLength);
+        target_ = per_mille > params_.distantPerMille
+            ? params_.bigConfig
+            : params_.smallConfig;
+        measuring_ = false;
+        haveReference_ = true;
+        refBranches_ = branches;
+        refMemrefs_ = memrefs;
+        refIpcValid_ = false;
+        return;
+    }
+
+    if (!refIpcValid_) {
+        // First interval in the chosen configuration sets the IPC
+        // reference.
+        refIpc_ = ipc;
+        refIpcValid_ = true;
+    }
+
+    bool change = differs(branches, refBranches_) ||
+                  differs(memrefs, refMemrefs_) ||
+                  (refIpc_ > 0.0 && std::abs(ipc - refIpc_) / refIpc_ >
+                                        params_.ipcTolerance);
+    if (change) {
+        phaseChanges_++;
+        measuring_ = true;
+        haveReference_ = false;
+        target_ = params_.bigConfig;
+    }
+}
+
+} // namespace clustersim

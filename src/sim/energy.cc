@@ -1,0 +1,26 @@
+#include "sim/energy.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+double
+relativeLeakage(double avg_active, int total, const LeakageModel &model)
+{
+    CSIM_ASSERT(total >= 1);
+    double active_frac = avg_active / static_cast<double>(total);
+    if (active_frac > 1.0)
+        active_frac = 1.0;
+    if (active_frac < 0.0)
+        active_frac = 0.0;
+    return (1.0 - model.clusterFraction) +
+           model.clusterFraction * active_frac;
+}
+
+double
+leakageSavings(double avg_active, int total, const LeakageModel &model)
+{
+    return 1.0 - relativeLeakage(avg_active, total, model);
+}
+
+} // namespace clustersim

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Leakage-energy accounting for disabled clusters.
+ *
+ * The paper's reconfiguration schemes disable 8.3 of 16 clusters on
+ * average; a disabled cluster can have its supply gated, saving its
+ * leakage entirely. This model converts an average-active-clusters
+ * figure into a relative leakage-energy estimate.
+ */
+
+#ifndef CLUSTERSIM_SIM_ENERGY_HH
+#define CLUSTERSIM_SIM_ENERGY_HH
+
+namespace clustersim {
+
+/** Relative leakage model (cluster leakage dominates; a fixed fraction
+ *  belongs to the always-on front end, caches, and interconnect). */
+struct LeakageModel {
+    /** Fraction of total chip leakage in the cluster array. */
+    double clusterFraction = 0.7;
+};
+
+/**
+ * Relative leakage energy (1.0 = all clusters always on).
+ *
+ * @param avg_active Average active clusters during the run.
+ * @param total      Hardware clusters.
+ */
+double relativeLeakage(double avg_active, int total,
+                       const LeakageModel &model = {});
+
+/** Leakage savings fraction (0..1) versus all-on. */
+double leakageSavings(double avg_active, int total,
+                      const LeakageModel &model = {});
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_SIM_ENERGY_HH

@@ -1,0 +1,107 @@
+#include "sim/experiment.hh"
+
+#include <cstdio>
+
+#include "common/stats.hh"
+
+namespace clustersim {
+
+MatrixResult
+runMatrix(const std::vector<WorkloadSpec> &workloads,
+          const std::vector<Variant> &variants, std::uint64_t warmup,
+          std::uint64_t measure, bool verbose)
+{
+    MatrixResult out;
+    for (const auto &w : workloads)
+        out.benchmarks.push_back(w.name);
+    for (const auto &v : variants)
+        out.variants.push_back(v.label);
+
+    for (const auto &w : workloads) {
+        std::vector<SimResult> row;
+        for (const auto &v : variants) {
+            std::unique_ptr<ReconfigController> ctrl;
+            if (v.makeController)
+                ctrl = v.makeController();
+            SimResult r = runSimulation(v.cfg, w, ctrl.get(), warmup,
+                                        measure);
+            r.config = v.label;
+            if (verbose) {
+                std::fprintf(stderr, "  %-8s %-24s IPC %.3f\n",
+                             w.name.c_str(), v.label.c_str(), r.ipc);
+            }
+            row.push_back(r);
+        }
+        out.results.push_back(std::move(row));
+    }
+    return out;
+}
+
+Table
+ipcTable(const MatrixResult &m)
+{
+    std::vector<std::string> headers = {"benchmark"};
+    for (const auto &v : m.variants)
+        headers.push_back(v);
+    Table t(headers);
+
+    for (std::size_t b = 0; b < m.benchmarks.size(); b++) {
+        t.startRow();
+        t.cell(m.benchmarks[b]);
+        for (std::size_t v = 0; v < m.variants.size(); v++)
+            t.cell(m.results[b][v].ipc);
+    }
+
+    t.startRow();
+    t.cell("AM");
+    for (std::size_t v = 0; v < m.variants.size(); v++) {
+        std::vector<double> col;
+        for (std::size_t b = 0; b < m.benchmarks.size(); b++)
+            col.push_back(m.results[b][v].ipc);
+        t.cell(amean(col));
+    }
+    return t;
+}
+
+double
+speedupOverBestFixed(const MatrixResult &m, std::size_t v,
+                     const std::vector<std::size_t> &baselines)
+{
+    // Pick the single baseline with the best geomean IPC.
+    std::size_t best_base = baselines.front();
+    double best_gm = 0.0;
+    for (std::size_t base : baselines) {
+        std::vector<double> col;
+        for (std::size_t b = 0; b < m.benchmarks.size(); b++)
+            col.push_back(m.results[b][base].ipc);
+        double gm = geomean(col);
+        if (gm > best_gm) {
+            best_gm = gm;
+            best_base = base;
+        }
+    }
+    std::vector<double> ratios;
+    for (std::size_t b = 0; b < m.benchmarks.size(); b++) {
+        double base_ipc = m.results[b][best_base].ipc;
+        if (base_ipc > 0.0)
+            ratios.push_back(m.results[b][v].ipc / base_ipc);
+    }
+    return geomean(ratios);
+}
+
+double
+speedupOverBest(const MatrixResult &m, std::size_t v,
+                const std::vector<std::size_t> &baselines)
+{
+    std::vector<double> ratios;
+    for (std::size_t b = 0; b < m.benchmarks.size(); b++) {
+        double best = 0.0;
+        for (std::size_t base : baselines)
+            best = std::max(best, m.results[b][base].ipc);
+        if (best > 0.0)
+            ratios.push_back(m.results[b][v].ipc / best);
+    }
+    return geomean(ratios);
+}
+
+} // namespace clustersim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Experiment-matrix helpers used by the figure/table benches: run every
+ * benchmark against a list of machine variants (static configurations
+ * and controller-driven dynamic schemes) and tabulate IPCs + speedups.
+ */
+
+#ifndef CLUSTERSIM_SIM_EXPERIMENT_HH
+#define CLUSTERSIM_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "reconfig/controller.hh"
+#include "sim/simulation.hh"
+
+namespace clustersim {
+
+/** One column of an experiment: a machine + optional controller. */
+struct Variant {
+    std::string label;
+    ProcessorConfig cfg;
+    /** Fresh controller per run; null for static configurations. */
+    std::function<std::unique_ptr<ReconfigController>()> makeController;
+};
+
+/** All results of a matrix run, indexed [benchmark][variant]. */
+struct MatrixResult {
+    std::vector<std::string> benchmarks;
+    std::vector<std::string> variants;
+    std::vector<std::vector<SimResult>> results;
+
+    const SimResult &at(std::size_t b, std::size_t v) const
+    {
+        return results[b][v];
+    }
+};
+
+/**
+ * Run the full matrix.
+ * @param workloads Benchmarks (rows).
+ * @param variants  Machine variants (columns).
+ * @param warmup    Warmup instructions per run.
+ * @param measure   Measured instructions per run.
+ * @param verbose   Print progress lines to stderr.
+ */
+MatrixResult runMatrix(const std::vector<WorkloadSpec> &workloads,
+                       const std::vector<Variant> &variants,
+                       std::uint64_t warmup = defaultWarmup,
+                       std::uint64_t measure = defaultMeasure,
+                       bool verbose = true);
+
+/** Render a matrix as an IPC table (benchmarks x variants + AM/GM). */
+Table ipcTable(const MatrixResult &m);
+
+/**
+ * Speedup of variant v over the per-benchmark best among the baseline
+ * variant indices (a per-program oracle over the static options).
+ */
+double speedupOverBest(const MatrixResult &m, std::size_t v,
+                       const std::vector<std::size_t> &baselines);
+
+/**
+ * Speedup of variant v over the best *single fixed* baseline -- the
+ * one static organization with the highest geomean IPC across all
+ * benchmarks. This is the paper's headline comparison ("11% better
+ * than the best static fixed organization"): one hardware
+ * configuration must be chosen for every program, and the dynamic
+ * scheme beats it by adapting per program and per phase.
+ */
+double speedupOverBestFixed(const MatrixResult &m, std::size_t v,
+                            const std::vector<std::size_t> &baselines);
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_SIM_EXPERIMENT_HH

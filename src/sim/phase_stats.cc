@@ -1,0 +1,117 @@
+#include "sim/phase_stats.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+IntervalStatsCollector::IntervalStatsCollector(int fixed_clusters,
+                                               std::uint64_t sample_len)
+    : fixedClusters_(fixed_clusters), sampleLen_(sample_len)
+{
+    CSIM_ASSERT(sample_len >= 100);
+}
+
+void
+IntervalStatsCollector::onCommit(const CommitEvent &ev)
+{
+    if (!startValid_) {
+        sampleStartCycle_ = ev.cycle;
+        startValid_ = true;
+    }
+    cur_.instructions++;
+    if (isControlOp(ev.op))
+        cur_.branches++;
+    if (isMemOp(ev.op))
+        cur_.memrefs++;
+    if (cur_.instructions >= sampleLen_) {
+        cur_.cycles = ev.cycle - sampleStartCycle_;
+        samples_.push_back(cur_);
+        cur_ = IntervalSample{};
+        startValid_ = false;
+    }
+}
+
+double
+instabilityFactor(const std::vector<IntervalSample> &samples,
+                  std::uint64_t base_len, std::uint64_t interval_len,
+                  double ipc_tolerance, double metric_divisor)
+{
+    CSIM_ASSERT(interval_len >= base_len &&
+                interval_len % base_len == 0,
+                "interval length must be a multiple of the base sample");
+    std::size_t group = interval_len / base_len;
+    std::size_t n = samples.size() / group;
+    if (n < 2)
+        return 0.0;
+
+    double metric_sig =
+        static_cast<double>(interval_len) / metric_divisor;
+
+    bool have_ref = false;
+    double ref_ipc = 0.0;
+    std::uint64_t ref_branches = 0, ref_memrefs = 0;
+    std::uint64_t unstable = 0;
+
+    for (std::size_t i = 0; i < n; i++) {
+        std::uint64_t cycles = 0, branches = 0, memrefs = 0, insts = 0;
+        for (std::size_t j = 0; j < group; j++) {
+            const IntervalSample &s = samples[i * group + j];
+            cycles += s.cycles;
+            branches += s.branches;
+            memrefs += s.memrefs;
+            insts += s.instructions;
+        }
+        double ipc = cycles
+            ? static_cast<double>(insts) / static_cast<double>(cycles)
+            : 0.0;
+
+        if (!have_ref) {
+            have_ref = true;
+            ref_ipc = ipc;
+            ref_branches = branches;
+            ref_memrefs = memrefs;
+            continue;
+        }
+
+        bool changed =
+            std::llabs(static_cast<long long>(branches) -
+                       static_cast<long long>(ref_branches)) >
+                static_cast<long long>(metric_sig) ||
+            std::llabs(static_cast<long long>(memrefs) -
+                       static_cast<long long>(ref_memrefs)) >
+                static_cast<long long>(metric_sig) ||
+            (ref_ipc > 0.0 &&
+             std::abs(ipc - ref_ipc) / ref_ipc > ipc_tolerance);
+
+        if (changed) {
+            unstable++;
+            // A new phase begins; this interval becomes the reference.
+            ref_ipc = ipc;
+            ref_branches = branches;
+            ref_memrefs = memrefs;
+        }
+    }
+    return static_cast<double>(unstable) / static_cast<double>(n - 1);
+}
+
+std::uint64_t
+minimumStableInterval(const std::vector<IntervalSample> &samples,
+                      std::uint64_t base_len,
+                      const std::vector<std::uint64_t> &candidates,
+                      double threshold)
+{
+    for (std::uint64_t len : candidates) {
+        if (len < base_len || len % base_len != 0)
+            continue;
+        if (samples.size() / (len / base_len) < 4)
+            continue; // too few intervals to judge
+        if (instabilityFactor(samples, base_len, len) < threshold)
+            return len;
+    }
+    return 0;
+}
+
+} // namespace clustersim

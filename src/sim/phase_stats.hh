@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Program-phase stability analysis (Section 4.1 / Table 4).
+ *
+ * A collector samples committed-instruction statistics at a fine base
+ * granularity; the instability factor of any coarser interval length is
+ * then computed offline with the paper's three-metric phase test (IPC,
+ * branch frequency, memory-reference frequency).
+ */
+
+#ifndef CLUSTERSIM_SIM_PHASE_STATS_HH
+#define CLUSTERSIM_SIM_PHASE_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "reconfig/controller.hh"
+
+namespace clustersim {
+
+/** Statistics of one base-granularity sample. */
+struct IntervalSample {
+    std::uint64_t cycles = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t memrefs = 0;
+    std::uint64_t instructions = 0;
+};
+
+/**
+ * A pass-through "controller" that keeps a fixed configuration while
+ * recording per-sample statistics of the committed stream.
+ */
+class IntervalStatsCollector : public ReconfigController
+{
+  public:
+    /**
+     * @param fixed_clusters Configuration held for the whole run.
+     * @param sample_len     Base sample granularity, instructions.
+     */
+    IntervalStatsCollector(int fixed_clusters,
+                           std::uint64_t sample_len = 1000);
+
+    void onCommit(const CommitEvent &ev) override;
+    int targetClusters() const override { return fixedClusters_; }
+    std::string name() const override { return "stats-collector"; }
+
+    const std::vector<IntervalSample> &samples() const
+    {
+        return samples_;
+    }
+    std::uint64_t sampleLength() const { return sampleLen_; }
+
+  private:
+    int fixedClusters_;
+    std::uint64_t sampleLen_;
+
+    IntervalSample cur_;
+    Cycle sampleStartCycle_ = 0;
+    bool startValid_ = false;
+    std::vector<IntervalSample> samples_;
+};
+
+/**
+ * Instability factor (fraction of intervals flagged unstable) for the
+ * given interval length, computed over base samples.
+ *
+ * @param samples        Base samples from an IntervalStatsCollector.
+ * @param base_len       Base sample length, instructions.
+ * @param interval_len   Interval length to evaluate (multiple of base).
+ * @param ipc_tolerance  Relative IPC change deemed significant.
+ * @param metric_divisor Branch/memref changes beyond
+ *                       interval_len/metric_divisor are significant.
+ */
+double instabilityFactor(const std::vector<IntervalSample> &samples,
+                         std::uint64_t base_len,
+                         std::uint64_t interval_len,
+                         double ipc_tolerance = 0.10,
+                         double metric_divisor = 100.0);
+
+/**
+ * Smallest interval length from `candidates` whose instability factor
+ * is below `threshold`; returns 0 when none qualifies.
+ */
+std::uint64_t minimumStableInterval(
+    const std::vector<IntervalSample> &samples, std::uint64_t base_len,
+    const std::vector<std::uint64_t> &candidates,
+    double threshold = 0.05);
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_SIM_PHASE_STATS_HH

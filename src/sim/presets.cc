@@ -1,0 +1,80 @@
+#include "sim/presets.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+ProcessorConfig
+clusteredConfig(int hw_clusters, InterconnectKind kind,
+                bool decentralized)
+{
+    CSIM_ASSERT(hw_clusters >= 1 && hw_clusters <= maxClusters);
+    ProcessorConfig cfg;
+    cfg.numClusters = hw_clusters;
+    cfg.interconnect = kind;
+    cfg.l1.decentralized = decentralized;
+    cfg.name = "clustered-" + std::to_string(hw_clusters) +
+               (kind == InterconnectKind::Grid ? "-grid" : "-ring") +
+               (decentralized ? "-dcache" : "");
+    return cfg;
+}
+
+ProcessorConfig
+staticSubsetConfig(int active, InterconnectKind kind,
+                   bool decentralized)
+{
+    ProcessorConfig cfg = clusteredConfig(maxClusters, kind,
+                                          decentralized);
+    cfg.activeClustersAtReset = active;
+    cfg.name = "static-" + std::to_string(active) +
+               (kind == InterconnectKind::Grid ? "-grid" : "-ring") +
+               (decentralized ? "-dcache" : "");
+    return cfg;
+}
+
+ProcessorConfig
+fewerResourcesConfig()
+{
+    ProcessorConfig cfg = clusteredConfig(maxClusters);
+    cfg.cluster.intIssueQueue = 10;
+    cfg.cluster.fpIssueQueue = 10;
+    cfg.cluster.intRegs = 20;
+    cfg.cluster.fpRegs = 20;
+    cfg.name = "sens-fewer-resources";
+    return cfg;
+}
+
+ProcessorConfig
+moreResourcesConfig()
+{
+    ProcessorConfig cfg = clusteredConfig(maxClusters);
+    cfg.cluster.intIssueQueue = 20;
+    cfg.cluster.fpIssueQueue = 20;
+    cfg.cluster.intRegs = 40;
+    cfg.cluster.fpRegs = 40;
+    cfg.name = "sens-more-resources";
+    return cfg;
+}
+
+ProcessorConfig
+moreFusConfig()
+{
+    ProcessorConfig cfg = clusteredConfig(maxClusters);
+    cfg.cluster.intAlus = 2;
+    cfg.cluster.intMultDivs = 2;
+    cfg.cluster.fpAlus = 2;
+    cfg.cluster.fpMultDivs = 2;
+    cfg.name = "sens-more-fus";
+    return cfg;
+}
+
+ProcessorConfig
+slowHopsConfig()
+{
+    ProcessorConfig cfg = clusteredConfig(maxClusters);
+    cfg.hopLatency = 2;
+    cfg.name = "sens-slow-hops";
+    return cfg;
+}
+
+} // namespace clustersim

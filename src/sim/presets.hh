@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Named processor configurations used across the paper's experiments.
+ */
+
+#ifndef CLUSTERSIM_SIM_PRESETS_HH
+#define CLUSTERSIM_SIM_PRESETS_HH
+
+#include "core/params.hh"
+
+namespace clustersim {
+
+/**
+ * A clustered machine with `hw_clusters` hardware clusters, all active.
+ *
+ * @param hw_clusters   Hardware cluster count (2..16).
+ * @param kind          Ring (default) or grid interconnect.
+ * @param decentralized Decentralized L1 (Section 5) when true.
+ */
+ProcessorConfig clusteredConfig(int hw_clusters,
+                                InterconnectKind kind =
+                                    InterconnectKind::Ring,
+                                bool decentralized = false);
+
+/**
+ * A 16-cluster machine restricted to `active` clusters at reset (the
+ * paper's "statically using a fixed subset of clusters", Figure 3).
+ */
+ProcessorConfig staticSubsetConfig(int active,
+                                   InterconnectKind kind =
+                                       InterconnectKind::Ring,
+                                   bool decentralized = false);
+
+// --- Section 6 sensitivity variants (16-cluster, centralized, ring) -------
+
+/** 10 issue-queue entries / 20 registers per cluster. */
+ProcessorConfig fewerResourcesConfig();
+
+/** 20 issue-queue entries / 40 registers per cluster. */
+ProcessorConfig moreResourcesConfig();
+
+/** Two FUs of each type per cluster. */
+ProcessorConfig moreFusConfig();
+
+/** Two-cycle interconnect hops. */
+ProcessorConfig slowHopsConfig();
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_SIM_PRESETS_HH

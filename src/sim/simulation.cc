@@ -1,0 +1,54 @@
+#include "sim/simulation.hh"
+
+namespace clustersim {
+
+SimResult
+runSimulation(const ProcessorConfig &cfg, const WorkloadSpec &workload,
+              ReconfigController *controller, std::uint64_t warmup,
+              std::uint64_t measure)
+{
+    SyntheticWorkload trace(workload);
+    Processor proc(cfg, &trace, controller);
+
+    if (warmup > 0) {
+        proc.run(warmup);
+        proc.resetStats();
+    }
+    Cycle measure_start = proc.cycle();
+    std::uint64_t committed_start = proc.committed();
+    proc.run(measure);
+
+    const ProcessorStats &st = proc.stats();
+    Cycle cycles = proc.cycle() - measure_start;
+    std::uint64_t insts = proc.committed() - committed_start;
+
+    SimResult res;
+    res.benchmark = workload.name;
+    res.config = cfg.name;
+    res.instructions = insts;
+    res.cycles = cycles;
+    res.ipc = cycles ? static_cast<double>(insts) /
+                           static_cast<double>(cycles)
+                     : 0.0;
+    res.mispredictInterval = st.mispredicts
+        ? static_cast<double>(insts) /
+              static_cast<double>(st.mispredicts)
+        : static_cast<double>(insts);
+    res.branchAccuracy = proc.fetch().branchUnit().accuracy();
+    res.l1MissRate = proc.l1().missRate();
+    res.avgActiveClusters = st.avgActiveClusters();
+    res.reconfigurations = st.reconfigurations;
+    res.flushWritebacks = st.flushWritebacks;
+    res.avgRegCommLatency = proc.network().avgLatency();
+    res.distantFraction = insts
+        ? static_cast<double>(st.distantIssued) /
+              static_cast<double>(insts)
+        : 0.0;
+    res.bankPredAccuracy = st.bankLookups
+        ? 1.0 - static_cast<double>(st.bankMispredicts) /
+                    static_cast<double>(st.bankLookups)
+        : 1.0;
+    return res;
+}
+
+} // namespace clustersim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Top-level simulation driver: builds a workload and a processor, runs
+ * warmup + measurement, and extracts the metrics the paper reports.
+ */
+
+#ifndef CLUSTERSIM_SIM_SIMULATION_HH
+#define CLUSTERSIM_SIM_SIMULATION_HH
+
+#include <memory>
+#include <string>
+
+#include "core/processor.hh"
+#include "workload/benchmarks.hh"
+
+namespace clustersim {
+
+/** Result of one (benchmark, configuration) run. */
+struct SimResult {
+    std::string benchmark;
+    std::string config;
+    double ipc = 0.0;
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    /** Committed instructions per branch mispredict (Table 3). */
+    double mispredictInterval = 0.0;
+    double branchAccuracy = 0.0;
+    double l1MissRate = 0.0;
+    double avgActiveClusters = 0.0;
+    std::uint64_t reconfigurations = 0;
+    std::uint64_t flushWritebacks = 0;
+    /** Mean cross-cluster register-transfer latency, cycles. */
+    double avgRegCommLatency = 0.0;
+    /** Fraction of issued instructions that were distant. */
+    double distantFraction = 0.0;
+    double bankPredAccuracy = 0.0;
+};
+
+/** Default run lengths (instructions). */
+inline constexpr std::uint64_t defaultWarmup = 200000;
+inline constexpr std::uint64_t defaultMeasure = 1000000;
+
+/**
+ * Run one benchmark on one configuration.
+ *
+ * @param cfg        Processor configuration.
+ * @param workload   Workload spec (a fresh generator is built).
+ * @param controller Optional reconfiguration controller (not owned).
+ * @param warmup     Warmup instructions (stats reset afterwards).
+ * @param measure    Measured instructions.
+ */
+SimResult runSimulation(const ProcessorConfig &cfg,
+                        const WorkloadSpec &workload,
+                        ReconfigController *controller = nullptr,
+                        std::uint64_t warmup = defaultWarmup,
+                        std::uint64_t measure = defaultMeasure);
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_SIM_SIMULATION_HH

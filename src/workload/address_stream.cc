@@ -1,0 +1,83 @@
+#include "workload/address_stream.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+namespace {
+
+/** Mix function used for the pointer-chase permutation walk. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+AddressStream::AddressStream(Addr base, const AddressStreamParams &params,
+                             Rng rng)
+    : params_(params), base_(base),
+      footprintBytes_(static_cast<std::uint64_t>(params.footprintKB) *
+                      1024),
+      hotBytes_(static_cast<std::uint64_t>(params.hotRegionKB) * 1024),
+      streamSpan_(static_cast<std::uint64_t>(params.streamSpanKB) * 1024),
+      cursors_(static_cast<std::size_t>(
+                   params.streams > 0 ? params.streams : 1), 0),
+      chaseState_(0x1234abcd),
+      rng_(rng)
+{
+    CSIM_ASSERT(params.strideBytes > 0);
+    if (footprintBytes_ < 4096)
+        footprintBytes_ = 4096;
+    if (hotBytes_ < 1024)
+        hotBytes_ = 1024;
+    if (hotBytes_ > footprintBytes_)
+        hotBytes_ = footprintBytes_;
+    if (streamSpan_ < 1024)
+        streamSpan_ = 1024;
+}
+
+Addr
+AddressStream::nextStream(int s)
+{
+    auto idx = static_cast<std::size_t>(s) % cursors_.size();
+    Addr a = base_ + footprintBytes_ + idx * streamSpan_ +
+             (cursors_[idx] % streamSpan_);
+    cursors_[idx] += static_cast<std::uint64_t>(params_.strideBytes);
+    return a & ~7ULL;
+}
+
+Addr
+AddressStream::nextRandom()
+{
+    std::uint64_t region = rng_.chance(params_.hotFraction)
+        ? hotBytes_
+        : footprintBytes_;
+    std::uint64_t off = rng_.next64() % region;
+    return (base_ + off) & ~7ULL;
+}
+
+Addr
+AddressStream::nextChase()
+{
+    chaseState_ = splitmix64(chaseState_);
+    std::uint64_t region =
+        static_cast<std::uint64_t>(params_.chaseRegionKB) * 1024;
+    if (region < 1024)
+        region = 1024;
+    std::uint64_t off = chaseState_ % region;
+    return (base_ + off) & ~7ULL;
+}
+
+void
+AddressStream::rewindStreams()
+{
+    for (auto &c : cursors_)
+        c = 0;
+}
+
+} // namespace clustersim

@@ -1,0 +1,416 @@
+#include "workload/benchmarks.hh"
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+namespace {
+
+/**
+ * Shorthand builders. Every model below documents which paper-visible
+ * property each parameter choice is serving.
+ */
+
+PhaseSpec
+fpLoopPhase(const std::string &name, int chains, int footprint_kb,
+            double frac_load, double frac_store)
+{
+    PhaseSpec p;
+    p.name = name;
+    p.avgBlockLen = 14.0;       // big fp basic blocks
+    p.codeBlocks = 48;
+    p.fracCallBlocks = 0.01;
+    p.numFunctions = 2;
+    p.fracLoad = frac_load;
+    p.fracStore = frac_store;
+    p.fracFp = 0.75;
+    p.fracLongLat = 0.25;       // fp mult-heavy
+    p.chainCount = chains;
+    p.pChainDep = 0.85;
+    p.pSecondSrc = 0.3;
+    p.fracBiased = 0.75;        // loop branches: highly predictable
+    p.fracPattern = 0.2;
+    p.biasedTakenProb = 0.97;
+    p.fracStreamMem = 0.9;
+    p.streamCount = 6;
+    p.streamStride = 8;
+    p.fracPointerChase = 0.0;
+    p.footprintKB = footprint_kb;
+    p.streamSpanKB = footprint_kb;
+    p.hotFraction = 0.5;
+    p.hotRegionKB = 16;
+    p.pAddrChainDep = 0.03; // induction-variable addressing: deep MLP
+    p.uniformBlockMix = true; // vectorized loops: uniform block mixes
+    return p;
+}
+
+PhaseSpec
+intPhase(const std::string &name, int chains, double chase,
+         double frac_random_br, int code_blocks, int footprint_kb)
+{
+    PhaseSpec p;
+    p.name = name;
+    p.avgBlockLen = 6.0;        // short integer blocks
+    p.codeBlocks = code_blocks;
+    p.fracCallBlocks = 0.04;
+    p.numFunctions = 8;
+    p.fracLoad = 0.26;
+    p.fracStore = 0.12;
+    p.fracFp = 0.0;
+    p.fracLongLat = 0.04;
+    p.chainCount = chains;
+    p.pChainDep = 0.7;
+    p.pSecondSrc = 0.3;
+    p.fracPattern = 0.25;
+    p.fracBiased = 1.0 - 0.25 - frac_random_br;
+    p.biasedTakenProb = 0.92;
+    p.fracStreamMem = 0.45;
+    p.streamCount = 3;
+    p.streamStride = 8;
+    p.fracPointerChase = chase;
+    p.footprintKB = footprint_kb;
+    p.streamSpanKB = 4;   // buffers reused heavily: mostly L1 hits
+    p.hotFraction = 0.94;  // SPEC-int L1 miss rates are a few percent
+    p.hotRegionKB = 8;
+    p.chaseRegionKB = 16;
+    p.pAddrChainDep = 0.5;  // data-dependent addressing: shallow MLP
+    return p;
+}
+
+WorkloadSpec makeCjpeg();
+WorkloadSpec makeCrafty();
+WorkloadSpec makeDjpeg();
+WorkloadSpec makeGalgel();
+WorkloadSpec makeGzip();
+WorkloadSpec makeMgrid();
+WorkloadSpec makeParser();
+WorkloadSpec makeSwim();
+WorkloadSpec makeVpr();
+
+/**
+ * cjpeg (Mediabench, JPEG encode). Paper: IPC 2.06, mispredict interval
+ * 82, minimum acceptable interval 40K (instability 9% at 10K). Moderate
+ * ILP integer/media code with fairly rapid phase alternation between
+ * colour-convert/DCT-like (parallel) and entropy-coding-like (serial)
+ * work.
+ */
+WorkloadSpec
+makeCjpeg()
+{
+    WorkloadSpec w;
+    w.name = "cjpeg";
+    w.seed = 101;
+
+    PhaseSpec dct = intPhase("dct", 16, 0.0, 0.08, 48, 96);
+    dct.avgBlockLen = 9.0;
+    dct.fracLongLat = 0.12;    // multiplies in the transform
+    dct.pChainDep = 0.8;
+    dct.uniformBlockMix = true;
+    dct.fracStreamMem = 0.85;
+    dct.pAddrChainDep = 0.15;
+
+    PhaseSpec entropy = intPhase("entropy", 4, 0.02, 0.3, 64, 64);
+    entropy.avgBlockLen = 5.0;
+
+    w.phases = {dct, entropy};
+    w.schedule = {{0, 26000}, {1, 14000}};
+    return w;
+}
+
+/**
+ * crafty (SPEC2K INT, chess). Paper: IPC 1.85, mispredict interval 118,
+ * very unstable at small intervals (30% at 10K; needs 320K). Search code
+ * with a large code footprint and heterogeneous neighbourhoods.
+ */
+WorkloadSpec
+makeCrafty()
+{
+    WorkloadSpec w;
+    w.name = "crafty";
+    w.seed = 202;
+
+    PhaseSpec search = intPhase("search", 10, 0.02, 0.02, 1400, 256);
+    search.hotFraction = 0.985;
+    search.pAddrChainDep = 0.55;
+    search.biasedTakenProb = 0.95;
+    search.avgBlockLen = 6.5;
+    search.fracCallBlocks = 0.08;
+    search.numFunctions = 24;
+
+    PhaseSpec evalp = intPhase("eval", 13, 0.0, 0.015, 900, 192);
+    evalp.hotFraction = 0.985;
+    evalp.pAddrChainDep = 0.55;
+    evalp.biasedTakenProb = 0.95;
+    evalp.avgBlockLen = 7.5;
+    evalp.fracLongLat = 0.07;
+
+    // Rapid, irregular alternation => unstable at 1K-10K intervals.
+    w.phases = {search, evalp};
+    w.schedule = {{0, 9000}, {1, 5000}, {0, 13000}, {1, 4000},
+                  {0, 6000}, {1, 8000}};
+    return w;
+}
+
+/**
+ * djpeg (Mediabench, JPEG decode). Paper: IPC 4.07 (highest), mispredict
+ * interval 249, needs a 1.28M interval (31% instability at 10K): the
+ * row-by-row decode has short sub-phases with different ILP, which is
+ * why fine-grained reconfiguration beats interval schemes by ~21%.
+ * Plenty of distant ILP -> best at 16 clusters.
+ */
+WorkloadSpec
+makeDjpeg()
+{
+    WorkloadSpec w;
+    w.name = "djpeg";
+    w.seed = 303;
+
+    PhaseSpec idct = intPhase("idct", 24, 0.0, 0.01, 40, 64);
+    idct.biasedTakenProb = 0.98;
+    idct.uniformBlockMix = true;
+    idct.avgBlockLen = 16.0;
+    idct.pChainDep = 0.7;
+    idct.fracLongLat = 0.05;
+    idct.fracStreamMem = 0.95;
+    idct.pAddrChainDep = 0.05;
+    idct.fracLoad = 0.22;
+    idct.fracStore = 0.14;
+
+    PhaseSpec huff = intPhase("huffman", 5, 0.02, 0.05, 48, 32);
+    huff.biasedTakenProb = 0.95;
+    huff.uniformBlockMix = true;
+    huff.avgBlockLen = 5.0;
+
+    // Short alternating sub-phases (a few K instructions): interval
+    // schemes cannot track them, branch-grain reconfiguration can.
+    w.phases = {idct, huff};
+    w.schedule = {{0, 5600}, {1, 2200}};
+    return w;
+}
+
+/**
+ * galgel (SPEC2K FP). Paper: IPC 3.43, mispredict interval 88, fully
+ * stable at 10K intervals. Fluid-dynamics loops: wide fp ILP, small
+ * working set, but a relatively branchy inner structure.
+ */
+WorkloadSpec
+makeGalgel()
+{
+    WorkloadSpec w;
+    w.name = "galgel";
+    w.seed = 404;
+
+    PhaseSpec loops = fpLoopPhase("loops", 24, 192, 0.22, 0.10);
+    loops.streamSpanKB = 4;
+    loops.fracStreamMem = 0.95;
+    loops.hotFraction = 0.85;
+    loops.avgBlockLen = 14.0;
+    loops.fracBiased = 0.55;
+    loops.fracPattern = 0.3;
+    loops.biasedTakenProb = 0.94;
+
+    w.phases = {loops};
+    w.schedule = {{0, 100000}};
+    return w;
+}
+
+/**
+ * gzip (SPEC2K INT). Paper: IPC 1.83, mispredict interval 87, *stable*
+ * at 10K (4%) but made of prolonged phases, some with distant ILP and
+ * some without -- which is why the dynamic scheme beats even the best
+ * static configuration.
+ */
+WorkloadSpec
+makeGzip()
+{
+    WorkloadSpec w;
+    w.name = "gzip";
+    w.seed = 505;
+
+    // Deflate match-finding: serial pointer-ish work, no distant ILP;
+    // heavily punished by 16-cluster communication.
+    PhaseSpec match = intPhase("match", 3, 0.08, 0.10, 72, 128);
+    match.pAddrChainDep = 0.75;
+    match.biasedTakenProb = 0.95;
+    match.uniformBlockMix = true;
+    match.avgBlockLen = 5.5;
+
+    // Block compaction / CRC-like streaming: plentiful distant ILP.
+    PhaseSpec stream = intPhase("stream", 18, 0.0, 0.05, 40, 96);
+    stream.biasedTakenProb = 0.96;
+    stream.uniformBlockMix = true;
+    stream.avgBlockLen = 8.0;
+    stream.pChainDep = 0.8;
+    stream.fracStreamMem = 0.9;
+    stream.pAddrChainDep = 0.1;
+
+    w.phases = {match, stream};
+    w.schedule = {{0, 700000}, {1, 500000}};
+    return w;
+}
+
+/**
+ * mgrid (SPEC2K FP). Paper: IPC 2.28, mispredict interval 8977, fully
+ * stable. Multigrid solver: long vectorizable loops over a grid larger
+ * than L1 -> streaming misses hidden by distant ILP; scales to 16
+ * clusters.
+ */
+WorkloadSpec
+makeMgrid()
+{
+    WorkloadSpec w;
+    w.name = "mgrid";
+    w.seed = 606;
+
+    PhaseSpec relax = fpLoopPhase("relax", 24, 1024, 0.28, 0.12);
+    relax.streamSpanKB = 384;
+    relax.avgBlockLen = 22.0;
+    relax.fracBiased = 0.98;
+    relax.fracPattern = 0.02;
+    relax.biasedTakenProb = 0.9993;
+    relax.streamCount = 6;
+
+    w.phases = {relax};
+    w.schedule = {{0, 100000}};
+    return w;
+}
+
+/**
+ * parser (SPEC2K INT). Paper: IPC 1.42, mispredict interval 88; behaviour
+ * varies dramatically with input data and only a 40M-instruction interval
+ * is stable (12% instability at 10K). Modelled as a slow macro-cycle over
+ * sentence-parse segments of very different character.
+ */
+WorkloadSpec
+makeParser()
+{
+    WorkloadSpec w;
+    w.name = "parser";
+    w.seed = 707;
+
+    PhaseSpec dict = intPhase("dict", 6, 0.08, 0.05, 500, 384);
+    dict.pAddrChainDep = 0.8;
+    dict.biasedTakenProb = 0.95;
+    dict.avgBlockLen = 5.5;
+    PhaseSpec link = intPhase("link", 3, 0.14, 0.05, 700, 512);
+    link.pAddrChainDep = 0.85;
+    link.biasedTakenProb = 0.95;
+    link.avgBlockLen = 5.0;
+    PhaseSpec prune = intPhase("prune", 8, 0.04, 0.05, 300, 256);
+    prune.pAddrChainDep = 0.75;
+    prune.biasedTakenProb = 0.95;
+    prune.avgBlockLen = 6.5;
+
+    // Macro-cycle ~4M instructions (paper: 40M, scaled 10x down).
+    w.phases = {dict, link, prune};
+    w.schedule = {{0, 70000}, {1, 110000}, {2, 50000}, {1, 90000},
+                  {0, 40000}, {1, 140000}, {2, 60000}, {0, 90000},
+                  {1, 70000}, {2, 80000}};
+    return w;
+}
+
+/**
+ * swim (SPEC2K FP). Paper: IPC 1.67, mispredict interval 22600 (almost
+ * no mispredicts), fully stable. Shallow-water model: very large arrays
+ * streaming through the cache; memory-bound but with abundant distant
+ * ILP, so more clusters help hide latency.
+ */
+WorkloadSpec
+makeSwim()
+{
+    WorkloadSpec w;
+    w.name = "swim";
+    w.seed = 808;
+
+    PhaseSpec stencil = fpLoopPhase("stencil", 22, 4096, 0.34, 0.16);
+    stencil.fracLongLat = 0.15;
+    stencil.streamSpanKB = 1024;
+    stencil.avgBlockLen = 30.0;
+    stencil.fracBiased = 0.995;
+    stencil.fracPattern = 0.005;
+    stencil.biasedTakenProb = 0.9997;
+    stencil.streamCount = 6;
+    stencil.fracStreamMem = 0.97;
+
+    w.phases = {stencil};
+    w.schedule = {{0, 100000}};
+    return w;
+}
+
+/**
+ * vpr (SPEC2K INT, place & route). Paper: IPC 1.20 (lowest), mispredict
+ * interval 171, needs a 320K interval (14% instability at 10K). Graph
+ * walking with pointer chasing and data-dependent branches: no distant
+ * ILP, communication-dominated at high cluster counts.
+ */
+WorkloadSpec
+makeVpr()
+{
+    WorkloadSpec w;
+    w.name = "vpr";
+    w.seed = 909;
+
+    PhaseSpec place = intPhase("place", 3, 0.12, 0.02, 220, 512);
+    place.hotFraction = 0.97;
+    place.pAddrChainDep = 0.6;
+    place.biasedTakenProb = 0.96;
+    place.chaseRegionKB = 64;
+    place.avgBlockLen = 6.5;
+    PhaseSpec route = intPhase("route", 4, 0.18, 0.025, 260, 1024);
+    route.hotFraction = 0.97;
+    route.pAddrChainDep = 0.6;
+    route.biasedTakenProb = 0.96;
+    route.chaseRegionKB = 64;
+    route.avgBlockLen = 6.0;
+
+    w.phases = {place, route};
+    w.schedule = {{0, 34000}, {1, 22000}, {0, 26000}, {1, 40000}};
+    return w;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "cjpeg", "crafty", "djpeg", "galgel", "gzip",
+        "mgrid", "parser", "swim", "vpr",
+    };
+    return names;
+}
+
+WorkloadSpec
+makeBenchmark(const std::string &name)
+{
+    if (name == "cjpeg")
+        return makeCjpeg();
+    if (name == "crafty")
+        return makeCrafty();
+    if (name == "djpeg")
+        return makeDjpeg();
+    if (name == "galgel")
+        return makeGalgel();
+    if (name == "gzip")
+        return makeGzip();
+    if (name == "mgrid")
+        return makeMgrid();
+    if (name == "parser")
+        return makeParser();
+    if (name == "swim")
+        return makeSwim();
+    if (name == "vpr")
+        return makeVpr();
+    fatal("unknown benchmark model: ", name);
+}
+
+std::vector<WorkloadSpec>
+allBenchmarks()
+{
+    std::vector<WorkloadSpec> out;
+    for (const auto &n : benchmarkNames())
+        out.push_back(makeBenchmark(n));
+    return out;
+}
+
+} // namespace clustersim

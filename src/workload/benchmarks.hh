@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Synthetic models of the paper's nine benchmarks (Table 3).
+ *
+ * Each model is a WorkloadSpec calibrated so that the program properties
+ * the paper's results depend on are preserved: monolithic base IPC,
+ * branch mispredict interval, distant-ILP scaling behaviour (Figure 3
+ * shape), and phase structure / instability (Table 4 ordering).
+ *
+ * Dynamic lengths are scaled ~10x down from the paper's multi-hundred-
+ * million instruction windows; phase periods scale with them (see
+ * EXPERIMENTS.md).
+ */
+
+#ifndef CLUSTERSIM_WORKLOAD_BENCHMARKS_HH
+#define CLUSTERSIM_WORKLOAD_BENCHMARKS_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/synthetic.hh"
+
+namespace clustersim {
+
+/** Names of the nine benchmark models, in the paper's Table 3 order. */
+const std::vector<std::string> &benchmarkNames();
+
+/** Build the WorkloadSpec for a named benchmark model. */
+WorkloadSpec makeBenchmark(const std::string &name);
+
+/** All nine benchmark specs, in Table 3 order. */
+std::vector<WorkloadSpec> allBenchmarks();
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_WORKLOAD_BENCHMARKS_HH

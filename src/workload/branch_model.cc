@@ -1,0 +1,45 @@
+#include "workload/branch_model.hh"
+
+namespace clustersim {
+
+BranchModel::BranchModel(BranchClass cls, double taken_prob, Rng &rng)
+    : cls_(cls), takenProb_(taken_prob)
+{
+    if (cls_ == BranchClass::Pattern) {
+        // Period between 2 and 8: learnable with 10 bits of history.
+        patternLen_ = 2 + static_cast<int>(rng.range(7));
+        pattern_ = rng.next32() & ((1u << patternLen_) - 1);
+        // Avoid degenerate all-zero/all-one patterns (those are Biased).
+        if (pattern_ == 0)
+            pattern_ = 1;
+        if (pattern_ == (1u << patternLen_) - 1)
+            pattern_ ^= 2;
+        pos_ = static_cast<int>(rng.range(
+            static_cast<std::uint32_t>(patternLen_)));
+    } else if (cls_ == BranchClass::Biased) {
+        // Half the biased branches are biased not-taken; deterministic
+        // branches (probability ~1, e.g. loop back-edges) keep their
+        // direction.
+        if (takenProb_ < 0.999 && rng.chance(0.5))
+            takenProb_ = 1.0 - takenProb_;
+    }
+}
+
+bool
+BranchModel::nextOutcome(Rng &rng)
+{
+    switch (cls_) {
+      case BranchClass::Biased:
+        return rng.chance(takenProb_);
+      case BranchClass::Pattern: {
+        bool t = (pattern_ >> pos_) & 1;
+        pos_ = (pos_ + 1) % patternLen_;
+        return t;
+      }
+      case BranchClass::Random:
+        return rng.chance(0.5);
+    }
+    return false;
+}
+
+} // namespace clustersim

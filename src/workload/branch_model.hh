@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Per-static-branch outcome models.
+ */
+
+#ifndef CLUSTERSIM_WORKLOAD_BRANCH_MODEL_HH
+#define CLUSTERSIM_WORKLOAD_BRANCH_MODEL_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+#include "workload/phase.hh"
+
+namespace clustersim {
+
+/**
+ * Outcome generator for one static conditional branch.
+ *
+ * Biased branches resolve by a fixed coin bias (bimodal-predictable);
+ * Pattern branches follow a short deterministic repeating pattern
+ * (two-level-predictable); Random branches flip a fair-ish coin each
+ * execution (structurally unpredictable).
+ */
+class BranchModel
+{
+  public:
+    BranchModel() = default;
+
+    /** Construct with an explicit class; pattern drawn from rng. */
+    BranchModel(BranchClass cls, double taken_prob, Rng &rng);
+
+    /** Produce the next dynamic outcome. */
+    bool nextOutcome(Rng &rng);
+
+    BranchClass cls() const { return cls_; }
+
+  private:
+    BranchClass cls_ = BranchClass::Biased;
+    double takenProb_ = 0.9;
+    std::uint32_t pattern_ = 0;
+    int patternLen_ = 1;
+    int pos_ = 0;
+};
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_WORKLOAD_BRANCH_MODEL_HH

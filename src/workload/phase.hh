@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Parameters describing one synthetic program phase.
+ *
+ * A phase captures the handful of program properties the paper's results
+ * hinge on: dependence-chain structure (how much near vs. distant ILP),
+ * branch predictability (mispredict interval), memory reference behaviour
+ * (locality, pointer chasing), and instruction mix.
+ */
+
+#ifndef CLUSTERSIM_WORKLOAD_PHASE_HH
+#define CLUSTERSIM_WORKLOAD_PHASE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace clustersim {
+
+/** Per-static-branch behaviour class. */
+enum class BranchClass : std::uint8_t {
+    Biased,  ///< taken with a fixed bias; bimodal-predictable
+    Pattern, ///< deterministic short repeating pattern; 2-level-predictable
+    Random,  ///< coin flip every execution; unpredictable
+};
+
+/**
+ * Static description of one program phase.
+ *
+ * A SyntheticWorkload builds a PhaseProgram (static basic blocks,
+ * functions, branch behaviours) from each PhaseSpec at construction time,
+ * then walks it dynamically while the phase is active.
+ */
+struct PhaseSpec {
+    std::string name = "phase";
+
+    // --- code structure -------------------------------------------------
+    /** Mean dynamic basic-block length (instructions incl. the branch). */
+    double avgBlockLen = 6.0;
+    /** Number of static basic blocks making up this phase's inner code. */
+    int codeBlocks = 64;
+    /** Fraction of blocks that end in a call to a local function. */
+    double fracCallBlocks = 0.02;
+    /** Number of distinct functions reachable from this phase. */
+    int numFunctions = 4;
+
+    // --- instruction mix (of non-branch body slots) ----------------------
+    double fracLoad = 0.25;   ///< loads
+    double fracStore = 0.12;  ///< stores
+    double fracFp = 0.0;      ///< fp compute (of non-memory compute ops)
+    double fracLongLat = 0.05;///< mult/div fraction (of compute ops)
+
+    // --- dependence structure (controls near vs. distant ILP) ------------
+    /**
+     * Number of independent dependence chains woven through the stream.
+     * 1-2 chains serialize execution (no distant ILP); 16+ chains leave
+     * distant iterations independent so a large window pays off.
+     */
+    int chainCount = 8;
+    /** Probability a compute op extends its chain (serial dependence). */
+    double pChainDep = 0.7;
+    /** Probability the second source also references a chain tail. */
+    double pSecondSrc = 0.35;
+    /**
+     * Probability a load/store *address* depends on a recent chain
+     * value rather than a long-lived base register. Data-dependent
+     * addressing (integer codes) prevents loads from issuing deep in
+     * the window; affine/induction addressing (fp loops) lets them --
+     * this is the main source of the distant-ILP difference between
+     * the two program classes.
+     */
+    double pAddrChainDep = 0.0;
+
+    // --- branch behaviour -------------------------------------------------
+    double fracBiased = 0.6;  ///< static branches with biased behaviour
+    double fracPattern = 0.3; ///< static branches with pattern behaviour
+    /* remainder are Random */
+    double biasedTakenProb = 0.9; ///< bias for Biased branches
+
+    // --- memory behaviour -------------------------------------------------
+    /** Fraction of loads that walk sequential streams (spatial locality).*/
+    double fracStreamMem = 0.7;
+    /** Number of concurrent sequential streams. */
+    int streamCount = 4;
+    /** Stride in bytes for streaming accesses. */
+    int streamStride = 8;
+    /** Fraction of loads whose address comes from a prior load's value
+     *  (pointer chasing; serializes memory accesses). */
+    double fracPointerChase = 0.0;
+    /** Working set touched by non-streaming accesses, in KB. */
+    int footprintKB = 256;
+    /** Per-stream wrap span (KB): spans fitting in L1 give reuse hits;
+     *  larger spans stay streaming misses. */
+    int streamSpanKB = 16;
+    /** Fraction of random accesses hitting the hot sub-region. */
+    double hotFraction = 0.7;
+    /** Hot sub-region size (KB). */
+    int hotRegionKB = 16;
+    /** Pointer-chase working set (KB). */
+    int chaseRegionKB = 32;
+    /**
+     * Stratified (deterministic) per-block instruction mix. Vectorized
+     * loop code has essentially the same mix in every block, so its
+     * interval statistics are rock stable; irregular integer code has
+     * per-block variety, which is what makes small measurement
+     * intervals unstable (Table 4).
+     */
+    bool uniformBlockMix = false;
+
+    // --- phase scheduling --------------------------------------------------
+    /** Mean dynamic length of one occurrence of this phase, in instrs. */
+    std::uint64_t meanPhaseLen = 100000;
+};
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_WORKLOAD_PHASE_HH

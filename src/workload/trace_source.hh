@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Abstract source of the committed-path instruction stream.
+ */
+
+#ifndef CLUSTERSIM_WORKLOAD_TRACE_SOURCE_HH
+#define CLUSTERSIM_WORKLOAD_TRACE_SOURCE_HH
+
+#include "workload/isa.hh"
+
+namespace clustersim {
+
+/**
+ * A TraceSource produces the dynamic instruction stream along the
+ * committed (correct) path. The core is trace-driven: wrong-path
+ * instructions are not simulated; their cost appears as the modelled
+ * branch misprediction redirect penalty.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next committed-path instruction. */
+    virtual MicroOp next() = 0;
+
+    /** Reset the stream to its initial state (deterministic replay). */
+    virtual void reset() = 0;
+};
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_WORKLOAD_TRACE_SOURCE_HH

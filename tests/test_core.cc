@@ -1,0 +1,481 @@
+/**
+ * @file
+ * Unit tests for the core: ROB, cluster resources, steering, fetch
+ * unit, and directed single-instruction-stream processor behaviours.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.hh"
+#include "core/fetch.hh"
+#include "core/processor.hh"
+#include "core/rob.hh"
+#include "core/steering.hh"
+#include "sim/presets.hh"
+#include "workload/synthetic.hh"
+
+using namespace clustersim;
+
+// ---------------------------------------------------------------------------
+// ReorderBuffer
+// ---------------------------------------------------------------------------
+
+TEST(Rob, AllocateAssignsDenseSeqs)
+{
+    ReorderBuffer rob(8);
+    MicroOp op;
+    EXPECT_EQ(rob.allocate(op).seq, 1u);
+    EXPECT_EQ(rob.allocate(op).seq, 2u);
+    EXPECT_EQ(rob.allocate(op).seq, 3u);
+    EXPECT_EQ(rob.size(), 3u);
+}
+
+TEST(Rob, FullAtCapacity)
+{
+    ReorderBuffer rob(2);
+    MicroOp op;
+    rob.allocate(op);
+    EXPECT_FALSE(rob.full());
+    rob.allocate(op);
+    EXPECT_TRUE(rob.full());
+}
+
+TEST(Rob, FindBySeq)
+{
+    ReorderBuffer rob(8);
+    MicroOp op;
+    rob.allocate(op);
+    rob.allocate(op);
+    EXPECT_NE(rob.find(1), nullptr);
+    EXPECT_NE(rob.find(2), nullptr);
+    EXPECT_EQ(rob.find(3), nullptr);
+    rob.retireHead();
+    EXPECT_EQ(rob.find(1), nullptr);
+    EXPECT_NE(rob.find(2), nullptr);
+}
+
+TEST(Rob, HeadSeqTracksRetirement)
+{
+    ReorderBuffer rob(8);
+    MicroOp op;
+    rob.allocate(op);
+    rob.allocate(op);
+    EXPECT_EQ(rob.headSeq(), 1u);
+    rob.retireHead();
+    EXPECT_EQ(rob.headSeq(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------------
+
+TEST(Cluster, IqOccupancy)
+{
+    ClusterParams params;
+    params.intIssueQueue = 2;
+    Cluster cl(0, params, FuLatencies{});
+    EXPECT_TRUE(cl.iqHasSpace(false));
+    cl.iqAllocate(false);
+    cl.iqAllocate(false);
+    EXPECT_FALSE(cl.iqHasSpace(false));
+    EXPECT_TRUE(cl.iqHasSpace(true)); // fp queue independent
+    cl.iqRelease(false);
+    EXPECT_TRUE(cl.iqHasSpace(false));
+}
+
+TEST(Cluster, RegOccupancy)
+{
+    ClusterParams params;
+    params.intRegs = 1;
+    params.fpRegs = 2;
+    Cluster cl(0, params, FuLatencies{});
+    cl.regAllocate(false);
+    EXPECT_FALSE(cl.regHasSpace(false));
+    EXPECT_EQ(cl.regsFree(true), 2);
+    cl.regRelease(false);
+    EXPECT_TRUE(cl.regHasSpace(false));
+}
+
+TEST(Cluster, FuLatencies)
+{
+    Cluster cl(0, ClusterParams{}, FuLatencies{});
+    EXPECT_EQ(cl.latency(OpClass::IntAlu), 1u);
+    EXPECT_EQ(cl.latency(OpClass::IntMult), 3u);
+    EXPECT_EQ(cl.latency(OpClass::IntDiv), 20u);
+    EXPECT_EQ(cl.latency(OpClass::FpAlu), 2u);
+    EXPECT_EQ(cl.latency(OpClass::FpMult), 4u);
+    EXPECT_EQ(cl.latency(OpClass::FpDiv), 12u);
+}
+
+TEST(Cluster, SingleAluSerializes)
+{
+    Cluster cl(0, ClusterParams{}, FuLatencies{});
+    EXPECT_EQ(cl.reserveFu(OpClass::IntAlu, 10), 10u);
+    EXPECT_EQ(cl.reserveFu(OpClass::IntAlu, 10), 11u);
+}
+
+TEST(Cluster, DivOccupiesUnitNonPipelined)
+{
+    Cluster cl(0, ClusterParams{}, FuLatencies{});
+    EXPECT_EQ(cl.reserveFu(OpClass::IntDiv, 10), 10u);
+    // The next divide cannot start until the first finishes (20 cy).
+    EXPECT_EQ(cl.reserveFu(OpClass::IntDiv, 12), 30u);
+    // But the int ALU is a different unit: free.
+    EXPECT_EQ(cl.reserveFu(OpClass::IntAlu, 12), 12u);
+}
+
+TEST(Cluster, FpAndIntUnitsIndependent)
+{
+    Cluster cl(0, ClusterParams{}, FuLatencies{});
+    EXPECT_EQ(cl.reserveFu(OpClass::IntAlu, 5), 5u);
+    EXPECT_EQ(cl.reserveFu(OpClass::FpAlu, 5), 5u);
+    EXPECT_EQ(cl.reserveFu(OpClass::FpMult, 5), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Steering
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<std::unique_ptr<Cluster>>
+makeClusters(int n)
+{
+    std::vector<std::unique_ptr<Cluster>> cs;
+    for (int i = 0; i < n; i++)
+        cs.push_back(std::make_unique<Cluster>(i, ClusterParams{},
+                                               FuLatencies{}));
+    return cs;
+}
+
+} // namespace
+
+TEST(Steering, PrefersOperandCluster)
+{
+    auto cs = makeClusters(4);
+    SteerContext ctx;
+    ctx.feasibleMask = 0xF;
+    ctx.srcCluster[0] = 2;
+    EXPECT_EQ(pickCluster(ctx, cs, 4, 4), 2);
+}
+
+TEST(Steering, CriticalOperandDominates)
+{
+    auto cs = makeClusters(4);
+    SteerContext ctx;
+    ctx.feasibleMask = 0xF;
+    ctx.srcCluster[0] = 1;
+    ctx.srcCritical[0] = false;
+    ctx.srcCluster[1] = 3;
+    ctx.srcCritical[1] = true;
+    EXPECT_EQ(pickCluster(ctx, cs, 4, 4), 3);
+}
+
+TEST(Steering, BankAffinityBeatsOperands)
+{
+    auto cs = makeClusters(4);
+    SteerContext ctx;
+    ctx.feasibleMask = 0xF;
+    ctx.srcCluster[0] = 1;
+    ctx.predictedBank = 2;
+    EXPECT_EQ(pickCluster(ctx, cs, 4, 4), 2);
+}
+
+TEST(Steering, RespectsActiveMask)
+{
+    auto cs = makeClusters(16);
+    SteerContext ctx;
+    ctx.feasibleMask = 0xFFFF;
+    ctx.srcCluster[0] = 12; // outside the active subset
+    int c = pickCluster(ctx, cs, 4, 4);
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 4);
+}
+
+TEST(Steering, InfeasibleClustersSkipped)
+{
+    auto cs = makeClusters(4);
+    SteerContext ctx;
+    ctx.feasibleMask = 0b1010;
+    ctx.srcCluster[0] = 0; // preferred but infeasible
+    int c = pickCluster(ctx, cs, 4, 4);
+    EXPECT_TRUE(c == 1 || c == 3);
+}
+
+TEST(Steering, NoFeasibleClusterReturnsInvalid)
+{
+    auto cs = makeClusters(4);
+    SteerContext ctx;
+    ctx.feasibleMask = 0;
+    EXPECT_EQ(pickCluster(ctx, cs, 4, 4), invalidCluster);
+}
+
+TEST(Steering, LoadBalanceOverridesAffinity)
+{
+    auto cs = makeClusters(2);
+    // Pile work on cluster 0 beyond the threshold.
+    for (int i = 0; i < 10; i++)
+        cs[0]->iqAllocate(false);
+    SteerContext ctx;
+    ctx.feasibleMask = 0b11;
+    ctx.srcCluster[0] = 0;
+    EXPECT_EQ(pickCluster(ctx, cs, 2, 4), 1);
+}
+
+TEST(Steering, TieBreaksToLeastLoaded)
+{
+    auto cs = makeClusters(3);
+    cs[0]->iqAllocate(false);
+    cs[1]->iqAllocate(false);
+    SteerContext ctx; // no affinity at all
+    ctx.feasibleMask = 0b111;
+    EXPECT_EQ(pickCluster(ctx, cs, 3, 4), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Processor: directed behaviours on tiny workloads
+// ---------------------------------------------------------------------------
+
+namespace {
+
+WorkloadSpec
+microWorkload(std::uint64_t seed = 5)
+{
+    WorkloadSpec w;
+    w.name = "micro";
+    w.seed = seed;
+    PhaseSpec p;
+    p.codeBlocks = 8;
+    p.chainCount = 4;
+    p.fracCallBlocks = 0.0;
+    p.numFunctions = 0;
+    w.phases = {p};
+    w.schedule = {{0, 100000}};
+    return w;
+}
+
+} // namespace
+
+TEST(Processor, RunsAndCommits)
+{
+    SyntheticWorkload trace(microWorkload());
+    ProcessorConfig cfg = clusteredConfig(4);
+    Processor proc(cfg, &trace);
+    proc.run(20000);
+    EXPECT_GE(proc.committed(), 20000u);
+    EXPECT_GT(proc.ipc(), 0.1);
+    EXPECT_LT(proc.ipc(), 16.0);
+}
+
+TEST(Processor, DeterministicAcrossRuns)
+{
+    ProcessorConfig cfg = clusteredConfig(8);
+    SyntheticWorkload t1(microWorkload());
+    Processor p1(cfg, &t1);
+    p1.run(15000);
+    SyntheticWorkload t2(microWorkload());
+    Processor p2(cfg, &t2);
+    p2.run(15000);
+    EXPECT_EQ(p1.cycle(), p2.cycle());
+    EXPECT_EQ(p1.committed(), p2.committed());
+}
+
+TEST(Processor, MonolithicBeatsClustered)
+{
+    SyntheticWorkload t1(microWorkload());
+    Processor mono(monolithicConfig(16), &t1);
+    mono.run(20000);
+
+    SyntheticWorkload t2(microWorkload());
+    Processor clustered(clusteredConfig(16), &t2);
+    clustered.run(20000);
+
+    // Identical resources without communication costs must not lose.
+    EXPECT_GE(mono.ipc(), clustered.ipc());
+}
+
+TEST(Processor, FreeCommunicationHelps)
+{
+    ProcessorConfig base = clusteredConfig(16);
+    SyntheticWorkload t1(microWorkload());
+    Processor p1(base, &t1);
+    p1.run(20000);
+
+    ProcessorConfig ideal = base;
+    ideal.freeMemComm = true;
+    ideal.freeRegComm = true;
+    SyntheticWorkload t2(microWorkload());
+    Processor p2(ideal, &t2);
+    p2.run(20000);
+
+    EXPECT_GT(p2.ipc(), p1.ipc());
+}
+
+TEST(Processor, ActiveSubsetRestrictsSteering)
+{
+    ProcessorConfig cfg = staticSubsetConfig(4);
+    SyntheticWorkload trace(microWorkload());
+    Processor proc(cfg, &trace);
+    proc.run(10000);
+    EXPECT_EQ(proc.activeClusters(), 4);
+    EXPECT_NEAR(proc.stats().avgActiveClusters(), 4.0, 0.01);
+}
+
+TEST(Processor, SetActiveClustersTakesEffect)
+{
+    ProcessorConfig cfg = clusteredConfig(16);
+    SyntheticWorkload trace(microWorkload());
+    Processor proc(cfg, &trace);
+    proc.run(5000);
+    proc.setActiveClusters(2);
+    proc.run(5000);
+    EXPECT_EQ(proc.activeClusters(), 2);
+}
+
+TEST(Processor, StatsAreInternallyConsistent)
+{
+    SyntheticWorkload trace(microWorkload());
+    Processor proc(clusteredConfig(8), &trace);
+    proc.run(30000);
+    const ProcessorStats &st = proc.stats();
+    EXPECT_EQ(st.committed, proc.committed());
+    EXPECT_GT(st.committedBranches, 0u);
+    EXPECT_LE(st.mispredicts, st.committedBranches);
+    EXPECT_GT(st.loads, 0u);
+    EXPECT_GT(st.stores, 0u);
+    EXPECT_LE(st.loads + st.stores, st.committed);
+}
+
+TEST(Processor, ResetStatsKeepsArchitecturalState)
+{
+    SyntheticWorkload trace(microWorkload());
+    Processor proc(clusteredConfig(8), &trace);
+    proc.run(10000);
+    Cycle before = proc.cycle();
+    proc.resetStats();
+    EXPECT_EQ(proc.committed(), 0u);
+    EXPECT_EQ(proc.cycle(), before); // time continues
+    proc.run(5000);
+    EXPECT_GE(proc.committed(), 5000u);
+}
+
+TEST(Processor, MorePredictableBranchesRaiseIpc)
+{
+    WorkloadSpec bad = microWorkload();
+    bad.phases[0].fracBiased = 0.3;
+    bad.phases[0].fracPattern = 0.1; // 60% random branches
+    WorkloadSpec good = microWorkload();
+    good.phases[0].fracBiased = 0.9;
+    good.phases[0].fracPattern = 0.1;
+    good.phases[0].biasedTakenProb = 0.98;
+
+    SyntheticWorkload tb(bad), tg(good);
+    Processor pb(clusteredConfig(4), &tb);
+    Processor pg(clusteredConfig(4), &tg);
+    pb.run(20000);
+    pg.run(20000);
+    EXPECT_GT(pg.ipc(), pb.ipc());
+}
+
+TEST(Processor, PointerChasingHurtsIpc)
+{
+    WorkloadSpec fast = microWorkload();
+    WorkloadSpec slow = microWorkload();
+    slow.phases[0].fracPointerChase = 0.6;
+    slow.phases[0].chaseRegionKB = 2048; // misses too
+
+    SyntheticWorkload tf(fast), ts(slow);
+    Processor pf(clusteredConfig(4), &tf);
+    Processor ps(clusteredConfig(4), &ts);
+    pf.run(20000);
+    ps.run(20000);
+    EXPECT_GT(pf.ipc(), ps.ipc() * 1.2);
+}
+
+TEST(Processor, DecentralizedCacheRuns)
+{
+    ProcessorConfig cfg = clusteredConfig(4, InterconnectKind::Ring,
+                                          /*decentralized=*/true);
+    SyntheticWorkload trace(microWorkload());
+    Processor proc(cfg, &trace);
+    proc.run(20000);
+    EXPECT_GT(proc.ipc(), 0.05);
+    EXPECT_GT(proc.stats().bankLookups, 0u);
+}
+
+TEST(Processor, GridInterconnectRuns)
+{
+    ProcessorConfig cfg = clusteredConfig(16, InterconnectKind::Grid);
+    SyntheticWorkload trace(microWorkload());
+    Processor proc(cfg, &trace);
+    proc.run(20000);
+    EXPECT_GT(proc.ipc(), 0.1);
+    EXPECT_EQ(proc.network().topology().name(), "grid");
+}
+
+TEST(Processor, GridBeatsRingAt16Clusters)
+{
+    // Better connectivity must not hurt (Section 6, Figure 8).
+    WorkloadSpec w = microWorkload();
+    w.phases[0].chainCount = 16; // communication-heavy, wide
+    SyntheticWorkload t1(w), t2(w);
+    Processor ring(clusteredConfig(16, InterconnectKind::Ring), &t1);
+    Processor grid(clusteredConfig(16, InterconnectKind::Grid), &t2);
+    ring.run(30000);
+    grid.run(30000);
+    EXPECT_GE(grid.ipc() * 1.02, ring.ipc());
+}
+
+// ---------------------------------------------------------------------------
+// FetchUnit in isolation
+// ---------------------------------------------------------------------------
+
+TEST(Fetch, StopsAtQueueLimit)
+{
+    ProcessorConfig cfg = clusteredConfig(4);
+    SyntheticWorkload trace(microWorkload());
+    L2Cache l2;
+    FetchUnit fu(cfg, &trace, &l2);
+    for (Cycle c = 1; c < 200; c++)
+        fu.cycle(c);
+    EXPECT_LE(static_cast<int>(fu.queueSize()), cfg.fetchQueueSize);
+}
+
+TEST(Fetch, StallsOnMispredictUntilResumed)
+{
+    ProcessorConfig cfg = clusteredConfig(4);
+    WorkloadSpec w = microWorkload();
+    w.phases[0].fracBiased = 0.0;
+    w.phases[0].fracPattern = 0.0; // all random branches
+    SyntheticWorkload trace(w);
+    L2Cache l2;
+    FetchUnit fu(cfg, &trace, &l2);
+
+    Cycle c = 1;
+    while (!fu.stalledOnBranch() && c < 10000)
+        fu.cycle(c++);
+    ASSERT_TRUE(fu.stalledOnBranch());
+    std::size_t size_at_stall = fu.queueSize();
+    for (int i = 0; i < 50; i++)
+        fu.cycle(c++);
+    EXPECT_EQ(fu.queueSize(), size_at_stall); // nothing fetched
+
+    fu.resumeAt(c + 5);
+    // Resume; allow time for a possible I-cache fill after redirect.
+    for (Cycle t = c + 5; t < c + 400 &&
+         fu.queueSize() == size_at_stall; t++)
+        fu.cycle(t);
+    EXPECT_GT(fu.queueSize(), size_at_stall);
+}
+
+TEST(Fetch, EntriesCarryFrontEndDelay)
+{
+    ProcessorConfig cfg = clusteredConfig(4);
+    SyntheticWorkload trace(microWorkload());
+    L2Cache l2;
+    FetchUnit fu(cfg, &trace, &l2);
+    Cycle c = 1;
+    while (fu.queueEmpty())
+        fu.cycle(c++);
+    EXPECT_EQ(fu.front().readyAt, (c - 1) + cfg.frontEndDepth);
+}

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Unit tests for the memory hierarchy: cache arrays, L1 organizations
+ * (Table 2), L2 + memory, and the TLB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/cache_bank.hh"
+#include "memory/l1_cache.hh"
+#include "memory/l2_cache.hh"
+#include "memory/tlb.hh"
+
+using namespace clustersim;
+
+// ---------------------------------------------------------------------------
+// CacheBank
+// ---------------------------------------------------------------------------
+
+TEST(CacheBank, ColdMissThenHit)
+{
+    CacheBank c(1024, 2, 32);
+    EXPECT_FALSE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x11C, false).hit); // same 32B line
+    EXPECT_FALSE(c.access(0x120, false).hit); // next line
+}
+
+TEST(CacheBank, GeometryComputed)
+{
+    CacheBank c(32 * 1024, 2, 32); // paper's centralized L1
+    EXPECT_EQ(c.numSets(), 512u);
+    EXPECT_EQ(c.ways(), 2);
+    CacheBank d(16 * 1024, 2, 8);  // decentralized bank
+    EXPECT_EQ(d.numSets(), 1024u);
+}
+
+TEST(CacheBank, LruWithinSet)
+{
+    CacheBank c(4 * 32, 2, 32); // 2 sets x 2 ways
+    // Three lines mapping to set 0 (stride = sets*line = 64).
+    c.access(0x000, false);
+    c.access(0x040, false);
+    c.access(0x000, false);  // touch A so B is LRU
+    c.access(0x080, false);  // evicts B
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x040));
+    EXPECT_TRUE(c.probe(0x080));
+}
+
+TEST(CacheBank, DirtyEvictionSignalsWriteback)
+{
+    CacheBank c(4 * 32, 2, 32);
+    c.access(0x000, true);   // dirty
+    c.access(0x040, false);
+    auto res = c.access(0x080, false); // evicts dirty 0x000
+    EXPECT_TRUE(res.writeback);
+    EXPECT_EQ(res.victimAddr, 0x000u);
+}
+
+TEST(CacheBank, CleanEvictionNoWriteback)
+{
+    CacheBank c(4 * 32, 2, 32);
+    c.access(0x000, false);
+    c.access(0x040, false);
+    auto res = c.access(0x080, false);
+    EXPECT_FALSE(res.writeback);
+}
+
+TEST(CacheBank, WriteToCleanLineMakesDirty)
+{
+    CacheBank c(4 * 32, 2, 32);
+    c.access(0x000, false);
+    c.access(0x000, true); // hit-write dirties
+    c.access(0x040, false);
+    auto res = c.access(0x080, false);
+    EXPECT_TRUE(res.writeback);
+}
+
+TEST(CacheBank, FlushCollectsDirtyLines)
+{
+    CacheBank c(1024, 2, 32);
+    c.access(0x000, true);
+    c.access(0x100, false);
+    c.access(0x200, true);
+    std::vector<Addr> dirty;
+    c.flush(dirty);
+    EXPECT_EQ(dirty.size(), 2u);
+    EXPECT_FALSE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x100));
+}
+
+TEST(CacheBank, MissRateAccounting)
+{
+    CacheBank c(1024, 2, 32);
+    c.access(0x000, false); // miss
+    c.access(0x000, false); // hit
+    c.access(0x000, false); // hit
+    c.access(0x900, false); // miss
+    EXPECT_EQ(c.accesses(), 4u);
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// L2
+// ---------------------------------------------------------------------------
+
+TEST(L2, HitLatencyIs25Cycles)
+{
+    L2Cache l2;
+    l2.access(0x1000, false, 0);          // warm (cold miss)
+    Cycle done = l2.access(0x1000, false, 1000);
+    EXPECT_EQ(done, 1025u);
+}
+
+TEST(L2, MissAddsMemoryLatency)
+{
+    L2Cache l2;
+    Cycle done = l2.access(0x5000, false, 100);
+    EXPECT_EQ(done, 100u + 25 + 160);
+}
+
+TEST(L2, PortContentionPipelines)
+{
+    L2Cache l2;
+    l2.access(0x1000, false, 0);
+    l2.access(0x2000, false, 0);
+    Cycle a = l2.access(0x1000, false, 500);
+    Cycle b = l2.access(0x2000, false, 500);
+    // One request per cycle: second starts a cycle later.
+    EXPECT_EQ(a, 525u);
+    EXPECT_EQ(b, 526u);
+}
+
+// ---------------------------------------------------------------------------
+// L1 centralized
+// ---------------------------------------------------------------------------
+
+namespace {
+
+L1Params
+centralizedParams()
+{
+    L1Params p;
+    p.decentralized = false;
+    return p;
+}
+
+L1Params
+decentralizedParams()
+{
+    L1Params p;
+    p.decentralized = true;
+    return p;
+}
+
+} // namespace
+
+TEST(L1Central, WordInterleavedBanks)
+{
+    L2Cache l2;
+    L1Cache l1(centralizedParams(), 16, &l2);
+    // Word address mod 4 selects the bank.
+    EXPECT_EQ(l1.bankFor(0x00, 4), 0);
+    EXPECT_EQ(l1.bankFor(0x08, 4), 1);
+    EXPECT_EQ(l1.bankFor(0x10, 4), 2);
+    EXPECT_EQ(l1.bankFor(0x18, 4), 3);
+    EXPECT_EQ(l1.bankFor(0x20, 4), 0);
+}
+
+TEST(L1Central, HitLatencySixCycles)
+{
+    L2Cache l2;
+    L1Cache l1(centralizedParams(), 16, &l2);
+    l1.access(0x100, false, 0, l1.bankFor(0x100, 4), 0); // warm
+    Cycle done = l1.access(0x100, false, 1000, l1.bankFor(0x100, 4), 0);
+    EXPECT_EQ(done, 1006u);
+}
+
+TEST(L1Central, MissGoesToL2)
+{
+    L2Cache l2;
+    L1Cache l1(centralizedParams(), 16, &l2);
+    Cycle done = l1.access(0x300, false, 100, l1.bankFor(0x300, 4), 0);
+    // 6 (L1 RAM) + 25 (L2) + 160 (memory, cold L2).
+    EXPECT_EQ(done, 100u + 6 + 25 + 160);
+}
+
+TEST(L1Central, BankConflictSerializes)
+{
+    L2Cache l2;
+    L1Cache l1(centralizedParams(), 16, &l2);
+    int bank = l1.bankFor(0x100, 4);
+    l1.access(0x100, false, 0, bank, 0); // warm
+    Cycle a = l1.access(0x100, false, 500, bank, 0);
+    Cycle b = l1.access(0x100, false, 500, bank, 0);
+    EXPECT_EQ(a, 506u);
+    EXPECT_EQ(b, 507u);
+}
+
+TEST(L1Central, DistinctBanksParallel)
+{
+    L2Cache l2;
+    L1Cache l1(centralizedParams(), 16, &l2);
+    l1.access(0x100, false, 0, l1.bankFor(0x100, 4), 0);
+    l1.access(0x108, false, 0, l1.bankFor(0x108, 4), 0);
+    Cycle a = l1.access(0x100, false, 500, l1.bankFor(0x100, 4), 0);
+    Cycle b = l1.access(0x108, false, 500, l1.bankFor(0x108, 4), 0);
+    EXPECT_EQ(a, 506u);
+    EXPECT_EQ(b, 506u);
+}
+
+// ---------------------------------------------------------------------------
+// L1 decentralized
+// ---------------------------------------------------------------------------
+
+TEST(L1Decentral, BankByActiveClusters)
+{
+    L2Cache l2;
+    L1Cache l1(decentralizedParams(), 16, &l2);
+    EXPECT_EQ(l1.numBanks(), 16);
+    // Word interleave over the *active* cluster count.
+    EXPECT_EQ(l1.bankFor(0x08, 16), 1);
+    EXPECT_EQ(l1.bankFor(0x08, 4), 1);
+    EXPECT_EQ(l1.bankFor(0x78, 16), 15);
+    EXPECT_EQ(l1.bankFor(0x78, 4), 3); // low-order-bits property
+}
+
+TEST(L1Decentral, FourCycleBankHit)
+{
+    L2Cache l2;
+    L1Cache l1(decentralizedParams(), 16, &l2);
+    l1.access(0x100, false, 0, 2, 0); // warm
+    Cycle done = l1.access(0x100, false, 1000, 2, 0);
+    EXPECT_EQ(done, 1004u);
+}
+
+TEST(L1Decentral, MissPaysL2HopsBothWays)
+{
+    L2Cache l2;
+    L1Cache l1(decentralizedParams(), 16, &l2);
+    Cycle done = l1.access(0x500, false, 100, 3, /*l2 hops lat*/ 3);
+    // 4 (bank RAM) + 3 (to L2) + 25 + 160 (cold) + 3 (back).
+    EXPECT_EQ(done, 100u + 4 + 3 + 25 + 160 + 3);
+}
+
+TEST(L1Decentral, FlushReturnsDirtyCount)
+{
+    L2Cache l2;
+    L1Cache l1(decentralizedParams(), 16, &l2);
+    l1.access(0x000, true, 0, 0, 0);
+    l1.access(0x008, true, 0, 1, 0);
+    l1.access(0x010, false, 0, 2, 0);
+    EXPECT_EQ(l1.flushAll(100), 2u);
+    // Everything is cold again.
+    EXPECT_EQ(l1.misses(), 3u);
+    l1.resetStats();
+    l1.access(0x000, false, 200, 0, 0);
+    EXPECT_EQ(l1.misses(), 1u);
+}
+
+TEST(L1Decentral, SeparateBankArraysIndependent)
+{
+    L2Cache l2;
+    L1Cache l1(decentralizedParams(), 4, &l2);
+    l1.access(0x100, false, 0, 0, 0);
+    // The same address in a different bank array is still cold.
+    l1.resetStats();
+    l1.access(0x100, false, 50, 1, 0);
+    EXPECT_EQ(l1.misses(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// TLB
+// ---------------------------------------------------------------------------
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb tlb(128, 4, 8192, 30);
+    EXPECT_EQ(tlb.translate(0x10000), 30u);
+    EXPECT_EQ(tlb.translate(0x10000), 0u);
+    EXPECT_EQ(tlb.translate(0x10000 + 8191), 0u); // same 8KB page
+    EXPECT_EQ(tlb.translate(0x10000 + 8192), 30u); // next page
+}
+
+TEST(Tlb, CapacityEviction)
+{
+    Tlb tlb(8, 2, 8192, 30);
+    // Touch 3 pages in the same set (stride = sets * pagesize).
+    Addr stride = 4 * 8192;
+    tlb.translate(0x0);
+    tlb.translate(stride);
+    tlb.translate(2 * stride); // evicts page 0
+    EXPECT_EQ(tlb.translate(0x0), 30u);
+}
+
+TEST(Tlb, StatsCount)
+{
+    Tlb tlb;
+    tlb.translate(0x1000);
+    tlb.translate(0x1000);
+    EXPECT_EQ(tlb.accesses(), 2u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}

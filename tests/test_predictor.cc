@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Unit tests for the predictor suite: bimodal, two-level, combining,
+ * BTB, RAS, branch unit, bank predictor, and criticality predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "predictor/bank_predictor.hh"
+#include "predictor/bimodal.hh"
+#include "predictor/branch_unit.hh"
+#include "predictor/btb.hh"
+#include "predictor/combining.hh"
+#include "predictor/criticality.hh"
+#include "predictor/ras.hh"
+#include "predictor/twolevel.hh"
+
+using namespace clustersim;
+
+// ---------------------------------------------------------------------------
+// Bimodal
+// ---------------------------------------------------------------------------
+
+TEST(Bimodal, LearnsBias)
+{
+    BimodalPredictor p(256);
+    Addr pc = 0x1000;
+    for (int i = 0; i < 4; i++)
+        p.update(pc, true);
+    EXPECT_TRUE(p.predict(pc));
+    for (int i = 0; i < 4; i++)
+        p.update(pc, false);
+    EXPECT_FALSE(p.predict(pc));
+}
+
+TEST(Bimodal, DistinctPcsIndependent)
+{
+    BimodalPredictor p(256);
+    // PCs mapping to distinct table entries ((pc >> 2) mod 256).
+    for (int i = 0; i < 4; i++) {
+        p.update(0x1000, true);
+        p.update(0x1004, false);
+    }
+    EXPECT_TRUE(p.predict(0x1000));
+    EXPECT_FALSE(p.predict(0x1004));
+}
+
+TEST(Bimodal, AccuracyOnBiasedStream)
+{
+    BimodalPredictor p(2048);
+    Rng r(7);
+    int correct = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; i++) {
+        Addr pc = 0x4000 + (r.range(32) << 2);
+        bool taken = r.chance(0.9);
+        if (p.predict(pc) == taken)
+            correct++;
+        p.update(pc, taken);
+    }
+    EXPECT_GT(correct / static_cast<double>(n), 0.85);
+}
+
+// ---------------------------------------------------------------------------
+// Two-level
+// ---------------------------------------------------------------------------
+
+TEST(TwoLevel, LearnsAlternatingPattern)
+{
+    TwoLevelPredictor p(64, 1024, 10);
+    Addr pc = 0x1000;
+    // Train an alternating T/N pattern well past warmup.
+    bool t = false;
+    for (int i = 0; i < 200; i++) {
+        p.update(pc, t);
+        t = !t;
+    }
+    int correct = 0;
+    for (int i = 0; i < 100; i++) {
+        if (p.predict(pc) == t)
+            correct++;
+        p.update(pc, t);
+        t = !t;
+    }
+    EXPECT_GT(correct, 95);
+}
+
+TEST(TwoLevel, LearnsPeriodFourPattern)
+{
+    TwoLevelPredictor p(64, 4096, 10);
+    Addr pc = 0x2000;
+    auto outcome = [](int i) { return (i % 4) == 0; };
+    for (int i = 0; i < 400; i++)
+        p.update(pc, outcome(i));
+    int correct = 0;
+    for (int i = 400; i < 500; i++) {
+        if (p.predict(pc) == outcome(i))
+            correct++;
+        p.update(pc, outcome(i));
+    }
+    EXPECT_GT(correct, 95);
+}
+
+TEST(TwoLevel, HistoryAdvances)
+{
+    TwoLevelPredictor p(64, 1024, 10);
+    Addr pc = 0x3000;
+    EXPECT_EQ(p.history(pc), 0u);
+    p.update(pc, true);
+    EXPECT_EQ(p.history(pc), 1u);
+    p.update(pc, false);
+    EXPECT_EQ(p.history(pc), 2u);
+    p.update(pc, true);
+    EXPECT_EQ(p.history(pc), 5u);
+}
+
+TEST(TwoLevel, HistoryMasked)
+{
+    TwoLevelPredictor p(64, 1024, 4);
+    Addr pc = 0x3000;
+    for (int i = 0; i < 32; i++)
+        p.update(pc, true);
+    EXPECT_EQ(p.history(pc), 0xFu);
+}
+
+// ---------------------------------------------------------------------------
+// Combining
+// ---------------------------------------------------------------------------
+
+TEST(Combining, BeatsBimodalOnPattern)
+{
+    CombiningPredictor comb;
+    BimodalPredictor bim;
+    Addr pc = 0x5000;
+    auto outcome = [](int i) { return (i % 3) != 0; };
+    int comb_ok = 0, bim_ok = 0;
+    for (int i = 0; i < 2000; i++) {
+        bool t = outcome(i);
+        if (comb.predict(pc) == t)
+            comb_ok++;
+        if (bim.predict(pc) == t)
+            bim_ok++;
+        comb.update(pc, t);
+        bim.update(pc, t);
+    }
+    EXPECT_GT(comb_ok, bim_ok);
+    EXPECT_GT(comb_ok, 1800); // the pattern is fully learnable
+}
+
+TEST(Combining, TracksStrongBias)
+{
+    CombiningPredictor comb;
+    Addr pc = 0x6000;
+    for (int i = 0; i < 64; i++)
+        comb.update(pc, true);
+    EXPECT_TRUE(comb.predict(pc));
+}
+
+// ---------------------------------------------------------------------------
+// BTB
+// ---------------------------------------------------------------------------
+
+TEST(Btb, MissOnCold)
+{
+    Btb btb(64, 2);
+    EXPECT_FALSE(btb.lookup(0x1000).has_value());
+}
+
+TEST(Btb, HitAfterUpdate)
+{
+    Btb btb(64, 2);
+    btb.update(0x1000, 0x2000);
+    auto t = btb.lookup(0x1000);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, 0x2000u);
+}
+
+TEST(Btb, UpdateOverwritesTarget)
+{
+    Btb btb(64, 2);
+    btb.update(0x1000, 0x2000);
+    btb.update(0x1000, 0x3000);
+    EXPECT_EQ(*btb.lookup(0x1000), 0x3000u);
+}
+
+TEST(Btb, TwoWaysHoldConflictingPcs)
+{
+    Btb btb(64, 2);
+    // Same set: indices differ by sets*4 in pc space.
+    Addr a = 0x1000, b = 0x1000 + 64 * 4;
+    btb.update(a, 0xA);
+    btb.update(b, 0xB);
+    EXPECT_EQ(*btb.lookup(a), 0xAu);
+    EXPECT_EQ(*btb.lookup(b), 0xBu);
+}
+
+TEST(Btb, LruEvictsOldest)
+{
+    Btb btb(64, 2);
+    Addr a = 0x1000, b = a + 64 * 4, c = b + 64 * 4; // same set
+    btb.update(a, 0xA);
+    btb.update(b, 0xB);
+    btb.update(c, 0xC); // evicts a (LRU)
+    EXPECT_FALSE(btb.lookup(a).has_value());
+    EXPECT_TRUE(btb.lookup(b).has_value());
+    EXPECT_TRUE(btb.lookup(c).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// RAS
+// ---------------------------------------------------------------------------
+
+TEST(Ras, PushPopLifo)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+    EXPECT_TRUE(ras.empty());
+}
+
+TEST(Ras, UnderflowReturnsZero)
+{
+    ReturnAddressStack ras(8);
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, OverflowWrapsKeepsNewest)
+{
+    ReturnAddressStack ras(4);
+    for (Addr a = 1; a <= 6; a++)
+        ras.push(a * 0x10);
+    // Newest four survive: 0x60, 0x50, 0x40, 0x30.
+    EXPECT_EQ(ras.pop(), 0x60u);
+    EXPECT_EQ(ras.pop(), 0x50u);
+    EXPECT_EQ(ras.pop(), 0x40u);
+    EXPECT_EQ(ras.pop(), 0x30u);
+    EXPECT_TRUE(ras.empty());
+}
+
+TEST(Ras, TopDoesNotPop)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x123);
+    EXPECT_EQ(ras.top(), 0x123u);
+    EXPECT_EQ(ras.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// BranchUnit
+// ---------------------------------------------------------------------------
+
+namespace {
+
+MicroOp
+makeBranch(Addr pc, bool taken, Addr target)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.op = OpClass::CondBranch;
+    op.taken = taken;
+    op.target = target;
+    return op;
+}
+
+} // namespace
+
+TEST(BranchUnit, LearnsLoopBranch)
+{
+    BranchUnit bu;
+    MicroOp br = makeBranch(0x1000, true, 0x800);
+    // First encounters mispredict (cold BTB / counters).
+    for (int i = 0; i < 16; i++)
+        bu.predict(br);
+    bu.resetStats();
+    for (int i = 0; i < 100; i++)
+        EXPECT_TRUE(bu.predict(br));
+    EXPECT_EQ(bu.mispredicts(), 0u);
+    EXPECT_EQ(bu.lookups(), 100u);
+}
+
+TEST(BranchUnit, CallReturnViaRas)
+{
+    BranchUnit bu;
+    MicroOp call;
+    call.pc = 0x1000;
+    call.op = OpClass::Call;
+    call.taken = true;
+    call.target = 0x9000;
+
+    MicroOp ret;
+    ret.pc = 0x9100;
+    ret.op = OpClass::Return;
+    ret.taken = true;
+    ret.target = call.fallthru();
+
+    bu.predict(call); // cold BTB: mispredict, but pushes the RAS
+    EXPECT_TRUE(bu.predict(ret)); // RAS gives the right return target
+    // Second time around, the call hits in the BTB too.
+    EXPECT_TRUE(bu.predict(call));
+    EXPECT_TRUE(bu.predict(ret));
+}
+
+TEST(BranchUnit, WrongTargetIsMispredict)
+{
+    BranchUnit bu;
+    MicroOp br = makeBranch(0x2000, true, 0x100);
+    for (int i = 0; i < 8; i++)
+        bu.predict(br);
+    bu.resetStats();
+    MicroOp changed = makeBranch(0x2000, true, 0x999); // new target
+    EXPECT_FALSE(bu.predict(changed));
+    EXPECT_EQ(bu.targetMispredicts(), 1u);
+}
+
+TEST(BranchUnit, NonControlOpsIgnored)
+{
+    BranchUnit bu;
+    MicroOp op;
+    op.op = OpClass::IntAlu;
+    EXPECT_TRUE(bu.predict(op));
+    EXPECT_EQ(bu.lookups(), 1u);
+    EXPECT_EQ(bu.mispredicts(), 0u);
+}
+
+TEST(BranchUnit, AccuracyReflectsRandomBranches)
+{
+    BranchUnit bu;
+    Rng r(3);
+    for (int i = 0; i < 5000; i++) {
+        MicroOp br = makeBranch(0x3000, r.chance(0.5), 0x4000);
+        bu.predict(br);
+    }
+    // A coin-flip branch cannot be predicted much better than 50%.
+    EXPECT_LT(bu.accuracy(), 0.65);
+    EXPECT_GT(bu.accuracy(), 0.35);
+}
+
+// ---------------------------------------------------------------------------
+// BankPredictor
+// ---------------------------------------------------------------------------
+
+TEST(BankPredictor, LearnsConstantBank)
+{
+    BankPredictor bp(64, 256, 16);
+    Addr pc = 0x100;
+    for (int i = 0; i < 16; i++)
+        bp.update(pc, 5);
+    EXPECT_EQ(bp.predict(pc), 5);
+}
+
+TEST(BankPredictor, LearnsStridePattern)
+{
+    BankPredictor bp(1024, 4096, 16);
+    Addr pc = 0x200;
+    // Banks cycle 0,1,2,3: history-based second level should learn it.
+    for (int i = 0; i < 4000; i++)
+        bp.update(pc, i % 4);
+    int correct = 0;
+    for (int i = 4000; i < 4400; i++) {
+        if (bp.predict(pc) == i % 4)
+            correct++;
+        bp.update(pc, i % 4);
+    }
+    EXPECT_GT(correct, 350);
+}
+
+TEST(BankPredictor, LowOrderBitsProperty)
+{
+    // Predictions made modulo 16 remain correct modulo 4: the property
+    // that lets the paper keep the predictor across reconfigurations.
+    BankPredictor bp(64, 256, 16);
+    Addr pc = 0x300;
+    for (int i = 0; i < 16; i++)
+        bp.update(pc, 13);
+    EXPECT_EQ(bp.predict(pc) % 4, 13 % 4);
+}
+
+TEST(BankPredictor, OutcomeAccounting)
+{
+    BankPredictor bp;
+    bp.recordOutcome(true);
+    bp.recordOutcome(false);
+    bp.recordOutcome(true);
+    EXPECT_EQ(bp.lookups(), 3u);
+    EXPECT_EQ(bp.correct(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// CriticalityPredictor
+// ---------------------------------------------------------------------------
+
+TEST(Criticality, TrainsTowardCritical)
+{
+    CriticalityPredictor cp(256);
+    Addr pc = 0x100;
+    for (int i = 0; i < 8; i++)
+        cp.train(pc, true);
+    EXPECT_TRUE(cp.isCritical(pc));
+    for (int i = 0; i < 16; i++)
+        cp.train(pc, false);
+    EXPECT_FALSE(cp.isCritical(pc));
+}
+
+TEST(Criticality, DefaultLeansCritical)
+{
+    // Counters start at the weakly-critical midpoint so unknown
+    // producers get affinity benefit-of-the-doubt.
+    CriticalityPredictor cp(256);
+    EXPECT_TRUE(cp.isCritical(0x500));
+}

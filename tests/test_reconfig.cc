@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Unit tests for the reconfiguration machinery: the distant-ILP
+ * tracker, the Figure 4 interval-with-exploration controller, the
+ * no-exploration distant-ILP controller, and the fine-grained
+ * branch-table controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reconfig/distant_ilp.hh"
+#include "reconfig/finegrain.hh"
+#include "reconfig/interval_explore.hh"
+#include "reconfig/interval_ilp.hh"
+
+using namespace clustersim;
+
+namespace {
+
+/** Feed a controller n committed instructions with fixed properties. */
+void
+feed(ReconfigController &ctrl, std::uint64_t n, Cycle &cycle,
+     double ipc, double branch_every = 6.0, double mem_every = 3.0,
+     bool distant = false)
+{
+    for (std::uint64_t i = 0; i < n; i++) {
+        CommitEvent ev;
+        ev.pc = 0x1000 + (i % 64) * 4;
+        if (std::fmod(static_cast<double>(i), branch_every) < 1.0)
+            ev.op = OpClass::CondBranch;
+        else if (std::fmod(static_cast<double>(i), mem_every) < 1.0)
+            ev.op = OpClass::Load;
+        else
+            ev.op = OpClass::IntAlu;
+        ev.distant = distant;
+        // Advance time so the interval IPC equals `ipc` exactly.
+        static thread_local double clock_acc = 0.0;
+        clock_acc += 1.0 / ipc;
+        if (clock_acc >= static_cast<double>(cycle) + 1.0)
+            cycle = static_cast<Cycle>(clock_acc);
+        ev.cycle = cycle;
+        ctrl.onCommit(ev);
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// DistantIlpTracker
+// ---------------------------------------------------------------------------
+
+TEST(DistantTracker, CountsWindowContents)
+{
+    DistantIlpTracker t(4);
+    t.push(1, true, false);
+    t.push(2, false, false);
+    t.push(3, true, false);
+    EXPECT_EQ(t.count(), 2);
+    EXPECT_FALSE(t.full());
+    t.push(4, false, false);
+    EXPECT_TRUE(t.full());
+}
+
+TEST(DistantTracker, EvictionReportsFollowingWindow)
+{
+    DistantIlpTracker t(3);
+    // Window: A(marked), B, C; when D pushes, A leaves and its
+    // "distant following" covers B, C, D.
+    t.push(0xA, false, true);
+    t.push(0xB, true, false);
+    t.push(0xC, false, false);
+    auto ev = t.push(0xD, true, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.pc, 0xAu);
+    EXPECT_TRUE(ev.marked);
+    EXPECT_EQ(ev.distantFollowing, 2); // B and D distant
+}
+
+TEST(DistantTracker, NoEvictionUntilFull)
+{
+    DistantIlpTracker t(8);
+    for (int i = 0; i < 8; i++)
+        EXPECT_FALSE(t.push(static_cast<Addr>(i), false, false).valid);
+    EXPECT_TRUE(t.push(100, false, false).valid);
+}
+
+TEST(DistantTracker, RunningCountMatchesWindow)
+{
+    DistantIlpTracker t(16);
+    int expect = 0;
+    for (int i = 0; i < 100; i++) {
+        bool d = (i % 3) == 0;
+        t.push(static_cast<Addr>(i), d, false);
+        if (d)
+            expect++;
+        if (i >= 16 && ((i - 16) % 3) == 0)
+            expect--;
+        ASSERT_EQ(t.count(), expect) << "at " << i;
+    }
+}
+
+TEST(DistantTracker, ResetClears)
+{
+    DistantIlpTracker t(4);
+    t.push(1, true, true);
+    t.reset();
+    EXPECT_EQ(t.count(), 0);
+    EXPECT_FALSE(t.full());
+}
+
+// ---------------------------------------------------------------------------
+// StaticController
+// ---------------------------------------------------------------------------
+
+TEST(StaticController, FixedTarget)
+{
+    StaticController c(4);
+    EXPECT_EQ(c.targetClusters(), 4);
+    CommitEvent ev;
+    c.onCommit(ev);
+    EXPECT_EQ(c.targetClusters(), 4);
+    EXPECT_EQ(c.name(), "static-4");
+}
+
+// ---------------------------------------------------------------------------
+// IntervalExploreController (Figure 4)
+// ---------------------------------------------------------------------------
+
+TEST(Explore, ExploresAllConfigsInOrder)
+{
+    IntervalExploreParams p;
+    p.initialInterval = 1000;
+    IntervalExploreController c(p);
+    c.attach(16, 16);
+
+    Cycle cycle = 0;
+    // Reference interval.
+    feed(c, 1000, cycle, 1.0);
+    EXPECT_EQ(c.targetClusters(), 2);
+    feed(c, 1000, cycle, 1.0); // measured at 2
+    EXPECT_EQ(c.targetClusters(), 4);
+    feed(c, 1000, cycle, 1.2);
+    EXPECT_EQ(c.targetClusters(), 8);
+    feed(c, 1000, cycle, 1.4);
+    EXPECT_EQ(c.targetClusters(), 16);
+    EXPECT_FALSE(c.stable());
+    feed(c, 1000, cycle, 1.1);
+    // Best IPC was at 8 clusters.
+    EXPECT_EQ(c.targetClusters(), 8);
+    EXPECT_TRUE(c.stable());
+}
+
+TEST(Explore, StaysStableOnUniformBehaviour)
+{
+    IntervalExploreParams p;
+    p.initialInterval = 1000;
+    IntervalExploreController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+    for (int i = 0; i < 40; i++)
+        feed(c, 1000, cycle, 1.0);
+    EXPECT_TRUE(c.stable());
+    EXPECT_EQ(c.phaseChanges(), 0u);
+    EXPECT_EQ(c.intervalLength(), 1000u);
+}
+
+TEST(Explore, BranchFrequencyChangeTriggersReexploration)
+{
+    IntervalExploreParams p;
+    p.initialInterval = 1000;
+    IntervalExploreController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+    for (int i = 0; i < 10; i++)
+        feed(c, 1000, cycle, 1.0, /*branch every*/ 6.0);
+    EXPECT_TRUE(c.stable());
+    // Dramatically more branches per interval.
+    feed(c, 1000, cycle, 1.0, /*branch every*/ 2.5);
+    EXPECT_EQ(c.phaseChanges(), 1u);
+    EXPECT_FALSE(c.stable());
+}
+
+TEST(Explore, IpcNoiseToleratedUntilThreshold)
+{
+    IntervalExploreParams p;
+    p.initialInterval = 1000;
+    IntervalExploreController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+    for (int i = 0; i < 8; i++)
+        feed(c, 1000, cycle, 1.0);
+    ASSERT_TRUE(c.stable());
+    // A couple of noisy intervals do not trigger a phase change...
+    feed(c, 1000, cycle, 1.5);
+    feed(c, 1000, cycle, 1.5);
+    EXPECT_EQ(c.phaseChanges(), 0u);
+    // ...but persistent IPC deviation eventually does.
+    for (int i = 0; i < 4; i++)
+        feed(c, 1000, cycle, 1.5);
+    EXPECT_GE(c.phaseChanges(), 1u);
+}
+
+TEST(Explore, InstabilityDoublesInterval)
+{
+    IntervalExploreParams p;
+    p.initialInterval = 1000;
+    IntervalExploreController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+    // Flip branch frequency every interval: constant phase changes.
+    for (int i = 0; i < 8; i++)
+        feed(c, 1000, cycle, 1.0, i % 2 ? 2.5 : 8.0);
+    EXPECT_GT(c.intervalLength(), 1000u);
+}
+
+TEST(Explore, DiscontinuesAtMaxInterval)
+{
+    IntervalExploreParams p;
+    p.initialInterval = 1000;
+    p.maxInterval = 4000;
+    IntervalExploreController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+    // Aperiodic branch-frequency churn so no interval length averages
+    // it away: the algorithm must eventually give up.
+    for (int i = 0; i < 400 && !c.discontinued(); i++)
+        feed(c, 500 + (i * 137) % 900, cycle, 1.0,
+             2.0 + (i * 7) % 11);
+    EXPECT_TRUE(c.discontinued());
+    int final_target = c.targetClusters();
+    // After discontinuing, nothing changes any more.
+    feed(c, 20000, cycle, 1.0, 3.0);
+    EXPECT_EQ(c.targetClusters(), final_target);
+}
+
+TEST(Explore, AttachDropsOversizedConfigs)
+{
+    IntervalExploreParams p;
+    p.initialInterval = 1000;
+    IntervalExploreController c(p);
+    c.attach(8, 8); // 16-cluster option must be dropped
+    Cycle cycle = 0;
+    for (int i = 0; i < 10; i++)
+        feed(c, 1000, cycle, 1.0);
+    EXPECT_LE(c.targetClusters(), 8);
+}
+
+// ---------------------------------------------------------------------------
+// IntervalIlpController
+// ---------------------------------------------------------------------------
+
+TEST(IntervalIlp, PicksBigOnDistantIlp)
+{
+    IntervalIlpParams p;
+    p.intervalLength = 1000;
+    p.distantPerMille = 160;
+    IntervalIlpController c(p);
+    c.attach(16, 16);
+    EXPECT_EQ(c.targetClusters(), 16); // measuring
+    Cycle cycle = 0;
+    feed(c, 1000, cycle, 1.0, 6.0, 3.0, /*distant=*/true);
+    EXPECT_EQ(c.targetClusters(), 16);
+    EXPECT_FALSE(c.measuring());
+}
+
+TEST(IntervalIlp, PicksSmallWithoutDistantIlp)
+{
+    IntervalIlpParams p;
+    p.intervalLength = 1000;
+    IntervalIlpController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+    feed(c, 1000, cycle, 1.0, 6.0, 3.0, /*distant=*/false);
+    EXPECT_EQ(c.targetClusters(), 4);
+}
+
+TEST(IntervalIlp, RemeasuresOnPhaseChange)
+{
+    IntervalIlpParams p;
+    p.intervalLength = 1000;
+    IntervalIlpController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+    feed(c, 1000, cycle, 1.0, 6.0, 3.0, false); // -> 4 clusters
+    feed(c, 2000, cycle, 1.0, 6.0, 3.0, false); // settled
+    ASSERT_EQ(c.targetClusters(), 4);
+    // Branch frequency shifts: re-measure at 16.
+    feed(c, 1000, cycle, 1.0, 2.5, 3.0, false);
+    EXPECT_TRUE(c.measuring());
+    EXPECT_EQ(c.targetClusters(), 16);
+    EXPECT_GE(c.phaseChanges(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// FinegrainController
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Commit a block of body instructions then one branch at branch_pc. */
+void
+commitBlock(FinegrainController &c, Addr branch_pc, int body,
+            bool distant, Cycle &cycle)
+{
+    CommitEvent ev;
+    for (int i = 0; i < body; i++) {
+        ev.pc = branch_pc + 0x100 + static_cast<Addr>(i) * 4;
+        ev.op = OpClass::IntAlu;
+        ev.distant = distant;
+        ev.cycle = ++cycle;
+        c.onCommit(ev);
+    }
+    ev.pc = branch_pc;
+    ev.op = OpClass::CondBranch;
+    ev.distant = distant;
+    ev.cycle = ++cycle;
+    c.onCommit(ev);
+}
+
+} // namespace
+
+TEST(Finegrain, DefaultsToBigWhileLearning)
+{
+    FinegrainParams p;
+    p.branchStride = 1;
+    p.ilpWindow = 36;
+    p.samplesNeeded = 2;
+    FinegrainController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+    commitBlock(c, 0x1000, 8, false, cycle);
+    EXPECT_EQ(c.targetClusters(), 16); // unknown branch: run wide
+}
+
+TEST(Finegrain, LearnsLowIlpBranchAdvisesSmall)
+{
+    FinegrainParams p;
+    p.branchStride = 1;
+    p.ilpWindow = 18;
+    p.samplesNeeded = 2;
+    p.distantThreshold = 6;
+    FinegrainController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+    // The same branch repeatedly followed by non-distant work.
+    for (int i = 0; i < 40; i++)
+        commitBlock(c, 0x2000, 8, false, cycle);
+    EXPECT_EQ(c.targetClusters(), 4);
+}
+
+TEST(Finegrain, LearnsHighIlpBranchAdvisesBig)
+{
+    FinegrainParams p;
+    p.branchStride = 1;
+    p.ilpWindow = 18;
+    p.samplesNeeded = 2;
+    p.distantThreshold = 6;
+    FinegrainController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+    for (int i = 0; i < 40; i++)
+        commitBlock(c, 0x3000, 8, true, cycle);
+    EXPECT_EQ(c.targetClusters(), 16);
+}
+
+TEST(Finegrain, BranchStrideSamplesEveryNth)
+{
+    FinegrainParams p;
+    p.branchStride = 5;
+    p.ilpWindow = 18;
+    FinegrainController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+    for (int i = 0; i < 50; i++)
+        commitBlock(c, 0x4000 + static_cast<Addr>(i % 10) * 0x40, 8,
+                    false, cycle);
+    // 50 branches / stride 5 = 10 reconfiguration points.
+    EXPECT_EQ(c.reconfigPoints(), 10u);
+}
+
+TEST(Finegrain, TableFlushForgetsDecisions)
+{
+    FinegrainParams p;
+    p.branchStride = 1;
+    p.ilpWindow = 18;
+    p.samplesNeeded = 2;
+    p.distantThreshold = 6;
+    p.flushPeriod = 2000;
+    FinegrainController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+    for (int i = 0; i < 40; i++)
+        commitBlock(c, 0x5000, 8, false, cycle);
+    ASSERT_EQ(c.targetClusters(), 4);
+    // Push past the flush period with different branches.
+    for (int i = 0; i < 300; i++)
+        commitBlock(c, 0x9000 + static_cast<Addr>(i % 50) * 0x40, 8,
+                    true, cycle);
+    EXPECT_GE(c.tableFlushes(), 1u);
+    // The old branch is unknown again: wide until re-sampled.
+    commitBlock(c, 0x5000, 8, false, cycle);
+    EXPECT_EQ(c.targetClusters(), 16);
+}
+
+TEST(Finegrain, SubroutineModeTriggersOnCallsOnly)
+{
+    FinegrainParams p;
+    p.subroutineMode = true;
+    p.ilpWindow = 18;
+    FinegrainController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+    CommitEvent ev;
+    ev.op = OpClass::CondBranch;
+    ev.pc = 0x100;
+    ev.cycle = ++cycle;
+    c.onCommit(ev);
+    EXPECT_EQ(c.reconfigPoints(), 0u);
+    ev.op = OpClass::Call;
+    ev.cycle = ++cycle;
+    c.onCommit(ev);
+    EXPECT_EQ(c.reconfigPoints(), 1u);
+    ev.op = OpClass::Return;
+    ev.cycle = ++cycle;
+    c.onCommit(ev);
+    EXPECT_EQ(c.reconfigPoints(), 2u);
+}
+
+TEST(Explore, DiscontinueFallsBackToMostPopularConfig)
+{
+    IntervalExploreParams p;
+    p.initialInterval = 1000;
+    p.maxInterval = 2000;
+    IntervalExploreController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+    // Stable long enough to accumulate popularity for one config, then
+    // churn until the algorithm gives up.
+    for (int i = 0; i < 30; i++)
+        feed(c, 1000, cycle, 1.0);
+    int settled = c.targetClusters();
+    for (int i = 0; i < 400 && !c.discontinued(); i++)
+        feed(c, 500 + (i * 137) % 900, cycle, 1.0,
+             2.0 + (i * 7) % 11);
+    ASSERT_TRUE(c.discontinued());
+    // The fallback is the configuration that accumulated stable time.
+    EXPECT_EQ(c.targetClusters(), settled);
+}
+
+TEST(IntervalIlp, ThresholdBoundaryExact)
+{
+    // Exactly at the threshold: "not greater" keeps the small config.
+    IntervalIlpParams p;
+    p.intervalLength = 1000;
+    p.distantPerMille = 500;
+    IntervalIlpController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+    // Alternate distant flags to hit exactly 500/1000.
+    for (int i = 0; i < 1000; i++) {
+        CommitEvent ev;
+        ev.op = OpClass::IntAlu;
+        ev.distant = (i % 2) == 0;
+        ev.cycle = ++cycle;
+        c.onCommit(ev);
+    }
+    EXPECT_EQ(c.targetClusters(), 4);
+}

@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Unit + property tests for the synthetic workload generator: ISA
+ * helpers, address streams, branch models, control-flow consistency of
+ * the generated stream, determinism, and the nine benchmark models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/logging.hh"
+#include "workload/benchmarks.hh"
+#include "workload/branch_model.hh"
+#include "workload/synthetic.hh"
+
+using namespace clustersim;
+
+// ---------------------------------------------------------------------------
+// ISA helpers
+// ---------------------------------------------------------------------------
+
+TEST(Isa, RegisterClasses)
+{
+    EXPECT_FALSE(isFpReg(0));
+    EXPECT_FALSE(isFpReg(31));
+    EXPECT_TRUE(isFpReg(32));
+    EXPECT_TRUE(isFpReg(63));
+}
+
+TEST(Isa, OpClassPredicates)
+{
+    EXPECT_TRUE(isMemOp(OpClass::Load));
+    EXPECT_TRUE(isMemOp(OpClass::Store));
+    EXPECT_FALSE(isMemOp(OpClass::IntAlu));
+    EXPECT_TRUE(isControlOp(OpClass::CondBranch));
+    EXPECT_TRUE(isControlOp(OpClass::Call));
+    EXPECT_TRUE(isControlOp(OpClass::Return));
+    EXPECT_FALSE(isControlOp(OpClass::Load));
+    EXPECT_TRUE(isFpOp(OpClass::FpMult));
+    EXPECT_FALSE(isFpOp(OpClass::IntMult));
+}
+
+TEST(Isa, NextPcFollowsTakenBranches)
+{
+    MicroOp op;
+    op.pc = 0x1000;
+    op.op = OpClass::CondBranch;
+    op.taken = false;
+    op.target = 0x2000;
+    EXPECT_EQ(op.nextPc(), 0x1004u);
+    op.taken = true;
+    EXPECT_EQ(op.nextPc(), 0x2000u);
+}
+
+// ---------------------------------------------------------------------------
+// AddressStream
+// ---------------------------------------------------------------------------
+
+TEST(AddressStream, StreamsAreSequential)
+{
+    AddressStreamParams p;
+    p.streams = 2;
+    p.strideBytes = 8;
+    p.streamSpanKB = 64;
+    AddressStream as(0x1000000, p, Rng(1));
+    Addr a0 = as.nextStream(0);
+    Addr a1 = as.nextStream(0);
+    EXPECT_EQ(a1, a0 + 8);
+}
+
+TEST(AddressStream, StreamsWrapWithinSpan)
+{
+    AddressStreamParams p;
+    p.streams = 1;
+    p.strideBytes = 8;
+    p.streamSpanKB = 1; // min span 1 KB
+    AddressStream as(0x1000000, p, Rng(1));
+    Addr first = as.nextStream(0);
+    for (int i = 0; i < 127; i++)
+        as.nextStream(0);
+    EXPECT_EQ(as.nextStream(0), first); // wrapped after 1024/8 accesses
+}
+
+TEST(AddressStream, DistinctStreamsDisjoint)
+{
+    AddressStreamParams p;
+    p.streams = 2;
+    p.streamSpanKB = 4;
+    AddressStream as(0x1000000, p, Rng(1));
+    Addr a = as.nextStream(0);
+    Addr b = as.nextStream(1);
+    EXPECT_NE(a, b);
+}
+
+TEST(AddressStream, RandomWithinFootprint)
+{
+    AddressStreamParams p;
+    p.footprintKB = 64;
+    p.hotFraction = 0.0;
+    AddressStream as(0x2000000, p, Rng(2));
+    for (int i = 0; i < 1000; i++) {
+        Addr a = as.nextRandom();
+        EXPECT_GE(a, 0x2000000u);
+        EXPECT_LT(a, 0x2000000u + 64 * 1024);
+        EXPECT_EQ(a % 8, 0u);
+    }
+}
+
+TEST(AddressStream, HotFractionConcentrates)
+{
+    AddressStreamParams p;
+    p.footprintKB = 1024;
+    p.hotFraction = 0.9;
+    p.hotRegionKB = 8;
+    AddressStream as(0x2000000, p, Rng(3));
+    int hot = 0;
+    for (int i = 0; i < 2000; i++)
+        if (as.nextRandom() < 0x2000000u + 8 * 1024)
+            hot++;
+    EXPECT_GT(hot, 1700);
+}
+
+TEST(AddressStream, ChaseStaysInChaseRegion)
+{
+    AddressStreamParams p;
+    p.footprintKB = 1024;
+    p.chaseRegionKB = 16;
+    AddressStream as(0x3000000, p, Rng(4));
+    for (int i = 0; i < 500; i++) {
+        Addr a = as.nextChase();
+        EXPECT_GE(a, 0x3000000u);
+        EXPECT_LT(a, 0x3000000u + 16 * 1024);
+    }
+}
+
+TEST(AddressStream, RewindRestartsStreams)
+{
+    AddressStreamParams p;
+    p.streams = 1;
+    AddressStream as(0x1000000, p, Rng(5));
+    Addr first = as.nextStream(0);
+    as.nextStream(0);
+    as.rewindStreams();
+    EXPECT_EQ(as.nextStream(0), first);
+}
+
+// ---------------------------------------------------------------------------
+// BranchModel
+// ---------------------------------------------------------------------------
+
+TEST(BranchModel, BiasedFollowsBias)
+{
+    Rng build(1);
+    for (int attempt = 0; attempt < 16; attempt++) {
+        BranchModel m(BranchClass::Biased, 0.95, build);
+        Rng dyn(7);
+        int taken = 0;
+        for (int i = 0; i < 1000; i++)
+            if (m.nextOutcome(dyn))
+                taken++;
+        double rate = taken / 1000.0;
+        // Construction flips the bias direction half the time.
+        EXPECT_TRUE(rate > 0.9 || rate < 0.1);
+    }
+}
+
+TEST(BranchModel, PatternIsPeriodic)
+{
+    Rng build(3);
+    BranchModel m(BranchClass::Pattern, 0.9, build);
+    Rng dyn(9);
+    std::vector<bool> seq;
+    for (int i = 0; i < 64; i++)
+        seq.push_back(m.nextOutcome(dyn));
+    bool periodic = false;
+    for (int p = 2; p <= 8 && !periodic; p++) {
+        bool ok = true;
+        for (std::size_t i = static_cast<std::size_t>(p); i < seq.size();
+             i++) {
+            if (seq[i] != seq[i - static_cast<std::size_t>(p)])
+                ok = false;
+        }
+        periodic = ok;
+    }
+    EXPECT_TRUE(periodic);
+}
+
+TEST(BranchModel, RandomIsBalanced)
+{
+    Rng build(5);
+    BranchModel m(BranchClass::Random, 0.9, build);
+    Rng dyn(11);
+    int taken = 0;
+    for (int i = 0; i < 4000; i++)
+        if (m.nextOutcome(dyn))
+            taken++;
+    EXPECT_NEAR(taken / 4000.0, 0.5, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// SyntheticWorkload: stream-level properties
+// ---------------------------------------------------------------------------
+
+namespace {
+
+WorkloadSpec
+tinySpec()
+{
+    WorkloadSpec w;
+    w.name = "tiny";
+    w.seed = 77;
+    PhaseSpec a;
+    a.name = "a";
+    a.codeBlocks = 16;
+    a.chainCount = 4;
+    a.fracCallBlocks = 0.2;
+    a.numFunctions = 2;
+    PhaseSpec b = a;
+    b.name = "b";
+    b.fracLoad = 0.4;
+    w.phases = {a, b};
+    w.schedule = {{0, 5000}, {1, 5000}};
+    return w;
+}
+
+} // namespace
+
+TEST(Synthetic, Deterministic)
+{
+    SyntheticWorkload w1(tinySpec());
+    SyntheticWorkload w2(tinySpec());
+    for (int i = 0; i < 20000; i++) {
+        MicroOp a = w1.next();
+        MicroOp b = w2.next();
+        ASSERT_EQ(a.pc, b.pc);
+        ASSERT_EQ(a.op, b.op);
+        ASSERT_EQ(a.taken, b.taken);
+        ASSERT_EQ(a.effAddr, b.effAddr);
+    }
+}
+
+TEST(Synthetic, ResetReplaysStream)
+{
+    SyntheticWorkload w(tinySpec());
+    std::vector<Addr> pcs;
+    for (int i = 0; i < 5000; i++)
+        pcs.push_back(w.next().pc);
+    w.reset();
+    for (int i = 0; i < 5000; i++)
+        ASSERT_EQ(w.next().pc, pcs[static_cast<std::size_t>(i)]);
+}
+
+TEST(Synthetic, ControlFlowConsistent)
+{
+    // Along the committed path, each instruction's pc must equal the
+    // previous instruction's nextPc(), except at phase switches (block
+    // boundary jumps between code regions).
+    SyntheticWorkload w(tinySpec());
+    MicroOp prev = w.next();
+    int discontinuities = 0;
+    for (int i = 0; i < 50000; i++) {
+        MicroOp cur = w.next();
+        if (cur.pc != prev.nextPc())
+            discontinuities++;
+        prev = cur;
+    }
+    EXPECT_LE(discontinuities, 25);
+}
+
+TEST(Synthetic, CallsAndReturnsBalance)
+{
+    SyntheticWorkload w(tinySpec());
+    long depth = 0;
+    long max_depth = 0;
+    int calls = 0;
+    for (int i = 0; i < 100000; i++) {
+        MicroOp op = w.next();
+        if (op.op == OpClass::Call) {
+            depth++;
+            calls++;
+        }
+        if (op.op == OpClass::Return)
+            depth--;
+        max_depth = std::max(max_depth, depth);
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_GT(calls, 0);
+    EXPECT_LE(max_depth, 12);
+}
+
+TEST(Synthetic, BranchTargetsMatchStaticBlocks)
+{
+    // Taken conditional branches must always report the same target for
+    // the same branch pc (static CFG), or the BTB could never work.
+    SyntheticWorkload w(tinySpec());
+    std::map<Addr, Addr> target_of;
+    for (int i = 0; i < 100000; i++) {
+        MicroOp op = w.next();
+        if (op.op == OpClass::CondBranch) {
+            auto it = target_of.find(op.pc);
+            if (it == target_of.end())
+                target_of[op.pc] = op.target;
+            else
+                ASSERT_EQ(it->second, op.target);
+        }
+    }
+    EXPECT_GT(target_of.size(), 4u);
+}
+
+TEST(Synthetic, RegistersWithinRange)
+{
+    SyntheticWorkload w(tinySpec());
+    for (int i = 0; i < 50000; i++) {
+        MicroOp op = w.next();
+        for (RegIndex r : {op.src1, op.src2, op.dest}) {
+            if (r != invalidReg) {
+                ASSERT_GE(r, 0);
+                ASSERT_LT(r, numLogicalRegs);
+            }
+        }
+        if (op.isFp() && op.dest != invalidReg) {
+            ASSERT_TRUE(isFpReg(op.dest));
+        }
+    }
+}
+
+TEST(Synthetic, MemOpsCarryAddresses)
+{
+    SyntheticWorkload w(tinySpec());
+    int mem_ops = 0;
+    for (int i = 0; i < 20000; i++) {
+        MicroOp op = w.next();
+        if (op.isMem()) {
+            mem_ops++;
+            ASSERT_NE(op.effAddr, 0u);
+            if (op.isLoad())
+                ASSERT_NE(op.src1, invalidReg); // address operand
+            else
+                ASSERT_NE(op.src2, invalidReg);
+        }
+    }
+    EXPECT_GT(mem_ops, 2000);
+}
+
+TEST(Synthetic, PhaseScheduleAdvances)
+{
+    SyntheticWorkload w(tinySpec());
+    std::set<int> seen;
+    for (int i = 0; i < 40000; i++) {
+        w.next();
+        seen.insert(w.currentPhase());
+    }
+    EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(Synthetic, MixTracksSpec)
+{
+    WorkloadSpec spec = tinySpec();
+    spec.schedule = {{1, 1000000}}; // phase b: fracLoad 0.4
+    SyntheticWorkload w(spec);
+    int loads = 0, total = 60000;
+    for (int i = 0; i < total; i++)
+        if (w.next().isLoad())
+            loads++;
+    // Branch slots dilute the body fraction somewhat.
+    EXPECT_NEAR(loads / static_cast<double>(total), 0.4, 0.08);
+}
+
+TEST(Synthetic, UniformMixIsStable)
+{
+    WorkloadSpec spec = tinySpec();
+    spec.phases[0].uniformBlockMix = true;
+    spec.schedule = {{0, 1000000}};
+    SyntheticWorkload w(spec);
+    // Memref counts of consecutive 2000-instruction windows should be
+    // nearly identical with a stratified mix.
+    std::vector<int> counts;
+    for (int win = 0; win < 10; win++) {
+        int memrefs = 0;
+        for (int i = 0; i < 2000; i++)
+            if (w.next().isMem())
+                memrefs++;
+        counts.push_back(memrefs);
+    }
+    int lo = *std::min_element(counts.begin(), counts.end());
+    int hi = *std::max_element(counts.begin(), counts.end());
+    EXPECT_LE(hi - lo, 40); // within 2% of the window
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark models
+// ---------------------------------------------------------------------------
+
+TEST(Benchmarks, AllNinePresent)
+{
+    EXPECT_EQ(benchmarkNames().size(), 9u);
+    EXPECT_EQ(allBenchmarks().size(), 9u);
+}
+
+TEST(Benchmarks, UnknownNameFatals)
+{
+    EXPECT_THROW(makeBenchmark("quake"), SimError);
+}
+
+TEST(Benchmarks, SpecsAreConstructible)
+{
+    for (const auto &name : benchmarkNames()) {
+        WorkloadSpec spec = makeBenchmark(name);
+        EXPECT_EQ(spec.name, name);
+        EXPECT_FALSE(spec.phases.empty());
+        EXPECT_FALSE(spec.schedule.empty());
+        SyntheticWorkload w(spec);
+        for (int i = 0; i < 2000; i++)
+            w.next();
+        EXPECT_EQ(w.generated(), 2000u);
+    }
+}
+
+TEST(Benchmarks, FpCodesGenerateFpOps)
+{
+    for (const char *name : {"galgel", "mgrid", "swim"}) {
+        SyntheticWorkload w(makeBenchmark(name));
+        int fp = 0;
+        for (int i = 0; i < 20000; i++)
+            if (w.next().isFp())
+                fp++;
+        EXPECT_GT(fp, 4000) << name;
+    }
+}
+
+TEST(Benchmarks, IntCodesGenerateNoFpOps)
+{
+    for (const char *name : {"gzip", "vpr", "parser", "crafty"}) {
+        SyntheticWorkload w(makeBenchmark(name));
+        int fp = 0;
+        for (int i = 0; i < 20000; i++)
+            if (w.next().isFp())
+                fp++;
+        EXPECT_EQ(fp, 0) << name;
+    }
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Calibration harness (not part of the shipped benches): prints, for
+ * each benchmark model, the monolithic baseline IPC and mispredict
+ * interval (Table 3 targets) and the static 2/4/8/16-cluster IPCs
+ * (Figure 3 shape targets).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/params.hh"
+#include "sim/presets.hh"
+#include "sim/simulation.hh"
+
+using namespace clustersim;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t insts = argc > 1
+        ? std::strtoull(argv[1], nullptr, 10)
+        : 400000;
+
+    std::printf("%-8s %6s %8s | %6s %6s %6s %6s | %7s %6s\n", "bench",
+                "mono", "mispred", "c2", "c4", "c8", "c16", "distant",
+                "l1miss");
+    for (const auto &name : benchmarkNames()) {
+        WorkloadSpec w = makeBenchmark(name);
+        SimResult mono = runSimulation(monolithicConfig(16), w, nullptr,
+                                       defaultWarmup, insts);
+        double ipc[4];
+        double distant16 = 0, l1miss16 = 0;
+        int idx = 0;
+        for (int n : {2, 4, 8, 16}) {
+            SimResult r = runSimulation(staticSubsetConfig(n), w,
+                                        nullptr, defaultWarmup, insts);
+            ipc[idx++] = r.ipc;
+            if (n == 16) {
+                distant16 = r.distantFraction;
+                l1miss16 = r.l1MissRate;
+            }
+        }
+        std::printf("%-8s %6.2f %8.0f | %6.2f %6.2f %6.2f %6.2f |"
+                    " %7.3f %6.3f\n",
+                    name.c_str(), mono.ipc, mono.mispredictInterval,
+                    ipc[0], ipc[1], ipc[2], ipc[3], distant16, l1miss16);
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Scratch diagnostic: communication-cost anatomy of one benchmark at a
+ * given static cluster count (with and without the free-communication
+ * idealizations the paper quotes: +31% for free ld/st, +11% for free
+ * register communication at 16 clusters).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/presets.hh"
+#include "sim/simulation.hh"
+
+using namespace clustersim;
+
+static void
+runOne(const char *label, ProcessorConfig cfg, const WorkloadSpec &w,
+       std::uint64_t insts)
+{
+    SyntheticWorkload trace(w);
+    Processor proc(cfg, &trace);
+    proc.run(defaultWarmup);
+    proc.resetStats();
+    Cycle c0 = proc.cycle();
+    std::uint64_t i0 = proc.committed();
+    proc.run(insts);
+    const ProcessorStats &st = proc.stats();
+    double ipc = static_cast<double>(proc.committed() - i0) /
+                 static_cast<double>(proc.cycle() - c0);
+    double cyc = static_cast<double>(st.cycles) / 100.0;
+    std::printf("%-22s IPC %5.2f  netlat %4.1f  mispred %5.0f  "
+                "distant %.2f | stall%%: iq %4.1f reg %4.1f lsq %4.1f "
+                "rob %4.1f fe %4.1f\n",
+                label, ipc, proc.network().avgLatency(),
+                st.mispredicts ? static_cast<double>(insts) /
+                                     static_cast<double>(st.mispredicts)
+                               : 0.0,
+                static_cast<double>(st.distantIssued) /
+                    static_cast<double>(insts),
+                st.stallIq / cyc, st.stallReg / cyc, st.stallLsq / cyc,
+                st.stallRob / cyc, st.stallEmpty / cyc);
+}
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "gzip";
+    std::uint64_t insts = argc > 2
+        ? std::strtoull(argv[2], nullptr, 10) : 300000;
+    WorkloadSpec w = makeBenchmark(bench);
+
+    for (int n : {4, 16}) {
+        ProcessorConfig base = staticSubsetConfig(n);
+        runOne(("static-" + std::to_string(n)).c_str(), base, w, insts);
+
+        ProcessorConfig fm = base;
+        fm.freeMemComm = true;
+        runOne(("  freeMem-" + std::to_string(n)).c_str(), fm, w, insts);
+
+        ProcessorConfig fr = base;
+        fr.freeRegComm = true;
+        runOne(("  freeReg-" + std::to_string(n)).c_str(), fr, w, insts);
+    }
+    return 0;
+}

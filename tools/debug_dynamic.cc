@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Scratch diagnostic: dynamic schemes vs. static configurations per
+ * benchmark (the Figure 5/6 pre-check).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stats.hh"
+#include "reconfig/finegrain.hh"
+#include "reconfig/interval_explore.hh"
+#include "reconfig/interval_ilp.hh"
+#include "sim/presets.hh"
+#include "sim/simulation.hh"
+
+using namespace clustersim;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t insts = argc > 1
+        ? std::strtoull(argv[1], nullptr, 10) : 400000;
+    double ilp_thresh = argc > 2 ? std::atof(argv[2]) : 160.0;
+    int fg_thresh = argc > 3 ? std::atoi(argv[3]) : 58;
+
+    std::printf("%-8s %6s %6s | %7s %7s %7s %7s | %6s %6s\n", "bench",
+                "c4", "c16", "ivl-exp", "ivl-ilp", "fg-br", "fg-sub",
+                "act", "best+");
+    std::vector<double> sp_exp, sp_ilp, sp_fg, sp_sub;
+    for (const auto &name : benchmarkNames()) {
+        WorkloadSpec w = makeBenchmark(name);
+        ProcessorConfig cfg = clusteredConfig(16);
+
+        SimResult s4 = runSimulation(staticSubsetConfig(4), w, nullptr,
+                                     defaultWarmup, insts);
+        SimResult s16 = runSimulation(staticSubsetConfig(16), w, nullptr,
+                                      defaultWarmup, insts);
+        double best = std::max(s4.ipc, s16.ipc);
+
+        IntervalExploreParams iep;
+        iep.initialInterval = 10000;  // paper value
+        iep.maxInterval = 2000000;
+        IntervalExploreController iec(iep);
+        SimResult rexp = runSimulation(cfg, w, &iec, defaultWarmup,
+                                       insts);
+
+        IntervalIlpParams iip;
+        iip.distantPerMille = ilp_thresh;
+        IntervalIlpController iic(iip);
+        SimResult rilp = runSimulation(cfg, w, &iic, defaultWarmup,
+                                       insts);
+
+        FinegrainParams fgp;
+        fgp.distantThreshold = fg_thresh;
+        FinegrainController fgc(fgp);
+        SimResult rfg = runSimulation(cfg, w, &fgc, defaultWarmup,
+                                      insts);
+
+        FinegrainParams sgp;
+        sgp.subroutineMode = true;
+        sgp.samplesNeeded = 3;
+        sgp.distantThreshold = fg_thresh;
+        FinegrainController sgc(sgp);
+        SimResult rsub = runSimulation(cfg, w, &sgc, defaultWarmup,
+                                       insts);
+
+        sp_exp.push_back(rexp.ipc / best);
+        sp_ilp.push_back(rilp.ipc / best);
+        sp_fg.push_back(rfg.ipc / best);
+        sp_sub.push_back(rsub.ipc / best);
+
+        std::printf("%-8s %6.2f %6.2f | %7.2f %7.2f %7.2f %7.2f |"
+                    " %6.1f %5.2fx  [exp: pc=%llu ex=%llu ivl=%llu"
+                    " disc=%d tgt=%d br=%llu mem=%llu ipc=%llu]\n",
+                    name.c_str(), s4.ipc, s16.ipc, rexp.ipc, rilp.ipc,
+                    rfg.ipc, rsub.ipc, rexp.avgActiveClusters,
+                    rexp.ipc / best,
+                    static_cast<unsigned long long>(iec.phaseChanges()),
+                    static_cast<unsigned long long>(iec.explorations()),
+                    static_cast<unsigned long long>(iec.intervalLength()),
+                    iec.discontinued() ? 1 : 0, iec.targetClusters(),
+                    static_cast<unsigned long long>(
+                        iec.changesFromBranches()),
+                    static_cast<unsigned long long>(
+                        iec.changesFromMemrefs()),
+                    static_cast<unsigned long long>(
+                        iec.changesFromIpc()));
+    }
+    std::printf("\ngeomean speedup over best static: explore %.3f"
+                "  ilp %.3f  finegrain %.3f  subroutine %.3f\n",
+                geomean(sp_exp), geomean(sp_ilp), geomean(sp_fg),
+                geomean(sp_sub));
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Scratch diagnostic: per-phase oracle controller. Exploits the
+ * generator's layout (phase i's code starts at 0x400000 + i*16MB) to
+ * switch instantly to a per-phase-optimal cluster count; bounds what
+ * any reactive controller could possibly achieve.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/presets.hh"
+#include "sim/simulation.hh"
+
+using namespace clustersim;
+
+namespace {
+
+class OracleController : public ReconfigController
+{
+  public:
+    explicit OracleController(std::vector<int> per_phase)
+        : perPhase_(std::move(per_phase))
+    {}
+
+    void
+    onCommit(const CommitEvent &ev) override
+    {
+        std::size_t phase = (ev.pc - 0x400000) >> 24;
+        if (phase < perPhase_.size())
+            target_ = perPhase_[phase];
+    }
+
+    int targetClusters() const override { return target_; }
+    std::string name() const override { return "oracle"; }
+
+  private:
+    std::vector<int> perPhase_;
+    int target_ = 16;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "cjpeg";
+    std::uint64_t insts = argc > 2
+        ? std::strtoull(argv[2], nullptr, 10) : 1000000;
+
+    WorkloadSpec w = makeBenchmark(bench);
+
+    SimResult c4 = runSimulation(staticSubsetConfig(4), w, nullptr,
+                                 defaultWarmup, insts);
+    SimResult c16 = runSimulation(staticSubsetConfig(16), w, nullptr,
+                                  defaultWarmup, insts);
+
+    // Determine the per-phase best from isolated runs.
+    std::vector<int> best;
+    for (std::size_t p = 0; p < w.phases.size(); p++) {
+        WorkloadSpec iso = w;
+        iso.schedule = {{static_cast<int>(p), 1000000}};
+        SimResult i4 = runSimulation(staticSubsetConfig(4), iso,
+                                     nullptr, defaultWarmup, 250000);
+        SimResult i16 = runSimulation(staticSubsetConfig(16), iso,
+                                      nullptr, defaultWarmup, 250000);
+        best.push_back(i16.ipc > i4.ipc ? 16 : 4);
+        std::printf("phase %zu (%s): c4 %.2f c16 %.2f -> %d\n", p,
+                    w.phases[p].name.c_str(), i4.ipc, i16.ipc,
+                    best.back());
+    }
+
+    OracleController oracle(best);
+    SimResult ro = runSimulation(clusteredConfig(16), w, &oracle,
+                                 defaultWarmup, insts);
+
+    double bs = std::max(c4.ipc, c16.ipc);
+    std::printf("\n%s: static-4 %.2f  static-16 %.2f  oracle %.2f  "
+                "(oracle/best-static %.3f)\n",
+                bench.c_str(), c4.ipc, c16.ipc, ro.ipc, ro.ipc / bs);
+    return 0;
+}

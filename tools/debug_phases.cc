@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Scratch diagnostic: per-phase cluster-count preference. For each
+ * benchmark, run each phase in isolation at 4 and 16 clusters. The
+ * dynamic schemes can only beat the best static configuration when
+ * phases of one program genuinely prefer different configurations.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/presets.hh"
+#include "sim/simulation.hh"
+
+using namespace clustersim;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t insts = argc > 1
+        ? std::strtoull(argv[1], nullptr, 10) : 250000;
+
+    for (const auto &name : benchmarkNames()) {
+        WorkloadSpec w = makeBenchmark(name);
+        for (std::size_t p = 0; p < w.phases.size(); p++) {
+            WorkloadSpec iso = w;
+            iso.schedule = {{static_cast<int>(p), 1000000}};
+            SimResult r4 = runSimulation(staticSubsetConfig(4), iso,
+                                         nullptr, defaultWarmup, insts);
+            SimResult r16 = runSimulation(staticSubsetConfig(16), iso,
+                                          nullptr, defaultWarmup, insts);
+            std::printf("%-8s %-10s c4 %5.2f  c16 %5.2f  -> %s\n",
+                        name.c_str(), w.phases[p].name.c_str(), r4.ipc,
+                        r16.ipc, r16.ipc > r4.ipc * 1.03
+                            ? "16"
+                            : (r4.ipc > r16.ipc * 1.03 ? "4" : "~"));
+        }
+    }
+    return 0;
+}
