@@ -34,41 +34,36 @@ runLength(int argc, char **argv, std::uint64_t fallback = defaultRun)
     return argc > 1 ? std::strtoull(argv[1], nullptr, 10) : fallback;
 }
 
+// The controller factories live in sim/presets so the sweep CLI and
+// the bench harnesses build identical machines; these aliases keep the
+// harness code short.
+
 /** Interval-explore controller with this repo's scaled bounds. */
 inline std::unique_ptr<ReconfigController>
 makeExplore()
 {
-    IntervalExploreParams p;
-    p.initialInterval = 10000;   // paper value
-    p.maxInterval = 10000000;    // paper: 1B, scaled with run lengths
-    return std::make_unique<IntervalExploreController>(p);
+    return makeExploreController();
 }
 
 /** Interval controller without exploration at a fixed length. */
 inline std::unique_ptr<ReconfigController>
 makeIlp(std::uint64_t interval)
 {
-    IntervalIlpParams p;
-    p.intervalLength = interval;
-    return std::make_unique<IntervalIlpController>(p);
+    return makeIlpController(interval);
 }
 
 /** Fine-grained branch-boundary controller (paper defaults). */
 inline std::unique_ptr<ReconfigController>
 makeFinegrain()
 {
-    FinegrainParams p;
-    return std::make_unique<FinegrainController>(p);
+    return makeFinegrainController();
 }
 
 /** Subroutine call/return variant (3 samples). */
 inline std::unique_ptr<ReconfigController>
 makeSubroutine()
 {
-    FinegrainParams p;
-    p.subroutineMode = true;
-    p.samplesNeeded = 3;
-    return std::make_unique<FinegrainController>(p);
+    return makeSubroutineController();
 }
 
 /** Print the standard harness header. */

@@ -10,6 +10,7 @@
 #include "bench/bench_common.hh"
 
 #include "common/table.hh"
+#include "sim/sweep.hh"
 
 using namespace clustersim;
 using namespace clustersim::bench;
@@ -44,9 +45,27 @@ main(int argc, char **argv)
              "paper ivl", "L1 miss", "br accuracy"});
     ProcessorConfig mono = monolithicConfig(16);
 
+    // One run point per benchmark, executed on the parallel sweep
+    // engine; results come back in submission order.
+    std::vector<RunPoint> points;
     for (const PaperRow &row : paperRows) {
-        SimResult r = runSimulation(mono, makeBenchmark(row.name),
-                                    nullptr, defaultWarmup, insts);
+        RunPoint p;
+        p.cfg = mono;
+        p.workload = makeBenchmark(row.name);
+        p.warmup = defaultWarmup;
+        p.measure = insts;
+        points.push_back(std::move(p));
+    }
+    SweepOptions opts;
+    opts.deriveSeeds = false; // calibrated against historical seeds
+    opts.onComplete = [](std::size_t, const SimResult &r) {
+        std::fprintf(stderr, "  %-8s done\n", r.benchmark.c_str());
+    };
+    SweepResult sweep = runSweep(points, opts);
+
+    for (std::size_t i = 0; i < sweep.runs.size(); i++) {
+        const PaperRow &row = paperRows[i];
+        const SimResult &r = sweep.runs[i].result;
         t.startRow();
         t.cell(row.name);
         t.cell(r.ipc);
@@ -55,7 +74,6 @@ main(int argc, char **argv)
         t.cell(row.mispred, 0);
         t.cell(r.l1MissRate, 3);
         t.cell(r.branchAccuracy, 3);
-        std::fprintf(stderr, "  %-8s done\n", row.name);
     }
 
     std::printf("%s\n", t.format().c_str());

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * Enough JSON for the sweep reports: objects, arrays, strings with
+ * escaping, integers, and doubles serialized with enough digits to
+ * round-trip bit-exactly. No external dependencies, no DOM -- the
+ * writer appends to an internal string and tracks separators per
+ * nesting level.
+ */
+
+#ifndef CLUSTERSIM_COMMON_JSON_HH
+#define CLUSTERSIM_COMMON_JSON_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace clustersim {
+
+/** Append-only JSON document builder. */
+class JsonWriter
+{
+  public:
+    JsonWriter() { frames_.push_back({Frame::Top, true}); }
+
+    /** Finish and return the document; the writer is left empty. */
+    std::string
+    str()
+    {
+        CSIM_ASSERT(frames_.size() == 1 && !frames_.back().first_,
+                    "unbalanced or empty JSON document");
+        return std::move(out_);
+    }
+
+    JsonWriter &
+    beginObject()
+    {
+        preValue();
+        out_ += '{';
+        frames_.push_back({Frame::Object, true});
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        CSIM_ASSERT(frames_.back().kind == Frame::Object);
+        frames_.pop_back();
+        out_ += '}';
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        preValue();
+        out_ += '[';
+        frames_.push_back({Frame::Array, true});
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        CSIM_ASSERT(frames_.back().kind == Frame::Array);
+        frames_.pop_back();
+        out_ += ']';
+        return *this;
+    }
+
+    /** Object key; must be followed by exactly one value. */
+    JsonWriter &
+    key(const std::string &k)
+    {
+        CSIM_ASSERT(frames_.back().kind == Frame::Object);
+        separator();
+        appendString(k);
+        out_ += ':';
+        pendingKey_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(const std::string &v)
+    {
+        preValue();
+        appendString(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(const char *v)
+    {
+        return value(std::string(v));
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        preValue();
+        out_ += v ? "true" : "false";
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::uint64_t v)
+    {
+        preValue();
+        out_ += std::to_string(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::int64_t v)
+    {
+        preValue();
+        out_ += std::to_string(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(int v)
+    {
+        return value(static_cast<std::int64_t>(v));
+    }
+
+    JsonWriter &
+    value(double v)
+    {
+        preValue();
+        if (!std::isfinite(v)) {
+            // JSON has no inf/nan; report them as null.
+            out_ += "null";
+            return *this;
+        }
+        char buf[32];
+        // %.17g round-trips every finite double.
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        out_ += buf;
+        return *this;
+    }
+
+    /** key + value in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+  private:
+    struct Frame {
+        enum Kind { Top, Object, Array } kind;
+        bool first_;
+    };
+
+    void
+    separator()
+    {
+        if (!frames_.back().first_)
+            out_ += ',';
+        frames_.back().first_ = false;
+    }
+
+    void
+    preValue()
+    {
+        if (pendingKey_) {
+            pendingKey_ = false; // key() already wrote the separator
+            return;
+        }
+        CSIM_ASSERT(frames_.back().kind != Frame::Object,
+                    "object members need a key");
+        separator();
+    }
+
+    void
+    appendString(const std::string &s)
+    {
+        out_ += '"';
+        for (char c : s) {
+            switch (c) {
+            case '"': out_ += "\\\""; break;
+            case '\\': out_ += "\\\\"; break;
+            case '\n': out_ += "\\n"; break;
+            case '\r': out_ += "\\r"; break;
+            case '\t': out_ += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out_ += buf;
+                } else {
+                    out_ += c;
+                }
+            }
+        }
+        out_ += '"';
+    }
+
+    std::string out_;
+    std::vector<Frame> frames_;
+    bool pendingKey_ = false;
+};
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_COMMON_JSON_HH

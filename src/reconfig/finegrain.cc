@@ -1,11 +1,14 @@
 #include "reconfig/finegrain.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace clustersim {
 
 FinegrainController::FinegrainController(const FinegrainParams &params)
-    : params_(params), table_(params.tableEntries),
+    : params_(params), origBig_(params.bigConfig),
+      origSmall_(params.smallConfig), table_(params.tableEntries),
       tracker_(params.ilpWindow), target_(params.bigConfig)
 {
     CSIM_ASSERT((params_.tableEntries &
@@ -18,11 +21,22 @@ void
 FinegrainController::attach(int hw_clusters, int initial)
 {
     ReconfigController::attach(hw_clusters, initial);
-    if (params_.bigConfig > hw_clusters)
-        params_.bigConfig = hw_clusters;
-    if (params_.smallConfig > hw_clusters)
-        params_.smallConfig = hw_clusters;
+    // Clamp from the constructor-time values so re-attaching to wider
+    // hardware regains the original configurations.
+    params_.bigConfig = std::min(origBig_, hw_clusters);
+    params_.smallConfig = std::min(origSmall_, hw_clusters);
     target_ = params_.bigConfig;
+
+    // Reset all per-run state (learned table, ILP window, counters) so
+    // a reused controller's second run reproduces a fresh controller's
+    // decisions exactly.
+    for (auto &e : table_)
+        e = TableEntry{};
+    tracker_.reset();
+    branchCounter_ = 0;
+    sinceFlush_ = 0;
+    reconfigPoints_ = 0;
+    tableFlushes_ = 0;
 }
 
 FinegrainController::TableEntry &

@@ -78,6 +78,8 @@ class FinegrainController : public ReconfigController
     bool isReconfigPoint(const CommitEvent &ev);
 
     FinegrainParams params_;
+    int origBig_;   ///< constructor-time bigConfig (pre-clamp)
+    int origSmall_; ///< constructor-time smallConfig (pre-clamp)
     std::vector<TableEntry> table_;
     DistantIlpTracker tracker_;
 

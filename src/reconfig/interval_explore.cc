@@ -9,7 +9,8 @@ namespace clustersim {
 
 IntervalExploreController::IntervalExploreController(
     const IntervalExploreParams &params)
-    : params_(params), intervalLength_(params.initialInterval),
+    : params_(params), allConfigs_(params.configs),
+      intervalLength_(params.initialInterval),
       exploreIpc_(params.configs.size(), 0.0)
 {
     CSIM_ASSERT(!params_.configs.empty());
@@ -20,15 +21,43 @@ void
 IntervalExploreController::attach(int hw_clusters, int initial)
 {
     ReconfigController::attach(hw_clusters, initial);
-    // Drop configurations the hardware cannot provide.
+    // Drop configurations the hardware cannot provide (from the
+    // constructor-time list, so re-attaching to wider hardware regains
+    // configurations a narrower previous attach dropped).
     std::vector<int> usable;
-    for (int c : params_.configs)
+    for (int c : allConfigs_)
         if (c <= hw_clusters)
             usable.push_back(c);
     CSIM_ASSERT(!usable.empty());
     params_.configs = usable;
     exploreIpc_.assign(params_.configs.size(), 0.0);
     target_ = params_.configs.front();
+
+    // Reset all per-run state: a controller is reusable across runs
+    // (a sweep attaches the same object to a fresh processor), and a
+    // second run must start from scratch rather than mid-phase or
+    // permanently discontinued.
+    intervalLength_ = params_.initialInterval;
+    instsInInterval_ = 0;
+    branchesInInterval_ = 0;
+    memrefsInInterval_ = 0;
+    intervalStartCycle_ = 0;
+    startCycleValid_ = false;
+    haveReference_ = false;
+    stable_ = false;
+    discontinued_ = false;
+    numIpcVariations_ = 0.0;
+    instability_ = 0.0;
+    refBranches_ = 0;
+    refMemrefs_ = 0;
+    refIpc_ = 0.0;
+    exploreIdx_ = 0;
+    popularity_.clear();
+    phaseChanges_ = 0;
+    explorations_ = 0;
+    chgBranch_ = 0;
+    chgMem_ = 0;
+    chgIpc_ = 0;
 }
 
 void
@@ -157,14 +186,19 @@ IntervalExploreController::phaseChange()
             // Give up on reconfiguration; settle on the most popular
             // configuration observed so far.
             discontinued_ = true;
+            // Strict '>' over the ascending map: popularity ties go to
+            // the smaller cluster count (deterministic, and the cheaper
+            // choice in leakage when the evidence is equal).
             std::uint64_t best_use = 0;
+            bool have_best = false;
             for (const auto &[cfg, use] : popularity_) {
-                if (use >= best_use) {
+                if (!have_best || use > best_use) {
                     best_use = use;
                     target_ = cfg;
+                    have_best = true;
                 }
             }
-            if (popularity_.empty())
+            if (!have_best)
                 target_ = params_.configs.back();
         }
     }

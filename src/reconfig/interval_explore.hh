@@ -65,6 +65,8 @@ class IntervalExploreController : public ReconfigController
     void phaseChange();
 
     IntervalExploreParams params_;
+    /** Constructor-time candidate list; attach() filters per hardware. */
+    std::vector<int> allConfigs_;
 
     // interval accumulation
     std::uint64_t intervalLength_;

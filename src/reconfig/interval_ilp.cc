@@ -1,5 +1,6 @@
 #include "reconfig/interval_ilp.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
@@ -9,7 +10,8 @@ namespace clustersim {
 
 IntervalIlpController::IntervalIlpController(
     const IntervalIlpParams &params)
-    : params_(params), target_(params.bigConfig)
+    : params_(params), origBig_(params.bigConfig),
+      origSmall_(params.smallConfig), target_(params.bigConfig)
 {
     CSIM_ASSERT(params_.intervalLength >= 100);
 }
@@ -18,12 +20,27 @@ void
 IntervalIlpController::attach(int hw_clusters, int initial)
 {
     ReconfigController::attach(hw_clusters, initial);
-    if (params_.bigConfig > hw_clusters)
-        params_.bigConfig = hw_clusters;
-    if (params_.smallConfig > hw_clusters)
-        params_.smallConfig = hw_clusters;
+    // Clamp from the constructor-time values so re-attaching to wider
+    // hardware regains the original configurations.
+    params_.bigConfig = std::min(origBig_, hw_clusters);
+    params_.smallConfig = std::min(origSmall_, hw_clusters);
     target_ = params_.bigConfig;
     measuring_ = true;
+
+    // Reset all per-run state so a reused controller's second run
+    // reproduces a fresh controller's decisions exactly.
+    instsInInterval_ = 0;
+    branchesInInterval_ = 0;
+    memrefsInInterval_ = 0;
+    distantInInterval_ = 0;
+    intervalStartCycle_ = 0;
+    startCycleValid_ = false;
+    haveReference_ = false;
+    refBranches_ = 0;
+    refMemrefs_ = 0;
+    refIpc_ = 0.0;
+    refIpcValid_ = false;
+    phaseChanges_ = 0;
 }
 
 void

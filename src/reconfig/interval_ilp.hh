@@ -59,6 +59,8 @@ class IntervalIlpController : public ReconfigController
     void endInterval(Cycle now);
 
     IntervalIlpParams params_;
+    int origBig_;   ///< constructor-time bigConfig (pre-clamp)
+    int origSmall_; ///< constructor-time smallConfig (pre-clamp)
 
     std::uint64_t instsInInterval_ = 0;
     std::uint64_t branchesInInterval_ = 0;

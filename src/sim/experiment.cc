@@ -3,13 +3,14 @@
 #include <cstdio>
 
 #include "common/stats.hh"
+#include "sim/sweep.hh"
 
 namespace clustersim {
 
 MatrixResult
 runMatrix(const std::vector<WorkloadSpec> &workloads,
           const std::vector<Variant> &variants, std::uint64_t warmup,
-          std::uint64_t measure, bool verbose)
+          std::uint64_t measure, bool verbose, int threads)
 {
     MatrixResult out;
     for (const auto &w : workloads)
@@ -17,21 +18,40 @@ runMatrix(const std::vector<WorkloadSpec> &workloads,
     for (const auto &v : variants)
         out.variants.push_back(v.label);
 
+    // Row-major (benchmark-outer) run points on the sweep engine.
+    std::vector<RunPoint> points;
     for (const auto &w : workloads) {
-        std::vector<SimResult> row;
         for (const auto &v : variants) {
-            std::unique_ptr<ReconfigController> ctrl;
-            if (v.makeController)
-                ctrl = v.makeController();
-            SimResult r = runSimulation(v.cfg, w, ctrl.get(), warmup,
-                                        measure);
-            r.config = v.label;
-            if (verbose) {
-                std::fprintf(stderr, "  %-8s %-24s IPC %.3f\n",
-                             w.name.c_str(), v.label.c_str(), r.ipc);
-            }
-            row.push_back(r);
+            RunPoint p;
+            p.label = v.label;
+            p.cfg = v.cfg;
+            p.workload = w;
+            p.makeController = v.makeController;
+            p.warmup = warmup;
+            p.measure = measure;
+            points.push_back(std::move(p));
         }
+    }
+
+    SweepOptions opts;
+    opts.threads = threads;
+    // Keep each workload's own seed: the matrix benches are calibrated
+    // against the historical serial numbers.
+    opts.deriveSeeds = false;
+    if (verbose) {
+        opts.onComplete = [](std::size_t, const SimResult &r) {
+            std::fprintf(stderr, "  %-8s %-24s IPC %.3f\n",
+                         r.benchmark.c_str(), r.config.c_str(), r.ipc);
+        };
+    }
+
+    SweepResult sweep = runSweep(points, opts);
+
+    std::size_t i = 0;
+    for (std::size_t b = 0; b < workloads.size(); b++) {
+        std::vector<SimResult> row;
+        for (std::size_t v = 0; v < variants.size(); v++)
+            row.push_back(std::move(sweep.runs[i++].result));
         out.results.push_back(std::move(row));
     }
     return out;

@@ -40,18 +40,25 @@ struct MatrixResult {
 };
 
 /**
- * Run the full matrix.
+ * Run the full matrix on the parallel sweep engine.
+ *
+ * Runs execute on a worker pool but results (and the workload seeds
+ * they use) are bit-identical to a serial execution, for any thread
+ * count.
+ *
  * @param workloads Benchmarks (rows).
  * @param variants  Machine variants (columns).
  * @param warmup    Warmup instructions per run.
  * @param measure   Measured instructions per run.
- * @param verbose   Print progress lines to stderr.
+ * @param verbose   Print progress lines to stderr (completion order).
+ * @param threads   Worker threads; 0 = hardware concurrency.
  */
 MatrixResult runMatrix(const std::vector<WorkloadSpec> &workloads,
                        const std::vector<Variant> &variants,
                        std::uint64_t warmup = defaultWarmup,
                        std::uint64_t measure = defaultMeasure,
-                       bool verbose = true);
+                       bool verbose = true,
+                       int threads = 0);
 
 /** Render a matrix as an IPC table (benchmarks x variants + AM/GM). */
 Table ipcTable(const MatrixResult &m);

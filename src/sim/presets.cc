@@ -1,6 +1,12 @@
 #include "sim/presets.hh"
 
+#include <iterator>
+
 #include "common/logging.hh"
+#include "reconfig/finegrain.hh"
+#include "reconfig/interval_explore.hh"
+#include "reconfig/interval_ilp.hh"
+#include "workload/benchmarks.hh"
 
 namespace clustersim {
 
@@ -75,6 +81,205 @@ slowHopsConfig()
     cfg.hopLatency = 2;
     cfg.name = "sens-slow-hops";
     return cfg;
+}
+
+// --- Controller factories -------------------------------------------------
+
+std::unique_ptr<ReconfigController>
+makeExploreController()
+{
+    IntervalExploreParams p;
+    p.initialInterval = 10000; // paper value
+    p.maxInterval = 10000000;  // paper: 1B, scaled with run lengths
+    return std::make_unique<IntervalExploreController>(p);
+}
+
+std::unique_ptr<ReconfigController>
+makeIlpController(std::uint64_t interval)
+{
+    IntervalIlpParams p;
+    p.intervalLength = interval;
+    return std::make_unique<IntervalIlpController>(p);
+}
+
+std::unique_ptr<ReconfigController>
+makeFinegrainController()
+{
+    FinegrainParams p;
+    return std::make_unique<FinegrainController>(p);
+}
+
+std::unique_ptr<ReconfigController>
+makeSubroutineController()
+{
+    FinegrainParams p;
+    p.subroutineMode = true;
+    p.samplesNeeded = 3;
+    return std::make_unique<FinegrainController>(p);
+}
+
+// --- Named sweep presets --------------------------------------------------
+
+namespace {
+
+/** A machine variant of one preset's grid. */
+struct SweepVariant {
+    std::string label;
+    ProcessorConfig cfg;
+    std::function<std::unique_ptr<ReconfigController>()> makeController;
+};
+
+/** Cross every benchmark with every variant, in row-major order. */
+std::vector<RunPoint>
+crossGrid(const std::vector<SweepVariant> &variants,
+          std::uint64_t warmup, std::uint64_t measure)
+{
+    std::vector<RunPoint> points;
+    for (const WorkloadSpec &w : allBenchmarks()) {
+        for (const SweepVariant &v : variants) {
+            RunPoint p;
+            p.label = v.label;
+            p.cfg = v.cfg;
+            p.workload = w;
+            p.makeController = v.makeController;
+            p.warmup = warmup;
+            p.measure = measure;
+            points.push_back(std::move(p));
+        }
+    }
+    return points;
+}
+
+std::vector<SweepVariant>
+staticPlusExploreVariants(InterconnectKind kind, bool decentralized)
+{
+    return {
+        {"static-4", staticSubsetConfig(4, kind, decentralized), nullptr},
+        {"static-16", staticSubsetConfig(16, kind, decentralized),
+         nullptr},
+        {"ivl-explore", clusteredConfig(16, kind, decentralized),
+         makeExploreController},
+    };
+}
+
+} // namespace
+
+const std::vector<std::string> &
+sweepPresetNames()
+{
+    static const std::vector<std::string> names = {
+        "table3", "fig3", "fig5", "fig6", "fig7", "fig8",
+        "sensitivity", "smoke",
+    };
+    return names;
+}
+
+std::vector<RunPoint>
+makeSweepPreset(const std::string &name, std::uint64_t warmup,
+                std::uint64_t measure)
+{
+    std::uint64_t warm = warmup ? warmup : defaultWarmup;
+    auto run = [&](std::uint64_t preset_default) {
+        return measure ? measure : preset_default;
+    };
+
+    if (name == "table3") {
+        std::vector<SweepVariant> variants = {
+            {"monolithic-16", monolithicConfig(16), nullptr},
+        };
+        return crossGrid(variants, warm, run(1000000));
+    }
+    if (name == "fig3") {
+        std::vector<SweepVariant> variants;
+        for (int n : {2, 4, 8, 16})
+            variants.push_back({"c" + std::to_string(n),
+                                staticSubsetConfig(n), nullptr});
+        return crossGrid(variants, warm, run(1000000));
+    }
+    if (name == "fig5") {
+        std::vector<SweepVariant> variants = {
+            {"static-4", staticSubsetConfig(4), nullptr},
+            {"static-16", staticSubsetConfig(16), nullptr},
+            {"ivl-explore", clusteredConfig(16), makeExploreController},
+            {"ivl-ilp-1K", clusteredConfig(16),
+             [] { return makeIlpController(1000); }},
+            {"ivl-ilp-10K", clusteredConfig(16),
+             [] { return makeIlpController(10000); }},
+            {"ivl-ilp-100K", clusteredConfig(16),
+             [] { return makeIlpController(100000); }},
+        };
+        return crossGrid(variants, warm, run(2000000));
+    }
+    if (name == "fig6") {
+        std::vector<SweepVariant> variants = {
+            {"static-4", staticSubsetConfig(4), nullptr},
+            {"static-16", staticSubsetConfig(16), nullptr},
+            {"ivl-explore", clusteredConfig(16), makeExploreController},
+            {"fg-branch", clusteredConfig(16), makeFinegrainController},
+            {"fg-subroutine", clusteredConfig(16),
+             makeSubroutineController},
+        };
+        return crossGrid(variants, warm, run(2000000));
+    }
+    if (name == "fig7") {
+        std::vector<SweepVariant> variants =
+            staticPlusExploreVariants(InterconnectKind::Ring, true);
+        variants.push_back({"ivl-ilp-1K",
+                            clusteredConfig(16, InterconnectKind::Ring,
+                                            true),
+                            [] { return makeIlpController(1000); }});
+        variants.push_back({"ivl-ilp-10K",
+                            clusteredConfig(16, InterconnectKind::Ring,
+                                            true),
+                            [] { return makeIlpController(10000); }});
+        return crossGrid(variants, warm, run(2000000));
+    }
+    if (name == "fig8") {
+        return crossGrid(
+            staticPlusExploreVariants(InterconnectKind::Grid, false),
+            warm, run(2000000));
+    }
+    if (name == "sensitivity") {
+        struct SensCase {
+            const char *label;
+            ProcessorConfig (*make)();
+        };
+        const SensCase cases[] = {
+            {"fewer-resources", &fewerResourcesConfig},
+            {"more-resources", &moreResourcesConfig},
+            {"more-fus", &moreFusConfig},
+            {"slow-hops", &slowHopsConfig},
+        };
+        std::vector<RunPoint> points;
+        for (const SensCase &sc : cases) {
+            ProcessorConfig hw = sc.make();
+            ProcessorConfig s4 = hw;
+            s4.activeClustersAtReset = 4;
+            ProcessorConfig s16 = hw;
+            s16.activeClustersAtReset = 16;
+            std::string tag(sc.label);
+            std::vector<SweepVariant> variants = {
+                {tag + "/static-4", s4, nullptr},
+                {tag + "/static-16", s16, nullptr},
+                {tag + "/ivl-explore", hw, makeExploreController},
+            };
+            auto grid = crossGrid(variants, warm, run(1500000));
+            points.insert(points.end(),
+                          std::make_move_iterator(grid.begin()),
+                          std::make_move_iterator(grid.end()));
+        }
+        return points;
+    }
+    if (name == "smoke") {
+        std::vector<SweepVariant> variants = {
+            {"static-16", staticSubsetConfig(16), nullptr},
+            {"ivl-explore", clusteredConfig(16), makeExploreController},
+        };
+        return crossGrid(variants, warmup ? warmup : 30000,
+                         run(120000));
+    }
+    CSIM_ASSERT(false, "unknown sweep preset: ", name);
+    return {};
 }
 
 } // namespace clustersim

@@ -6,7 +6,12 @@
 #ifndef CLUSTERSIM_SIM_PRESETS_HH
 #define CLUSTERSIM_SIM_PRESETS_HH
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "core/params.hh"
+#include "sim/sweep.hh"
 
 namespace clustersim {
 
@@ -44,6 +49,43 @@ ProcessorConfig moreFusConfig();
 
 /** Two-cycle interconnect hops. */
 ProcessorConfig slowHopsConfig();
+
+// --- Controller factories (paper schemes, repo-scaled bounds) -------------
+
+/** Interval + exploration (Figure 4) with this repo's scaled bounds. */
+std::unique_ptr<ReconfigController> makeExploreController();
+
+/** Interval controller without exploration at a fixed length. */
+std::unique_ptr<ReconfigController>
+makeIlpController(std::uint64_t interval);
+
+/** Fine-grained branch-boundary controller (paper defaults). */
+std::unique_ptr<ReconfigController> makeFinegrainController();
+
+/** Subroutine call/return variant (3 samples). */
+std::unique_ptr<ReconfigController> makeSubroutineController();
+
+// --- Named sweep presets (the paper's result grid) ------------------------
+
+/**
+ * Names accepted by makeSweepPreset: the paper's figures/tables
+ * (table3, fig3, fig5, fig6, fig7, fig8, sensitivity) plus "smoke"
+ * (a short static-vs-dynamic grid for CI-style regression runs).
+ */
+const std::vector<std::string> &sweepPresetNames();
+
+/**
+ * Build the run points of a named preset: every benchmark model
+ * crossed with the machine variants of that figure/table.
+ *
+ * @param name    One of sweepPresetNames() (asserts otherwise).
+ * @param warmup  Warmup instructions per run (0 = preset default).
+ * @param measure Measured instructions per run (0 = preset default,
+ *                which matches the corresponding bench harness).
+ */
+std::vector<RunPoint> makeSweepPreset(const std::string &name,
+                                      std::uint64_t warmup = 0,
+                                      std::uint64_t measure = 0);
 
 } // namespace clustersim
 

@@ -1,0 +1,219 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace clustersim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+double
+SweepResult::cpuSeconds() const
+{
+    double s = 0.0;
+    for (const SweepRun &r : runs)
+        s += r.wallSeconds;
+    return s;
+}
+
+double
+SweepResult::speedup() const
+{
+    return wallSeconds > 0.0 ? cpuSeconds() / wallSeconds : 1.0;
+}
+
+std::uint64_t
+sweepSeed(std::uint64_t base, const std::string &benchmark,
+          const std::string &config)
+{
+    // FNV-1a over the labels, then a splitmix64 finalizer so nearby
+    // inputs map to decorrelated streams.
+    std::uint64_t h = 0xcbf29ce484222325ULL ^ base;
+    auto mix = [&h](const std::string &s) {
+        for (char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 0x100000001b3ULL;
+        }
+        h ^= 0xff; // separator so ("ab","c") != ("a","bc")
+        h *= 0x100000001b3ULL;
+    };
+    mix(benchmark);
+    mix(config);
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    // Seed 0 is a valid PCG state but keep seeds nonzero so "unset"
+    // never collides with a derived value.
+    return h ? h : 1;
+}
+
+SweepResult
+runSweep(const std::vector<RunPoint> &points, const SweepOptions &opts)
+{
+    SweepResult out;
+    out.runs.resize(points.size());
+
+    int threads = opts.threads;
+    if (threads <= 0) {
+        threads = static_cast<int>(std::thread::hardware_concurrency());
+        if (threads <= 0)
+            threads = 1;
+    }
+    threads = std::min<int>(threads,
+                            std::max<std::size_t>(points.size(), 1));
+    out.threads = threads;
+
+    Clock::time_point sweep_start = Clock::now();
+    std::atomic<std::size_t> next{0};
+    std::mutex complete_mutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= points.size())
+                return;
+            const RunPoint &p = points[i];
+
+            WorkloadSpec w = p.workload;
+            std::string label = !p.label.empty() ? p.label : p.cfg.name;
+            if (opts.deriveSeeds)
+                w.seed = sweepSeed(w.seed, w.name, label);
+
+            std::unique_ptr<ReconfigController> ctrl;
+            if (p.makeController)
+                ctrl = p.makeController();
+
+            Clock::time_point run_start = Clock::now();
+            SimResult r = runSimulation(p.cfg, w, ctrl.get(), p.warmup,
+                                        p.measure);
+            r.config = label;
+
+            SweepRun &slot = out.runs[i];
+            slot.result = std::move(r);
+            slot.seed = w.seed;
+            slot.wallSeconds = secondsSince(run_start);
+
+            if (opts.onComplete) {
+                std::lock_guard<std::mutex> lock(complete_mutex);
+                opts.onComplete(i, slot.result);
+            }
+        }
+    };
+
+    if (threads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(threads));
+        for (int t = 0; t < threads; t++)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    out.wallSeconds = secondsSince(sweep_start);
+    return out;
+}
+
+void
+toJson(JsonWriter &w, const SimResult &r)
+{
+    w.beginObject();
+    w.field("benchmark", r.benchmark);
+    w.field("config", r.config);
+    w.field("ipc", r.ipc);
+    w.field("instructions", r.instructions);
+    w.field("cycles", r.cycles);
+    w.field("mispredict_interval", r.mispredictInterval);
+    w.field("branch_accuracy", r.branchAccuracy);
+    w.field("l1_miss_rate", r.l1MissRate);
+    w.field("avg_active_clusters", r.avgActiveClusters);
+    w.field("reconfigurations", r.reconfigurations);
+    w.field("flush_writebacks", r.flushWritebacks);
+    w.field("avg_reg_comm_latency", r.avgRegCommLatency);
+    w.field("distant_fraction", r.distantFraction);
+    w.field("bank_pred_accuracy", r.bankPredAccuracy);
+    w.endObject();
+}
+
+std::string
+toJson(const SimResult &r)
+{
+    JsonWriter w;
+    toJson(w, r);
+    return w.str();
+}
+
+std::string
+sweepReportJson(const std::string &name,
+                const std::vector<RunPoint> &points,
+                const SweepResult &res)
+{
+    CSIM_ASSERT(points.size() == res.runs.size());
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", "clustersim-sweep-v1");
+
+    w.key("sweep").beginObject();
+    w.field("name", name);
+    w.field("threads", res.threads);
+    w.field("run_points", static_cast<std::uint64_t>(points.size()));
+    w.field("wall_seconds", res.wallSeconds);
+    w.field("cpu_seconds", res.cpuSeconds());
+    w.field("parallel_speedup", res.speedup());
+    w.endObject();
+
+    w.key("runs").beginArray();
+    for (std::size_t i = 0; i < res.runs.size(); i++) {
+        const SweepRun &run = res.runs[i];
+        w.beginObject();
+        w.field("index", static_cast<std::uint64_t>(i));
+        w.field("benchmark", run.result.benchmark);
+        w.field("config", run.result.config);
+        w.field("seed", run.seed);
+        w.field("wall_seconds", run.wallSeconds);
+        w.field("warmup", points[i].warmup);
+        w.field("measure", points[i].measure);
+        w.key("metrics");
+        toJson(w, run.result);
+        w.endObject();
+    }
+    w.endArray();
+
+    std::vector<double> ipcs, active;
+    for (const SweepRun &run : res.runs) {
+        ipcs.push_back(run.result.ipc);
+        active.push_back(run.result.avgActiveClusters);
+    }
+    w.key("aggregates").beginObject();
+    w.field("ipc_amean", ipcs.empty() ? 0.0 : amean(ipcs));
+    w.field("ipc_geomean", ipcs.empty() ? 0.0 : geomean(ipcs));
+    w.field("avg_active_clusters_amean",
+            active.empty() ? 0.0 : amean(active));
+    w.endObject();
+
+    w.endObject();
+    return w.str();
+}
+
+} // namespace clustersim

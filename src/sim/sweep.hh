@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Parallel sweep engine with structured metrics export.
+ *
+ * Every figure and table in the paper is a sweep over (benchmark x
+ * configuration x controller) points. The engine executes a list of
+ * independent RunPoints on a fixed-size worker pool and collects the
+ * SimResults in submission order. Results are bit-identical regardless
+ * of thread count or scheduling order: each run gets its own workload
+ * copy, a fresh controller from its factory, and (optionally) an RNG
+ * seed derived deterministically from the (benchmark, config) pair.
+ *
+ * The sweep-level JSON report (sweepReportJson) captures run metadata,
+ * per-run metrics, and wall-clock + aggregate statistics, giving every
+ * experiment a fast, scriptable, machine-readable regression surface.
+ */
+
+#ifndef CLUSTERSIM_SIM_SWEEP_HH
+#define CLUSTERSIM_SIM_SWEEP_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "reconfig/controller.hh"
+#include "sim/simulation.hh"
+
+namespace clustersim {
+
+class JsonWriter;
+
+/** One independent unit of sweep work. */
+struct RunPoint {
+    /** Display label for the machine variant (defaults to cfg.name). */
+    std::string label;
+    ProcessorConfig cfg;
+    WorkloadSpec workload;
+    /** Fresh controller per run; null for static configurations. */
+    std::function<std::unique_ptr<ReconfigController>()> makeController;
+    std::uint64_t warmup = defaultWarmup;
+    std::uint64_t measure = defaultMeasure;
+};
+
+/** Sweep execution options. */
+struct SweepOptions {
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    int threads = 0;
+    /**
+     * Derive each run's workload seed from (benchmark, config) via
+     * sweepSeed() so every grid point is decorrelated yet reproducible.
+     * When false the WorkloadSpec's own seed is used unchanged (the
+     * historical bench behaviour).
+     */
+    bool deriveSeeds = true;
+    /**
+     * Called as each run completes (from worker threads, serialized
+     * internally); for progress reporting.
+     */
+    std::function<void(std::size_t index, const SimResult &)> onComplete;
+};
+
+/** One completed run: the result plus execution bookkeeping. */
+struct SweepRun {
+    SimResult result;
+    std::uint64_t seed = 0;      ///< workload seed actually used
+    double wallSeconds = 0.0;    ///< this run alone
+};
+
+/** All results of a sweep, in submission order. */
+struct SweepResult {
+    std::vector<SweepRun> runs;
+    int threads = 1;             ///< workers actually used
+    double wallSeconds = 0.0;    ///< whole sweep, wall clock
+    /** Sum of per-run wall times (the serial-equivalent cost). */
+    double cpuSeconds() const;
+    /** cpuSeconds()/wallSeconds: observed parallel speedup. */
+    double speedup() const;
+};
+
+/**
+ * Deterministic per-run seed: a hash of the workload's base seed and
+ * the (benchmark, config) labels. Stable across platforms and runs.
+ */
+std::uint64_t sweepSeed(std::uint64_t base, const std::string &benchmark,
+                        const std::string &config);
+
+/**
+ * Execute all points on a worker pool and return results in submission
+ * order. Bit-identical output for any thread count.
+ */
+SweepResult runSweep(const std::vector<RunPoint> &points,
+                     const SweepOptions &opts = {});
+
+/** Serialize one SimResult as a JSON object. */
+void toJson(JsonWriter &w, const SimResult &r);
+
+/** Serialize one SimResult as a standalone JSON document. */
+std::string toJson(const SimResult &r);
+
+/**
+ * Sweep-level JSON report.
+ *
+ * Schema (all keys always present):
+ *   {
+ *     "schema": "clustersim-sweep-v1",
+ *     "sweep": {"name", "threads", "run_points",
+ *               "wall_seconds", "cpu_seconds", "parallel_speedup"},
+ *     "runs": [{"index", "benchmark", "config", "seed",
+ *               "wall_seconds", "warmup", "measure",
+ *               "metrics": {<SimResult fields>}}, ...],
+ *     "aggregates": {"ipc_amean", "ipc_geomean",
+ *                    "avg_active_clusters_amean"}
+ *   }
+ */
+std::string sweepReportJson(const std::string &name,
+                            const std::vector<RunPoint> &points,
+                            const SweepResult &res);
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_SIM_SWEEP_HH

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <set>
 #include <string>
 
@@ -243,6 +245,16 @@ TEST_P(TopologyProperty, RoutesHaveNoDuplicateLinks)
     }
 }
 
+TEST_P(TopologyProperty, RouteLengthMatchesHopsEverywhere)
+{
+    auto topo = make();
+    for (int s = 0; s < topo->numNodes(); s++)
+        for (int d = 0; d < topo->numNodes(); d++)
+            EXPECT_EQ(static_cast<int>(topo->route(s, d).size()),
+                      topo->hops(s, d))
+                << s << "->" << d;
+}
+
 TEST_P(TopologyProperty, HopsSymmetric)
 {
     auto topo = make();
@@ -274,6 +286,37 @@ TEST_P(TopologyProperty, NetworkArrivalBounds)
         Cycle arrive = net.schedule(s, d, ready);
         // Never earlier than the uncontended latency.
         EXPECT_GE(arrive, ready + net.latency(s, d));
+    }
+}
+
+// The paper's Section 2.3 maxima, established by exhaustion rather
+// than by trusting maxHops(): on the 16-cluster ring the farthest pair
+// is 8 hops apart; on the 4x4 grid it is 6.
+TEST(TopologyPaper, PinnedHopMaximaByExhaustion)
+{
+    struct Shape {
+        const char *kind;
+        int expect_max;
+    };
+    for (const Shape &shape :
+         {Shape{"ring", 8}, Shape{"grid", 6}}) {
+        std::unique_ptr<Topology> topo =
+            std::string(shape.kind) == "ring" ? makeRing(16)
+                                              : makeGrid(16);
+        int max_hops = 0;
+        for (int s = 0; s < 16; s++) {
+            for (int d = 0; d < 16; d++) {
+                int h = topo->hops(s, d);
+                EXPECT_EQ(h, topo->hops(d, s))
+                    << shape.kind << " " << s << "<->" << d;
+                EXPECT_EQ(static_cast<int>(topo->route(s, d).size()),
+                          h)
+                    << shape.kind << " " << s << "->" << d;
+                max_hops = std::max(max_hops, h);
+            }
+        }
+        EXPECT_EQ(max_hops, shape.expect_max) << shape.kind;
+        EXPECT_EQ(topo->maxHops(), shape.expect_max) << shape.kind;
     }
 }
 

@@ -449,6 +449,207 @@ TEST(Explore, DiscontinueFallsBackToMostPopularConfig)
     EXPECT_EQ(c.targetClusters(), settled);
 }
 
+// ---------------------------------------------------------------------------
+// attach() must fully reset per-run state (controllers are reused
+// across runs by the sweep engine)
+// ---------------------------------------------------------------------------
+
+TEST(Explore, ReattachResetsAllPerRunState)
+{
+    IntervalExploreParams p;
+    p.initialInterval = 1000;
+    p.maxInterval = 4000;
+    IntervalExploreController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+    // Churn until the algorithm gives up...
+    for (int i = 0; i < 400 && !c.discontinued(); i++)
+        feed(c, 500 + (i * 137) % 900, cycle, 1.0,
+             2.0 + (i * 7) % 11);
+    ASSERT_TRUE(c.discontinued());
+    ASSERT_GT(c.intervalLength(), 1000u);
+    ASSERT_GT(c.phaseChanges(), 0u);
+
+    // ...then hand the same controller to a new run: everything
+    // per-run must be back at its initial value.
+    c.attach(16, 16);
+    EXPECT_FALSE(c.discontinued());
+    EXPECT_FALSE(c.stable());
+    EXPECT_EQ(c.intervalLength(), 1000u);
+    EXPECT_EQ(c.phaseChanges(), 0u);
+    EXPECT_EQ(c.explorations(), 0u);
+
+    // And the algorithm must actually run again, not stay dead: a
+    // uniform workload settles into a stable configuration.
+    for (int i = 0; i < 10; i++)
+        feed(c, 1000, cycle, 1.0);
+    EXPECT_TRUE(c.stable());
+    EXPECT_FALSE(c.discontinued());
+}
+
+TEST(Explore, ReattachReproducesFirstRunDecisions)
+{
+    // The exact decision trace of a run script; IPC values are chosen
+    // with exactly-representable reciprocals so the feed() clock model
+    // reproduces identical interval boundaries in both runs.
+    IntervalExploreParams p;
+    p.initialInterval = 1000;
+    IntervalExploreController c(p);
+
+    auto script = [&](Cycle &cycle) {
+        std::vector<int> targets;
+        auto step = [&](double ipc, double branch_every) {
+            feed(c, 1000, cycle, ipc, branch_every);
+            targets.push_back(c.targetClusters());
+        };
+        step(1.0, 6.0); // reference
+        step(1.0, 6.0); // explore @2
+        step(2.0, 6.0); // explore @4
+        step(4.0, 6.0); // explore @8
+        step(2.0, 6.0); // explore @16 -> settle on 8
+        for (int i = 0; i < 4; i++)
+            step(4.0, 6.0); // stable
+        step(4.0, 2.5);     // branch-frequency phase change
+        step(1.0, 2.5);     // new reference
+        step(2.0, 2.5);     // explore @2
+        step(1.0, 2.5);     // explore @4
+        step(1.0, 2.5);     // explore @8
+        step(1.0, 2.5);     // explore @16 -> settle on 2
+        for (int i = 0; i < 3; i++)
+            step(2.0, 2.5); // stable
+        return targets;
+    };
+
+    Cycle cycle1 = 0;
+    c.attach(16, 16);
+    std::vector<int> first = script(cycle1);
+
+    Cycle cycle2 = 0;
+    c.attach(16, 16);
+    std::vector<int> second = script(cycle2);
+
+    EXPECT_EQ(first, second);
+    EXPECT_TRUE(c.stable());
+}
+
+TEST(Explore, ReattachToWiderHardwareRegainsConfigs)
+{
+    IntervalExploreParams p;
+    p.initialInterval = 1000;
+    IntervalExploreController c(p);
+    c.attach(8, 8); // drops the 16-cluster candidate...
+    c.attach(16, 16); // ...which a wider re-attach must restore
+    Cycle cycle = 0;
+    feed(c, 1000, cycle, 1.0); // reference
+    feed(c, 1000, cycle, 1.0); // @2
+    feed(c, 1000, cycle, 1.2); // @4
+    feed(c, 1000, cycle, 1.4); // @8
+    feed(c, 1000, cycle, 2.0); // @16: the best
+    EXPECT_EQ(c.targetClusters(), 16);
+}
+
+TEST(Explore, DiscontinueTieBreakPrefersSmallerConfig)
+{
+    // Engineer exactly equal stable time for configurations 2 and 4,
+    // then force a discontinue: the fallback must deterministically
+    // pick the smaller of the tied configurations.
+    IntervalExploreParams p;
+    p.initialInterval = 1000;
+    p.maxInterval = 1000; // first interval doubling discontinues
+    p.configs = {2, 4};
+    IntervalExploreController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+
+    // Phase A: settle on 2, then 3 stable intervals (the third also
+    // detects the phase change after accumulating popularity).
+    feed(c, 1000, cycle, 1.0, 6.0); // reference
+    feed(c, 1000, cycle, 2.0, 6.0); // @2: the best
+    ASSERT_EQ(c.targetClusters(), 4); // measured @2 -> explore @4
+    feed(c, 1000, cycle, 1.0, 6.0); // @4 worse -> settle on 2
+    ASSERT_EQ(c.targetClusters(), 2);
+    ASSERT_TRUE(c.stable());
+    feed(c, 1000, cycle, 2.0, 6.0);
+    feed(c, 1000, cycle, 2.0, 6.0);
+    feed(c, 1000, cycle, 2.0, 2.5); // change -> popularity[2] = 3000
+    ASSERT_EQ(c.phaseChanges(), 1u);
+
+    // Phase B: settle on 4, same stable time.
+    feed(c, 1000, cycle, 1.0, 2.5); // reference
+    feed(c, 1000, cycle, 1.0, 2.5); // @2: worse
+    feed(c, 1000, cycle, 2.0, 2.5); // @4: best -> settle on 4
+    ASSERT_EQ(c.targetClusters(), 4);
+    ASSERT_TRUE(c.stable());
+    feed(c, 1000, cycle, 2.0, 2.5);
+    feed(c, 1000, cycle, 2.0, 2.5);
+    feed(c, 1000, cycle, 2.0, 6.0); // change -> popularity[4] = 3000
+    ASSERT_EQ(c.phaseChanges(), 2u);
+
+    // Phase C: one more change pushes instability past THRESH2; the
+    // doubled interval exceeds maxInterval and the algorithm gives up.
+    feed(c, 1000, cycle, 1.0, 6.0); // reference
+    feed(c, 1000, cycle, 1.0, 2.5); // change #3 -> discontinue
+    ASSERT_TRUE(c.discontinued());
+    EXPECT_EQ(c.targetClusters(), 2); // tie broken towards fewer clusters
+}
+
+TEST(IntervalIlp, ReattachResetsMeasurementState)
+{
+    IntervalIlpParams p;
+    p.intervalLength = 1000;
+    IntervalIlpController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+    feed(c, 1000, cycle, 1.0, 6.0, 3.0, false); // -> 4 clusters
+    feed(c, 1000, cycle, 1.0, 2.5, 3.0, false); // phase change
+    ASSERT_GE(c.phaseChanges(), 1u);
+    ASSERT_EQ(c.targetClusters(), 16);
+
+    c.attach(16, 16);
+    EXPECT_TRUE(c.measuring());
+    EXPECT_EQ(c.targetClusters(), 16);
+    EXPECT_EQ(c.phaseChanges(), 0u);
+    // A fresh run's first interval decides exactly like a new object's.
+    feed(c, 1000, cycle, 1.0, 6.0, 3.0, false);
+    EXPECT_EQ(c.targetClusters(), 4);
+    EXPECT_EQ(c.phaseChanges(), 0u);
+}
+
+TEST(IntervalIlp, ReattachToWiderHardwareRegainsBigConfig)
+{
+    IntervalIlpParams p;
+    p.intervalLength = 1000;
+    IntervalIlpController c(p);
+    c.attach(8, 8);   // clamps bigConfig to 8...
+    c.attach(16, 16); // ...and a wider re-attach restores 16
+    Cycle cycle = 0;
+    feed(c, 1000, cycle, 1.0, 6.0, 3.0, /*distant=*/true);
+    EXPECT_EQ(c.targetClusters(), 16);
+}
+
+TEST(Finegrain, ReattachForgetsLearnedTable)
+{
+    FinegrainParams p;
+    p.branchStride = 1;
+    p.ilpWindow = 18;
+    p.samplesNeeded = 2;
+    p.distantThreshold = 6;
+    FinegrainController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+    for (int i = 0; i < 40; i++)
+        commitBlock(c, 0x2000, 8, false, cycle);
+    ASSERT_EQ(c.targetClusters(), 4);
+    ASSERT_GT(c.reconfigPoints(), 0u);
+
+    // A new run must not inherit the previous run's learned advice.
+    c.attach(16, 16);
+    EXPECT_EQ(c.reconfigPoints(), 0u);
+    commitBlock(c, 0x2000, 8, false, cycle);
+    EXPECT_EQ(c.targetClusters(), 16); // unknown again: run wide
+    EXPECT_EQ(c.reconfigPoints(), 1u);
+}
+
 TEST(IntervalIlp, ThresholdBoundaryExact)
 {
     // Exactly at the threshold: "not greater" keeps the small config.

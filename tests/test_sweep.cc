@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine and its structured metrics
+ * export: JSON writer correctness, deterministic per-point seeding,
+ * bit-identical results across repeated runs and across thread
+ * counts, controller reuse across runs (the attach() state-reset
+ * contract), and the named presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/json.hh"
+#include "reconfig/interval_explore.hh"
+#include "sim/presets.hh"
+#include "sim/sweep.hh"
+
+using namespace clustersim;
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+TEST(Json, ObjectsArraysAndFields)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("name", "x");
+    w.field("n", 3);
+    w.field("big", std::uint64_t{18446744073709551615ULL});
+    w.field("flag", true);
+    w.key("list").beginArray().value(1).value(2).endArray();
+    w.key("nested").beginObject().field("pi", 0.5).endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"name\":\"x\",\"n\":3,"
+              "\"big\":18446744073709551615,\"flag\":true,"
+              "\"list\":[1,2],\"nested\":{\"pi\":0.5}}");
+}
+
+TEST(Json, StringEscaping)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("k", "a\"b\\c\nd\te\x01");
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"k\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+}
+
+TEST(Json, DoublesRoundTrip)
+{
+    double v = 0.1 + 0.2; // not exactly 0.3
+    JsonWriter w;
+    w.beginArray().value(v).endArray();
+    std::string s = w.str();
+    double back = std::stod(s.substr(1, s.size() - 2));
+    EXPECT_EQ(back, v); // bit-exact via %.17g
+}
+
+TEST(Json, NonFiniteBecomesNull)
+{
+    JsonWriter w;
+    w.beginArray()
+        .value(std::numeric_limits<double>::infinity())
+        .value(std::numeric_limits<double>::quiet_NaN())
+        .endArray();
+    EXPECT_EQ(w.str(), "[null,null]");
+}
+
+// ---------------------------------------------------------------------------
+// Seeding
+// ---------------------------------------------------------------------------
+
+TEST(SweepSeed, DeterministicAndDecorrelated)
+{
+    std::uint64_t a = sweepSeed(1, "gzip", "static-4");
+    EXPECT_EQ(a, sweepSeed(1, "gzip", "static-4"));
+    EXPECT_NE(a, sweepSeed(1, "gzip", "static-16"));
+    EXPECT_NE(a, sweepSeed(1, "swim", "static-4"));
+    EXPECT_NE(a, sweepSeed(2, "gzip", "static-4"));
+    // Concatenation ambiguity must not collide.
+    EXPECT_NE(sweepSeed(1, "ab", "c"), sweepSeed(1, "a", "bc"));
+    EXPECT_NE(sweepSeed(0, "", ""), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine determinism
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<RunPoint>
+smallGrid()
+{
+    std::vector<RunPoint> points;
+    for (const char *bench : {"gzip", "swim", "vpr"}) {
+        for (int n : {4, 16}) {
+            RunPoint p;
+            p.label = "static-" + std::to_string(n);
+            p.cfg = staticSubsetConfig(n);
+            p.workload = makeBenchmark(bench);
+            p.warmup = 10000;
+            p.measure = 30000;
+            points.push_back(std::move(p));
+        }
+    }
+    return points;
+}
+
+/** Fields that must be bit-identical between two runs. */
+void
+expectIdentical(const SweepResult &a, const SweepResult &b)
+{
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (std::size_t i = 0; i < a.runs.size(); i++) {
+        const SimResult &x = a.runs[i].result;
+        const SimResult &y = b.runs[i].result;
+        EXPECT_EQ(a.runs[i].seed, b.runs[i].seed) << i;
+        EXPECT_EQ(x.benchmark, y.benchmark) << i;
+        EXPECT_EQ(x.config, y.config) << i;
+        EXPECT_EQ(x.cycles, y.cycles) << i;
+        EXPECT_EQ(x.instructions, y.instructions) << i;
+        EXPECT_EQ(x.reconfigurations, y.reconfigurations) << i;
+        // Doubles must match bit-for-bit, not just approximately.
+        EXPECT_DOUBLE_EQ(x.ipc, y.ipc) << i;
+        EXPECT_DOUBLE_EQ(x.l1MissRate, y.l1MissRate) << i;
+        EXPECT_DOUBLE_EQ(x.branchAccuracy, y.branchAccuracy) << i;
+        EXPECT_DOUBLE_EQ(x.avgActiveClusters, y.avgActiveClusters) << i;
+    }
+}
+
+} // namespace
+
+TEST(Sweep, RepeatedRunsBitIdentical)
+{
+    SweepOptions opts;
+    opts.threads = 1;
+    SweepResult a = runSweep(smallGrid(), opts);
+    SweepResult b = runSweep(smallGrid(), opts);
+    expectIdentical(a, b);
+}
+
+TEST(Sweep, ThreadCountDoesNotChangeResults)
+{
+    SweepOptions serial;
+    serial.threads = 1;
+    SweepOptions parallel;
+    parallel.threads = 4;
+    SweepResult a = runSweep(smallGrid(), serial);
+    SweepResult b = runSweep(smallGrid(), parallel);
+    EXPECT_EQ(a.threads, 1);
+    expectIdentical(a, b);
+}
+
+TEST(Sweep, ResultsInSubmissionOrder)
+{
+    std::vector<RunPoint> points = smallGrid();
+    SweepOptions opts;
+    opts.threads = 4;
+    SweepResult res = runSweep(points, opts);
+    ASSERT_EQ(res.runs.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); i++) {
+        EXPECT_EQ(res.runs[i].result.benchmark,
+                  points[i].workload.name);
+        EXPECT_EQ(res.runs[i].result.config, points[i].label);
+    }
+}
+
+TEST(Sweep, DynamicControllersGetFreshInstancePerRun)
+{
+    // The same factory serves all runs; every run must behave as if it
+    // had a brand-new controller, so two identical points give
+    // identical results even when they execute on different workers.
+    std::vector<RunPoint> points;
+    for (int i = 0; i < 4; i++) {
+        RunPoint p;
+        p.label = "ivl-explore";
+        p.cfg = clusteredConfig(16);
+        p.workload = makeBenchmark("gzip");
+        p.makeController = [] {
+            IntervalExploreParams ep;
+            ep.initialInterval = 1000;
+            return std::make_unique<IntervalExploreController>(ep);
+        };
+        p.warmup = 10000;
+        p.measure = 40000;
+        points.push_back(std::move(p));
+    }
+    SweepOptions opts;
+    opts.threads = 4;
+    SweepResult res = runSweep(points, opts);
+    for (std::size_t i = 1; i < res.runs.size(); i++) {
+        EXPECT_EQ(res.runs[i].result.cycles, res.runs[0].result.cycles);
+        EXPECT_EQ(res.runs[i].result.reconfigurations,
+                  res.runs[0].result.reconfigurations);
+    }
+}
+
+TEST(Sweep, OnCompleteSeesEveryRun)
+{
+    std::vector<RunPoint> points = smallGrid();
+    SweepOptions opts;
+    opts.threads = 2;
+    std::vector<bool> seen(points.size(), false);
+    opts.onComplete = [&seen](std::size_t i, const SimResult &) {
+        seen[i] = true;
+    };
+    runSweep(points, opts);
+    for (std::size_t i = 0; i < seen.size(); i++)
+        EXPECT_TRUE(seen[i]) << i;
+}
+
+// ---------------------------------------------------------------------------
+// Controller reuse across runs (the attach() reset contract)
+// ---------------------------------------------------------------------------
+
+TEST(Sweep, ReattachedControllerReproducesFirstRun)
+{
+    // A sweep naturally reuses a controller object for a second run;
+    // attach() must reset all per-run state so the second run's
+    // decisions (and thus the whole simulation) are bit-identical.
+    WorkloadSpec w = makeBenchmark("gzip");
+    IntervalExploreParams p;
+    p.initialInterval = 1000;
+    p.maxInterval = 8000; // small enough to discontinue within the run
+    IntervalExploreController ctrl(p);
+
+    SimResult first = runSimulation(clusteredConfig(16), w, &ctrl,
+                                    10000, 60000);
+    SimResult second = runSimulation(clusteredConfig(16), w, &ctrl,
+                                     10000, 60000);
+    EXPECT_EQ(first.cycles, second.cycles);
+    EXPECT_EQ(first.reconfigurations, second.reconfigurations);
+    EXPECT_DOUBLE_EQ(first.ipc, second.ipc);
+    EXPECT_DOUBLE_EQ(first.avgActiveClusters,
+                     second.avgActiveClusters);
+}
+
+// ---------------------------------------------------------------------------
+// Structured export
+// ---------------------------------------------------------------------------
+
+TEST(Sweep, SimResultToJsonHasAllMetrics)
+{
+    SimResult r;
+    r.benchmark = "gzip";
+    r.config = "static-4";
+    r.ipc = 1.25;
+    r.instructions = 1000;
+    r.cycles = 800;
+    std::string s = toJson(r);
+    EXPECT_NE(s.find("\"benchmark\":\"gzip\""), std::string::npos);
+    EXPECT_NE(s.find("\"config\":\"static-4\""), std::string::npos);
+    EXPECT_NE(s.find("\"ipc\":1.25"), std::string::npos);
+    EXPECT_NE(s.find("\"instructions\":1000"), std::string::npos);
+    EXPECT_NE(s.find("\"cycles\":800"), std::string::npos);
+    for (const char *key :
+         {"mispredict_interval", "branch_accuracy", "l1_miss_rate",
+          "avg_active_clusters", "reconfigurations",
+          "flush_writebacks", "avg_reg_comm_latency",
+          "distant_fraction", "bank_pred_accuracy"})
+        EXPECT_NE(s.find("\"" + std::string(key) + "\""),
+                  std::string::npos)
+            << key;
+}
+
+TEST(Sweep, ReportSchemaComplete)
+{
+    std::vector<RunPoint> points = smallGrid();
+    points.resize(2);
+    SweepOptions opts;
+    opts.threads = 1;
+    SweepResult res = runSweep(points, opts);
+    std::string s = sweepReportJson("unit", points, res);
+
+    for (const char *key :
+         {"\"schema\":\"clustersim-sweep-v1\"", "\"sweep\":",
+          "\"name\":\"unit\"", "\"threads\":1", "\"run_points\":2",
+          "\"wall_seconds\"", "\"cpu_seconds\"",
+          "\"parallel_speedup\"", "\"runs\":[", "\"index\":0",
+          "\"seed\"", "\"warmup\":10000", "\"measure\":30000",
+          "\"metrics\":", "\"aggregates\":", "\"ipc_amean\"",
+          "\"ipc_geomean\"", "\"avg_active_clusters_amean\""})
+        EXPECT_NE(s.find(key), std::string::npos) << key;
+}
+
+// ---------------------------------------------------------------------------
+// Presets
+// ---------------------------------------------------------------------------
+
+TEST(Presets, SweepPresetNamesAllBuild)
+{
+    const auto &names = sweepPresetNames();
+    ASSERT_FALSE(names.empty());
+    for (const std::string &n : names) {
+        std::vector<RunPoint> pts = makeSweepPreset(n);
+        EXPECT_FALSE(pts.empty()) << n;
+        for (const RunPoint &p : pts) {
+            EXPECT_FALSE(p.label.empty()) << n;
+            EXPECT_FALSE(p.workload.name.empty()) << n;
+            EXPECT_GT(p.measure, 0u) << n;
+        }
+    }
+}
+
+TEST(Presets, SweepPresetShapes)
+{
+    // benchmarks x variants for each paper artifact.
+    EXPECT_EQ(makeSweepPreset("table3").size(), 9u);
+    EXPECT_EQ(makeSweepPreset("fig3").size(), 36u);
+    EXPECT_EQ(makeSweepPreset("fig5").size(), 54u);
+    EXPECT_EQ(makeSweepPreset("fig6").size(), 45u);
+    EXPECT_EQ(makeSweepPreset("fig7").size(), 45u);
+    EXPECT_EQ(makeSweepPreset("fig8").size(), 27u);
+    EXPECT_EQ(makeSweepPreset("sensitivity").size(), 108u);
+}
+
+TEST(Presets, SweepPresetOverridesRunLengths)
+{
+    std::vector<RunPoint> pts = makeSweepPreset("table3", 5000, 77777);
+    for (const RunPoint &p : pts) {
+        EXPECT_EQ(p.warmup, 5000u);
+        EXPECT_EQ(p.measure, 77777u);
+    }
+}
+
+TEST(Presets, ControllerFactoriesProduceNamedSchemes)
+{
+    EXPECT_EQ(makeExploreController()->name(), "interval-explore");
+    EXPECT_EQ(makeIlpController(1000)->name(), "interval-ilp-1000");
+    EXPECT_EQ(makeFinegrainController()->name(), "finegrain-branch");
+    EXPECT_EQ(makeSubroutineController()->name(),
+              "finegrain-subroutine");
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Parallel sweep CLI: run a named preset of the paper's result grid on
+ * the worker-pool sweep engine and emit a structured JSON report.
+ *
+ *   sweep --preset table3 [--threads N] [--out report.json]
+ *         [--warmup N] [--measure N] [--quiet]
+ *   sweep --list
+ *
+ * Per-run metrics are bit-identical for every --threads value: each
+ * run point's workload RNG is seeded from its (benchmark, config)
+ * pair, independent of scheduling order. The report logs total wall
+ * clock, the serial-equivalent cpu time, and the observed speedup.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "sim/presets.hh"
+#include "sim/sweep.hh"
+
+using namespace clustersim;
+
+namespace {
+
+int
+usage(const char *prog, int code)
+{
+    std::fprintf(stderr,
+                 "usage: %s --preset NAME [options]\n"
+                 "       %s --list\n"
+                 "\n"
+                 "options:\n"
+                 "  --preset NAME   sweep to run (see --list)\n"
+                 "  --threads N     worker threads (default: hardware "
+                 "concurrency)\n"
+                 "  --out FILE      JSON report path (default: "
+                 "sweep-NAME.json; '-' = stdout)\n"
+                 "  --warmup N      warmup instructions per run "
+                 "(default: preset)\n"
+                 "  --measure N     measured instructions per run "
+                 "(default: preset)\n"
+                 "  --quiet         no per-run progress on stderr\n",
+                 prog, prog);
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string preset;
+    std::string out_path;
+    int threads = 0;
+    std::uint64_t warmup = 0;
+    std::uint64_t measure = 0;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires an argument\n", flag);
+                std::exit(usage(argv[0], 2));
+            }
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            for (const std::string &n : sweepPresetNames())
+                std::printf("%s (%zu run points)\n", n.c_str(),
+                            makeSweepPreset(n).size());
+            return 0;
+        } else if (arg == "--preset") {
+            preset = need("--preset");
+        } else if (arg == "--threads") {
+            threads = std::atoi(need("--threads"));
+        } else if (arg == "--out") {
+            out_path = need("--out");
+        } else if (arg == "--warmup") {
+            warmup = std::strtoull(need("--warmup"), nullptr, 10);
+        } else if (arg == "--measure") {
+            measure = std::strtoull(need("--measure"), nullptr, 10);
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return usage(argv[0], 2);
+        }
+    }
+
+    if (preset.empty())
+        return usage(argv[0], 2);
+    bool known = false;
+    for (const std::string &n : sweepPresetNames())
+        known = known || n == preset;
+    if (!known) {
+        std::fprintf(stderr, "unknown preset '%s'; try --list\n",
+                     preset.c_str());
+        return 2;
+    }
+    if (out_path.empty())
+        out_path = "sweep-" + preset + ".json";
+
+    std::vector<RunPoint> points =
+        makeSweepPreset(preset, warmup, measure);
+
+    SweepOptions opts;
+    opts.threads = threads;
+    std::size_t done = 0;
+    if (!quiet) {
+        opts.onComplete = [&done, &points](std::size_t,
+                                           const SimResult &r) {
+            done++;
+            std::fprintf(stderr, "  [%3zu/%3zu] %-8s %-24s IPC %.3f\n",
+                         done, points.size(), r.benchmark.c_str(),
+                         r.config.c_str(), r.ipc);
+        };
+    }
+
+    SweepResult res = runSweep(points, opts);
+    std::string report = sweepReportJson(preset, points, res);
+
+    if (out_path == "-") {
+        std::printf("%s\n", report.c_str());
+    } else {
+        std::ofstream f(out_path, std::ios::binary);
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+            return 1;
+        }
+        f << report << "\n";
+    }
+
+    std::string dest = out_path == "-" ? "" : " -> " + out_path;
+    std::fprintf(stderr,
+                 "sweep '%s': %zu runs on %d thread(s), wall %.2fs, "
+                 "cpu %.2fs, speedup %.2fx%s\n",
+                 preset.c_str(), res.runs.size(), res.threads,
+                 res.wallSeconds, res.cpuSeconds(), res.speedup(),
+                 dest.c_str());
+    return 0;
+}
