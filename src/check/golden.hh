@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Golden-run differential harness (validation subsystem, layer 2).
+ *
+ * A fixed, deterministic set of short simulations covering the paper's
+ * machine space (static subsets, the dynamic controllers, ring/grid,
+ * centralized/decentralized caches, the monolithic baseline) is
+ * snapshotted as JSON and checked into tests/golden/. Every CI run
+ * re-executes the set and diffs against the snapshot with explicit
+ * tolerance rules, so any behavioural drift from a refactor shows up as
+ * a golden diff in the PR instead of silently shifting the paper's
+ * numbers.
+ *
+ * Tolerance rules: strings, booleans, and integer-lexed numbers must
+ * match exactly (the simulator is deterministic; counters are
+ * counters). Non-integral numbers match within
+ * |a-b| <= absTol + relTol * max(|a|, |b|) to absorb libm and
+ * -ffp-contract differences across toolchains.
+ *
+ * Workflow: `tools/golden --check` (the CI gate) and
+ * `tools/golden --update` after an intentional behaviour change; the
+ * regenerated tests/golden snapshot diff then documents the change in
+ * the PR. See docs/TESTING.md.
+ */
+
+#ifndef CLUSTERSIM_CHECK_GOLDEN_HH
+#define CLUSTERSIM_CHECK_GOLDEN_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json_reader.hh"
+#include "sim/sweep.hh"
+
+namespace clustersim {
+
+/** Tolerances for non-integral numbers in a golden diff. */
+struct GoldenTolerance {
+    double relTol = 1e-9;
+    double absTol = 1e-12;
+};
+
+/** One difference between a golden report and a fresh run. */
+struct GoldenDiff {
+    std::string path;     ///< JSON path, e.g. "runs[3].metrics.ipc"
+    std::string expected; ///< golden-side value (or "<missing>")
+    std::string actual;   ///< current-side value (or "<missing>")
+};
+
+/**
+ * The golden run set: 3 representative benchmarks (int, fp-stream,
+ * pointer-heavy) crossed with 8 machine variants. Short windows --
+ * the set is a drift tripwire, not a performance study.
+ */
+std::vector<RunPoint> goldenRunPoints();
+
+/** Name of the golden file covering goldenRunPoints(). */
+std::string goldenFileName();
+
+/**
+ * Deterministic JSON report of the executed set (schema
+ * "clustersim-golden-v1"; no wall-clock content).
+ */
+std::string goldenReportJson(const std::vector<RunPoint> &points,
+                             const SweepResult &res);
+
+/**
+ * Structural diff of two parsed reports under the tolerance rules.
+ * Returns every difference, in document order.
+ */
+std::vector<GoldenDiff> diffGoldenReports(const JsonValue &golden,
+                                          const JsonValue &current,
+                                          const GoldenTolerance &tol =
+                                              {});
+
+/** Human-readable one-line-per-diff rendering. */
+std::string formatGoldenDiffs(const std::vector<GoldenDiff> &diffs);
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_CHECK_GOLDEN_HH

@@ -1,5 +1,6 @@
 #include "core/cluster.hh"
 
+#include "check/invariant.hh"
 #include "common/logging.hh"
 
 namespace clustersim {
@@ -31,6 +32,7 @@ Cluster::iqAllocate(bool fp)
 {
     CSIM_ASSERT(iqHasSpace(fp), "IQ overflow");
     (fp ? fpIqUsed_ : intIqUsed_)++;
+    CSIM_CHECK_PROBE(onClusterIq(id_, fp, iqOccupancy(fp)));
 }
 
 void
@@ -39,6 +41,7 @@ Cluster::iqRelease(bool fp)
     int &used = fp ? fpIqUsed_ : intIqUsed_;
     CSIM_ASSERT(used > 0, "IQ underflow");
     used--;
+    CSIM_CHECK_PROBE(onClusterIq(id_, fp, iqOccupancy(fp)));
 }
 
 bool
@@ -53,6 +56,7 @@ Cluster::regAllocate(bool fp)
 {
     CSIM_ASSERT(regHasSpace(fp), "register file overflow");
     (fp ? fpRegsUsed_ : intRegsUsed_)++;
+    CSIM_CHECK_PROBE(onClusterRegs(id_, fp, regsUsed(fp)));
 }
 
 void
@@ -61,6 +65,7 @@ Cluster::regRelease(bool fp)
     int &used = fp ? fpRegsUsed_ : intRegsUsed_;
     CSIM_ASSERT(used > 0, "register file underflow");
     used--;
+    CSIM_CHECK_PROBE(onClusterRegs(id_, fp, regsUsed(fp)));
 }
 
 int

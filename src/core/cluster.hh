@@ -40,6 +40,7 @@ class Cluster
     void regAllocate(bool fp);
     void regRelease(bool fp);
     int regsFree(bool fp) const;
+    int regsUsed(bool fp) const { return fp ? fpRegsUsed_ : intRegsUsed_; }
 
     // --- functional units -------------------------------------------------------
     /**

@@ -1,8 +1,20 @@
 #include "core/params.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "workload/isa.hh"
 
 namespace clustersim {
+
+int
+minViableClusters(const ClusterParams &cluster)
+{
+    CSIM_ASSERT(cluster.intRegs >= 1 && cluster.fpRegs >= 1);
+    int for_int = (numIntRegs + cluster.intRegs - 1) / cluster.intRegs;
+    int for_fp = (numFpRegs + cluster.fpRegs - 1) / cluster.fpRegs;
+    return std::max(for_int, for_fp);
+}
 
 ProcessorConfig
 defaultConfig()

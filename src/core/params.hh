@@ -33,6 +33,20 @@ struct ClusterParams {
     int fpMultDivs = 1;
 };
 
+/**
+ * Smallest number of active clusters whose aggregate register files
+ * can hold the architectural register state.
+ *
+ * Committed rename mappings permanently pin one physical register per
+ * live logical register, so an active partition with fewer physical
+ * than logical registers deadlocks at rename regardless of what
+ * commits: with Table 1's 30 registers per cluster and a 32+32
+ * register ISA, a single active cluster can never make forward
+ * progress. This is why the paper's reconfiguration candidate sets
+ * start at 2 clusters.
+ */
+int minViableClusters(const ClusterParams &cluster);
+
 /** Functional-unit latencies (SimpleScalar defaults). */
 struct FuLatencies {
     Cycle intAlu = 1;

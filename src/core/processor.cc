@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariant.hh"
 #include "common/logging.hh"
 
 namespace clustersim {
@@ -48,13 +49,24 @@ Processor::Processor(const ProcessorConfig &cfg, TraceSource *trace,
     for (auto &v : archValues_)
         v = ValueInfo::initial();
 
+    CSIM_CHECK_PROBE(configure(makeCheckLimits(cfg_,
+                                               network_->maxHops())));
+
+    // Partitions too small to hold the architectural registers can
+    // never make forward progress (committed mappings alone exhaust
+    // the regfile), so reject them up front instead of livelocking.
+    minClusters_ = minViableClusters(cfg_.cluster);
+    CSIM_ASSERT(cfg_.numClusters >= minClusters_,
+                "register files too small for architectural state");
     activeClusters_ = cfg_.activeClustersAtReset > 0
         ? std::min(cfg_.activeClustersAtReset, cfg_.numClusters)
         : cfg_.numClusters;
+    CSIM_ASSERT(activeClusters_ >= minClusters_,
+                "active partition cannot hold architectural registers");
     if (controller_) {
         controller_->attach(cfg_.numClusters, activeClusters_);
-        activeClusters_ = std::clamp(controller_->targetClusters(), 1,
-                                     cfg_.numClusters);
+        activeClusters_ = std::clamp(controller_->targetClusters(),
+                                     minClusters_, cfg_.numClusters);
     }
 }
 
@@ -80,7 +92,7 @@ Processor::usesFpIq(const MicroOp &op)
 void
 Processor::setActiveClusters(int n)
 {
-    CSIM_ASSERT(n >= 1 && n <= cfg_.numClusters);
+    CSIM_ASSERT(n >= minClusters_ && n <= cfg_.numClusters);
     activeClusters_ = n;
 }
 
@@ -96,21 +108,35 @@ Processor::step()
     applyReconfig();
     stats_.cycles++;
     stats_.activeClusterSum += activeClusters_;
+    CSIM_CHECK_PROBE(onCycle(activeClusters_));
 }
 
 void
 Processor::run(std::uint64_t instructions)
 {
+    // The longest legitimate commit gap is a reconfiguration drain plus
+    // a full L1 flush (a few thousand cycles); far beyond that, the
+    // machine has wedged and continuing would hang the caller.
+    constexpr Cycle livelockBudget = 100000;
     std::uint64_t goal = stats_.committed + instructions;
-    while (stats_.committed < goal)
+    std::uint64_t last = stats_.committed;
+    Cycle lastProgress = cycle_;
+    while (stats_.committed < goal) {
         step();
+        if (stats_.committed != last) {
+            last = stats_.committed;
+            lastProgress = cycle_;
+        } else if (cycle_ - lastProgress > livelockBudget) {
+            CSIM_PANIC("no commit in ", livelockBudget,
+                       " cycles (committed ", stats_.committed, " of ",
+                       goal, ", cycle ", cycle_, "): livelock");
+        }
+    }
 }
 
 void
 Processor::resetStats()
 {
-    Cycle saved_cycle = cycle_;
-    (void)saved_cycle;
     stats_ = ProcessorStats{};
     fetch_->resetStats();
     network_->resetStats();
@@ -414,6 +440,8 @@ Processor::doCommit()
         DynInst &head = rob_.head();
         if (!head.completed || head.completeCycle > cycle_)
             break;
+        CSIM_CHECK_PROBE(onCommit(head.seq, head.completed,
+                                  head.completeCycle, cycle_));
 
         const MicroOp &op = head.op;
         if (op.dest != invalidReg) {
@@ -640,12 +668,17 @@ Processor::applyReconfig()
 {
     int target = activeClusters_;
     if (controller_) {
-        target = std::clamp(controller_->targetClusters(), 1,
-                            cfg_.numClusters);
+        CSIM_CHECK_PROBE(onControllerTarget(
+            controller_->name(), controller_->targetClusters()));
+        target = std::clamp(controller_->targetClusters(),
+                            minClusters_, cfg_.numClusters);
     }
 
     if (!cfg_.l1.decentralized) {
         if (target != activeClusters_) {
+            CSIM_CHECK_PROBE(onReconfigApply(activeClusters_, target,
+                                             rob_.size(), lsq_->size(),
+                                             false));
             activeClusters_ = target;
             stats_.reconfigurations++;
         }
@@ -664,6 +697,9 @@ Processor::applyReconfig()
         return;
     }
     if (rob_.empty() && lsq_->size() == 0) {
+        CSIM_CHECK_PROBE(onReconfigApply(activeClusters_, pendingTarget_,
+                                         rob_.size(), lsq_->size(),
+                                         true));
         std::uint64_t flushed = l1_->flushAll(cycle_);
         stats_.flushWritebacks += flushed;
         dispatchStallUntil_ = cycle_ + flushed + 10;

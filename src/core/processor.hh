@@ -182,6 +182,7 @@ class Processor
     // --- dynamic state ------------------------------------------------------
     Cycle cycle_ = 0;
     int activeClusters_ = 0;
+    int minClusters_ = 1;       ///< smallest viable active partition
     int pendingTarget_ = 0;     ///< decentralized reconfig in progress
     Cycle dispatchStallUntil_ = 0;
 

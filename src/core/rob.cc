@@ -1,5 +1,6 @@
 #include "core/rob.hh"
 
+#include "check/invariant.hh"
 #include "common/logging.hh"
 
 namespace clustersim {
@@ -17,6 +18,7 @@ ReorderBuffer::allocate(const MicroOp &op)
     DynInst &inst = buf_.back();
     inst.op = op;
     inst.seq = nextSeq_++;
+    CSIM_CHECK_PROBE(onRobAllocate(inst.seq, buf_.size(), cap_));
     return inst;
 }
 
@@ -44,6 +46,7 @@ void
 ReorderBuffer::retireHead()
 {
     CSIM_ASSERT(!buf_.empty(), "ROB underflow");
+    CSIM_CHECK_PROBE(onRobRetire(buf_.front().seq));
     buf_.pop_front();
 }
 

@@ -1,5 +1,6 @@
 #include "interconnect/network.hh"
 
+#include "check/invariant.hh"
 #include "common/logging.hh"
 
 namespace clustersim {
@@ -9,6 +10,7 @@ Network::Network(std::unique_ptr<Topology> topology, Cycle hop_latency)
 {
     CSIM_ASSERT(topology_, "network needs a topology");
     CSIM_ASSERT(hop_latency >= 1);
+    maxHops_ = topology_->maxHops();
     occupancy_.assign(static_cast<std::size_t>(topology_->numLinks()),
                       std::vector<Cycle>(windowSize, neverCycle));
 }
@@ -45,6 +47,8 @@ Network::schedule(int src, int dst, Cycle ready)
         depart = arrive; // earliest start of the next hop
     }
 
+    CSIM_CHECK_PROBE(onTransfer(src, dst, static_cast<int>(links.size()),
+                                maxHops_));
     transfers_.inc();
     totalHops_.inc(links.size());
     totalLatency_.inc(arrive - ready);

@@ -57,6 +57,9 @@ class Network
     const Topology &topology() const { return *topology_; }
     Cycle hopLatency() const { return hopLatency_; }
 
+    /** Topology diameter, cached at construction (maxHops is O(n^2)). */
+    int maxHops() const { return maxHops_; }
+
     // --- statistics --------------------------------------------------------
     std::uint64_t transfers() const { return transfers_.value(); }
     std::uint64_t totalHops() const { return totalHops_.value(); }
@@ -79,6 +82,7 @@ class Network
 
     std::unique_ptr<Topology> topology_;
     Cycle hopLatency_;
+    int maxHops_;
 
     /** Per-link occupancy window: slot s holds the cycle that owns it. */
     static constexpr std::size_t windowSize = 1024;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariant.hh"
 #include "common/logging.hh"
 
 namespace clustersim {
@@ -53,6 +54,7 @@ LoadStoreQueue::allocate(InstSeqNum seq, bool is_store, int cluster,
         }
     }
     queue_.push_back(e);
+    CSIM_CHECK_PROBE(onLsqMutate(*this));
 }
 
 LsqEntry *
@@ -98,6 +100,7 @@ LoadStoreQueue::setAddress(InstSeqNum seq, Addr addr, int bank,
         }
         e->dummyClusters = 0;
     }
+    CSIM_CHECK_PROBE(onLsqMutate(*this));
 }
 
 void
@@ -173,6 +176,7 @@ LoadStoreQueue::markAccessed(InstSeqNum seq)
 {
     LsqEntry *e = find(seq);
     CSIM_ASSERT(e, "markAccessed: unknown entry");
+    CSIM_CHECK_PROBE(onLoadAccess(*this, seq));
     e->accessed = true;
 }
 
@@ -195,6 +199,8 @@ LoadStoreQueue::release(InstSeqNum seq)
         }
     }
     queue_.pop_front();
+    CSIM_CHECK_PROBE(onLsqRelease(seq));
+    CSIM_CHECK_PROBE(onLsqMutate(*this));
 }
 
 void
@@ -216,6 +222,7 @@ LoadStoreQueue::squashAfter(InstSeqNum seq)
         }
         queue_.pop_back();
     }
+    CSIM_CHECK_PROBE(onLsqMutate(*this));
 }
 
 const LsqEntry &

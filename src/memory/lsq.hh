@@ -105,6 +105,15 @@ class LoadStoreQueue
 
     std::size_t size() const { return queue_.size(); }
     bool distributed() const { return distributed_; }
+    int numClusters() const { return numClusters_; }
+    int perCluster() const { return perCluster_; }
+    /** Occupied slots in `cluster` (index 0 only when centralized). */
+    int occupancy(int cluster) const
+    {
+        return occupancy_[static_cast<std::size_t>(cluster)];
+    }
+    /** All live entries, program order (for the invariant checker). */
+    const std::deque<LsqEntry> &entries() const { return queue_; }
 
     std::uint64_t forwards() const { return forwards_.value(); }
     std::uint64_t blockedChecks() const { return blocked_.value(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariant.hh"
 #include "common/logging.hh"
 
 namespace clustersim {
@@ -37,6 +38,8 @@ FinegrainController::attach(int hw_clusters, int initial)
     sinceFlush_ = 0;
     reconfigPoints_ = 0;
     tableFlushes_ = 0;
+
+    CSIM_CHECK_PROBE(onControllerAttach(name(), hw_clusters, target_));
 }
 
 FinegrainController::TableEntry &

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/invariant.hh"
 #include "common/logging.hh"
 
 namespace clustersim {
@@ -58,6 +59,8 @@ IntervalExploreController::attach(int hw_clusters, int initial)
     chgBranch_ = 0;
     chgMem_ = 0;
     chgIpc_ = 0;
+
+    CSIM_CHECK_PROBE(onControllerAttach(name(), hw_clusters, target_));
 }
 
 void

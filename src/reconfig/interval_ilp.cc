@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "check/invariant.hh"
 #include "common/logging.hh"
 
 namespace clustersim {
@@ -41,6 +42,8 @@ IntervalIlpController::attach(int hw_clusters, int initial)
     refIpc_ = 0.0;
     refIpcValid_ = false;
     phaseChanges_ = 0;
+
+    CSIM_CHECK_PROBE(onControllerAttach(name(), hw_clusters, target_));
 }
 
 void

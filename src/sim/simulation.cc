@@ -1,5 +1,9 @@
 #include "sim/simulation.hh"
 
+#include <optional>
+
+#include "check/invariant.hh"
+
 namespace clustersim {
 
 SimResult
@@ -7,6 +11,16 @@ runSimulation(const ProcessorConfig &cfg, const WorkloadSpec &workload,
               ReconfigController *controller, std::uint64_t warmup,
               std::uint64_t measure)
 {
+    // In a check build, validate every simulation by default: install a
+    // fail-fast checker unless the caller (tests, the fuzz driver)
+    // already put one in scope.
+    std::optional<InvariantChecker> own_checker;
+    std::optional<CheckScope> own_scope;
+    if (CLUSTERSIM_CHECK_ENABLED && !currentChecker()) {
+        own_checker.emplace(/*fail_fast=*/true);
+        own_scope.emplace(*own_checker);
+    }
+
     SyntheticWorkload trace(workload);
     Processor proc(cfg, &trace, controller);
 
@@ -14,6 +28,18 @@ runSimulation(const ProcessorConfig &cfg, const WorkloadSpec &workload,
         proc.run(warmup);
         proc.resetStats();
     }
+
+    SimResult res;
+    res.benchmark = workload.name;
+    res.config = cfg.name;
+
+    // An empty measurement window yields all-zero metrics; without this
+    // early return, rate stats whose zero-denominator guards return 1.0
+    // (branch accuracy, bank-prediction accuracy) and warmup-carried
+    // state would leak into the "measured" result.
+    if (measure == 0)
+        return res;
+
     Cycle measure_start = proc.cycle();
     std::uint64_t committed_start = proc.committed();
     proc.run(measure);
@@ -22,9 +48,6 @@ runSimulation(const ProcessorConfig &cfg, const WorkloadSpec &workload,
     Cycle cycles = proc.cycle() - measure_start;
     std::uint64_t insts = proc.committed() - committed_start;
 
-    SimResult res;
-    res.benchmark = workload.name;
-    res.config = cfg.name;
     res.instructions = insts;
     res.cycles = cycles;
     res.ipc = cycles ? static_cast<double>(insts) /

@@ -166,7 +166,7 @@ toJson(const SimResult &r)
 std::string
 sweepReportJson(const std::string &name,
                 const std::vector<RunPoint> &points,
-                const SweepResult &res)
+                const SweepResult &res, bool include_timing)
 {
     CSIM_ASSERT(points.size() == res.runs.size());
 
@@ -176,11 +176,14 @@ sweepReportJson(const std::string &name,
 
     w.key("sweep").beginObject();
     w.field("name", name);
-    w.field("threads", res.threads);
+    if (include_timing)
+        w.field("threads", res.threads);
     w.field("run_points", static_cast<std::uint64_t>(points.size()));
-    w.field("wall_seconds", res.wallSeconds);
-    w.field("cpu_seconds", res.cpuSeconds());
-    w.field("parallel_speedup", res.speedup());
+    if (include_timing) {
+        w.field("wall_seconds", res.wallSeconds);
+        w.field("cpu_seconds", res.cpuSeconds());
+        w.field("parallel_speedup", res.speedup());
+    }
     w.endObject();
 
     w.key("runs").beginArray();
@@ -191,7 +194,8 @@ sweepReportJson(const std::string &name,
         w.field("benchmark", run.result.benchmark);
         w.field("config", run.result.config);
         w.field("seed", run.seed);
-        w.field("wall_seconds", run.wallSeconds);
+        if (include_timing)
+            w.field("wall_seconds", run.wallSeconds);
         w.field("warmup", points[i].warmup);
         w.field("measure", points[i].measure);
         w.key("metrics");

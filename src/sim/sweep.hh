@@ -112,10 +112,16 @@ std::string toJson(const SimResult &r);
  *     "aggregates": {"ipc_amean", "ipc_geomean",
  *                    "avg_active_clusters_amean"}
  *   }
+ *
+ * With include_timing=false the wall-clock fields (sweep wall_seconds /
+ * cpu_seconds / parallel_speedup and per-run wall_seconds) are omitted,
+ * leaving only deterministic content: the report is then byte-identical
+ * for any thread count.
  */
 std::string sweepReportJson(const std::string &name,
                             const std::vector<RunPoint> &points,
-                            const SweepResult &res);
+                            const SweepResult &res,
+                            bool include_timing = true);
 
 } // namespace clustersim
 

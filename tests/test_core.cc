@@ -311,6 +311,46 @@ TEST(Processor, FreeCommunicationHelps)
     EXPECT_GT(p2.ipc(), p1.ipc());
 }
 
+TEST(Params, MinViableClustersCoversArchitecturalState)
+{
+    // Table 1 clusters hold 30 of the 32 architectural registers per
+    // partition: one cluster deadlocks at rename, two are viable.
+    EXPECT_EQ(minViableClusters(ClusterParams{}), 2);
+
+    ClusterParams big;
+    big.intRegs = 64;
+    big.fpRegs = 64;
+    EXPECT_EQ(minViableClusters(big), 1);
+
+    ClusterParams tiny;
+    tiny.intRegs = 10;
+    tiny.fpRegs = 30;
+    EXPECT_EQ(minViableClusters(tiny), 4); // ceil(32 / 10)
+}
+
+TEST(Processor, RejectsPartitionTooSmallForArchRegs)
+{
+    // activeClustersAtReset = 1 with 30-register clusters is a
+    // guaranteed rename deadlock (32 committed mappings cannot fit);
+    // construction must refuse rather than livelock later.
+    ProcessorConfig cfg = clusteredConfig(4);
+    cfg.activeClustersAtReset = 1;
+    SyntheticWorkload trace(microWorkload());
+    EXPECT_DEATH_IF_SUPPORTED({ Processor p(cfg, &trace); },
+                              "architectural");
+}
+
+TEST(Processor, MonolithicSingleClusterIsViable)
+{
+    // The Table 3 baseline is one cluster with aggregated resources;
+    // its regfile covers the architectural state, so it must pass the
+    // viability gate.
+    SyntheticWorkload trace(microWorkload());
+    Processor p(monolithicConfig(16), &trace);
+    p.run(2000);
+    EXPECT_EQ(p.activeClusters(), 1);
+}
+
 TEST(Processor, ActiveSubsetRestrictsSteering)
 {
     ProcessorConfig cfg = staticSubsetConfig(4);

@@ -119,8 +119,12 @@ TEST_P(ClusterSweep, RunsAtEveryCount)
     EXPECT_NEAR(r.avgActiveClusters, n, 0.01);
 }
 
+// Starts at 2: a single Table 1 cluster has 30 physical registers for
+// 32 architectural ones, so rename deadlocks on any workload keeping
+// all logical registers live (the processor rejects it at reset; see
+// minViableClusters). The paper's candidate sets likewise start at 2.
 INSTANTIATE_TEST_SUITE_P(AllCounts, ClusterSweep,
-                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16));
+                         ::testing::Values(2, 3, 4, 6, 8, 12, 16));
 
 class BenchmarkSmoke : public ::testing::TestWithParam<const char *>
 {

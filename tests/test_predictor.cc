@@ -411,3 +411,55 @@ TEST(Criticality, DefaultLeansCritical)
     CriticalityPredictor cp(256);
     EXPECT_TRUE(cp.isCritical(0x500));
 }
+
+TEST(Criticality, SaturationBoundsHysteresis)
+{
+    // The 3-bit counter saturates at 7: however long a producer has
+    // been critical, a few early-arrival observations flip the
+    // prediction (and vice versa), so stale criticality ages out fast.
+    CriticalityPredictor cp(256);
+    Addr pc = 0x200;
+    for (int i = 0; i < 100; i++)
+        cp.train(pc, true);
+    cp.train(pc, false);
+    cp.train(pc, false);
+    EXPECT_TRUE(cp.isCritical(pc)); // 7 -> 5: still critical
+    cp.train(pc, false);
+    cp.train(pc, false);
+    EXPECT_FALSE(cp.isCritical(pc)); // 5 -> 3: flipped
+    for (int i = 0; i < 100; i++)
+        cp.train(pc, false);
+    cp.train(pc, true);
+    cp.train(pc, true);
+    cp.train(pc, true);
+    EXPECT_FALSE(cp.isCritical(pc)); // 0 -> 3: not yet
+    cp.train(pc, true);
+    EXPECT_TRUE(cp.isCritical(pc)); // 3 -> 4: critical again
+}
+
+TEST(Criticality, NeighbouringPcsIndependent)
+{
+    CriticalityPredictor cp(256);
+    for (int i = 0; i < 8; i++) {
+        cp.train(0x100, false);
+        cp.train(0x104, true);
+    }
+    EXPECT_FALSE(cp.isCritical(0x100));
+    EXPECT_TRUE(cp.isCritical(0x104));
+}
+
+TEST(Criticality, TableAliasingWrapsAtSize)
+{
+    // Indexing is (pc >> 2) mod entries: PCs 256 words apart share a
+    // 256-entry table slot, so training one is visible through the
+    // other (the standard cheap-table aliasing trade-off).
+    CriticalityPredictor cp(256);
+    Addr pc = 0x1000;
+    Addr alias = pc + 256 * 4;
+    for (int i = 0; i < 8; i++)
+        cp.train(pc, false);
+    EXPECT_FALSE(cp.isCritical(alias));
+    for (int i = 0; i < 8; i++)
+        cp.train(alias, true);
+    EXPECT_TRUE(cp.isCritical(pc));
+}

@@ -669,3 +669,69 @@ TEST(IntervalIlp, ThresholdBoundaryExact)
     }
     EXPECT_EQ(c.targetClusters(), 4);
 }
+
+TEST(IntervalIlp, PaperThresholdBoundary160Per1000)
+{
+    // The paper's threshold: >160 distant instructions per
+    // 1000-instruction interval keeps 16 clusters. Exactly 160 does
+    // not ("not greater"), 161 does.
+    for (int distant_count : {160, 161}) {
+        IntervalIlpParams p;
+        p.intervalLength = 1000;
+        p.distantPerMille = 160;
+        IntervalIlpController c(p);
+        c.attach(16, 16);
+        Cycle cycle = 0;
+        for (int i = 0; i < 1000; i++) {
+            CommitEvent ev;
+            ev.op = OpClass::IntAlu;
+            ev.distant = i < distant_count;
+            ev.cycle = ++cycle;
+            c.onCommit(ev);
+        }
+        EXPECT_EQ(c.targetClusters(), distant_count > 160 ? 16 : 4)
+            << distant_count << " distant per 1000";
+    }
+}
+
+TEST(Finegrain, DistantThresholdBoundaryExact)
+{
+    // A sampled branch whose following window holds exactly
+    // distantThreshold distant instructions is advised the small
+    // configuration; one more flips the advice to 16 clusters.
+    for (int distant_count : {3, 4}) {
+        FinegrainParams p;
+        p.branchStride = 1;
+        p.samplesNeeded = 1;
+        p.ilpWindow = 6;
+        p.distantThreshold = 3;
+        FinegrainController c(p);
+        c.attach(16, 16);
+        Cycle cycle = 0;
+
+        CommitEvent ev;
+        ev.pc = 0x7000;
+        ev.op = OpClass::CondBranch;
+        ev.cycle = ++cycle;
+        c.onCommit(ev); // the sampled branch enters the window
+
+        // Exactly ilpWindow followers; the last one evicts the branch
+        // and trains its table entry in a single sample.
+        for (int i = 0; i < 6; i++) {
+            ev.pc = 0x8000 + static_cast<Addr>(i) * 4;
+            ev.op = OpClass::IntAlu;
+            ev.distant = i < distant_count;
+            ev.cycle = ++cycle;
+            c.onCommit(ev);
+        }
+
+        // Revisit the branch: the installed advice takes effect.
+        ev.pc = 0x7000;
+        ev.op = OpClass::CondBranch;
+        ev.distant = false;
+        ev.cycle = ++cycle;
+        c.onCommit(ev);
+        EXPECT_EQ(c.targetClusters(), distant_count > 3 ? 16 : 4)
+            << distant_count << " distant in the window";
+    }
+}

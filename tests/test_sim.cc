@@ -77,6 +77,30 @@ TEST(Simulation, ProducesSaneResult)
     EXPECT_NEAR(r.avgActiveClusters, 4.0, 0.01);
 }
 
+TEST(Simulation, ZeroMeasureWindowReturnsZeroedStats)
+{
+    // A zero-instruction measurement window must yield a well-formed
+    // all-zero result (no division by a zero cycle count, no leftover
+    // warmup statistics).
+    WorkloadSpec w = makeBenchmark("gzip");
+    SimResult r = runSimulation(staticSubsetConfig(4), w, nullptr,
+                                5000, /*measure=*/0);
+    EXPECT_EQ(r.benchmark, "gzip");
+    EXPECT_FALSE(r.config.empty());
+    EXPECT_EQ(r.instructions, 0u);
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.reconfigurations, 0u);
+    EXPECT_EQ(r.flushWritebacks, 0u);
+    EXPECT_DOUBLE_EQ(r.ipc, 0.0);
+    EXPECT_DOUBLE_EQ(r.mispredictInterval, 0.0);
+    EXPECT_DOUBLE_EQ(r.branchAccuracy, 0.0);
+    EXPECT_DOUBLE_EQ(r.l1MissRate, 0.0);
+    EXPECT_DOUBLE_EQ(r.avgActiveClusters, 0.0);
+    EXPECT_DOUBLE_EQ(r.avgRegCommLatency, 0.0);
+    EXPECT_DOUBLE_EQ(r.distantFraction, 0.0);
+    EXPECT_DOUBLE_EQ(r.bankPredAccuracy, 0.0);
+}
+
 TEST(Simulation, DeterministicResults)
 {
     WorkloadSpec w = makeBenchmark("cjpeg");

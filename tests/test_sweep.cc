@@ -211,6 +211,30 @@ TEST(Sweep, OnCompleteSeesEveryRun)
         EXPECT_TRUE(seen[i]) << i;
 }
 
+TEST(Sweep, SmokeReportByteIdenticalAcrossJobCounts)
+{
+    // The full JSON report (timing fields omitted) must be
+    // byte-identical between a serial and a parallel execution of the
+    // smoke preset -- the property `tools/sweep --jobs N --no-timing`
+    // exposes and CI pins down with cmp.
+    // Shortened windows: the property is about report bytes, not the
+    // metrics themselves (CI runs the real preset through the tool).
+    std::vector<RunPoint> points = makeSweepPreset("smoke", 5000, 20000);
+    SweepOptions serial;
+    serial.threads = 1;
+    SweepOptions parallel;
+    parallel.threads = 4;
+    std::string a = sweepReportJson("smoke", points,
+                                    runSweep(points, serial), false);
+    std::string b = sweepReportJson("smoke", points,
+                                    runSweep(points, parallel), false);
+    EXPECT_EQ(a, b);
+    // Sanity: the timing fields really are gone, and nothing else.
+    EXPECT_EQ(a.find("wall_seconds"), std::string::npos);
+    EXPECT_EQ(a.find("threads"), std::string::npos);
+    EXPECT_NE(a.find("\"ipc_geomean\""), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Controller reuse across runs (the attach() reset contract)
 // ---------------------------------------------------------------------------

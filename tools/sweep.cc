@@ -4,13 +4,15 @@
  * the worker-pool sweep engine and emit a structured JSON report.
  *
  *   sweep --preset table3 [--threads N] [--out report.json]
- *         [--warmup N] [--measure N] [--quiet]
+ *         [--warmup N] [--measure N] [--no-timing] [--quiet]
  *   sweep --list
  *
  * Per-run metrics are bit-identical for every --threads value: each
  * run point's workload RNG is seeded from its (benchmark, config)
  * pair, independent of scheduling order. The report logs total wall
- * clock, the serial-equivalent cpu time, and the observed speedup.
+ * clock, the serial-equivalent cpu time, and the observed speedup;
+ * --no-timing drops those fields so the whole report file is
+ * byte-identical across thread counts.
  */
 
 #include <cstdio>
@@ -37,12 +39,15 @@ usage(const char *prog, int code)
                  "  --preset NAME   sweep to run (see --list)\n"
                  "  --threads N     worker threads (default: hardware "
                  "concurrency)\n"
+                 "  --jobs N        alias for --threads\n"
                  "  --out FILE      JSON report path (default: "
                  "sweep-NAME.json; '-' = stdout)\n"
                  "  --warmup N      warmup instructions per run "
                  "(default: preset)\n"
                  "  --measure N     measured instructions per run "
                  "(default: preset)\n"
+                 "  --no-timing     omit wall-clock fields from the "
+                 "report (byte-identical across thread counts)\n"
                  "  --quiet         no per-run progress on stderr\n",
                  prog, prog);
     return code;
@@ -58,6 +63,7 @@ main(int argc, char **argv)
     int threads = 0;
     std::uint64_t warmup = 0;
     std::uint64_t measure = 0;
+    bool include_timing = true;
     bool quiet = false;
 
     for (int i = 1; i < argc; i++) {
@@ -78,12 +84,16 @@ main(int argc, char **argv)
             preset = need("--preset");
         } else if (arg == "--threads") {
             threads = std::atoi(need("--threads"));
+        } else if (arg == "--jobs") {
+            threads = std::atoi(need("--jobs"));
         } else if (arg == "--out") {
             out_path = need("--out");
         } else if (arg == "--warmup") {
             warmup = std::strtoull(need("--warmup"), nullptr, 10);
         } else if (arg == "--measure") {
             measure = std::strtoull(need("--measure"), nullptr, 10);
+        } else if (arg == "--no-timing") {
+            include_timing = false;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -124,7 +134,8 @@ main(int argc, char **argv)
     }
 
     SweepResult res = runSweep(points, opts);
-    std::string report = sweepReportJson(preset, points, res);
+    std::string report = sweepReportJson(preset, points, res,
+                                         include_timing);
 
     if (out_path == "-") {
         std::printf("%s\n", report.c_str());
