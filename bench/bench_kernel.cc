@@ -1,0 +1,74 @@
+/**
+ * @file
+ * google-benchmark microbenchmark over the golden grid: one benchmark
+ * registration per (workload, machine variant) point, reporting
+ * committed-instructions/sec and simulated-cycles/sec as rate
+ * counters. Complements tools/perfbench (the JSON-emitting harness CI
+ * runs); use this one for iterating on kernel optimizations locally:
+ *
+ *   ./bench/bench_kernel --benchmark_filter=gzip/static-16
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "check/golden.hh"
+#include "core/processor.hh"
+#include "sim/sweep.hh"
+#include "workload/synthetic.hh"
+
+using namespace clustersim;
+
+namespace {
+
+void
+runGoldenPoint(benchmark::State &state, const RunPoint &p)
+{
+    std::string label = !p.label.empty() ? p.label : p.cfg.name;
+    WorkloadSpec w = p.workload;
+    w.seed = sweepSeed(w.seed, w.name, label);
+
+    std::uint64_t insts = 0;
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        SyntheticWorkload trace(w);
+        std::unique_ptr<ReconfigController> ctrl;
+        if (p.makeController)
+            ctrl = p.makeController();
+        Processor proc(p.cfg, &trace, ctrl.get());
+        proc.run(p.warmup);
+        proc.resetStats();
+        proc.run(p.measure);
+        insts += proc.committed() + p.warmup;
+        cycles += proc.cycle();
+    }
+    state.counters["instructions/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+const std::vector<RunPoint> &
+grid()
+{
+    static const std::vector<RunPoint> points = goldenRunPoints();
+    return points;
+}
+
+[[maybe_unused]] const bool registered = [] {
+    for (const RunPoint &p : grid()) {
+        std::string label = !p.label.empty() ? p.label : p.cfg.name;
+        std::string name = p.workload.name + "/" + label;
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [&p](benchmark::State &state) { runGoldenPoint(state, p); });
+    }
+    return true;
+}();
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -44,12 +44,22 @@ void informImpl(const std::string &msg);
 
 } // namespace detail
 
-/** Abort on a user-caused error: throws SimError. */
+/**
+ * Abort on a user-caused error: throws SimError. When the build
+ * disables exceptions (-fno-exceptions, see CLUSTERSIM_NO_EXCEPTIONS in
+ * CMake), the error is reported and the process aborts instead, so
+ * every call site stays well-formed either way.
+ */
 template <typename... Args>
 [[noreturn]] void
 fatal(Args &&...args)
 {
+#if defined(__cpp_exceptions) || defined(__EXCEPTIONS)
     throw SimError(detail::concat(std::forward<Args>(args)...));
+#else
+    detail::panicImpl("fatal", 0,
+                      detail::concat(std::forward<Args>(args)...));
+#endif
 }
 
 /** Print a warning to stderr; simulation continues. */

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace clustersim {
@@ -22,9 +23,16 @@ namespace clustersim {
 class SlotReserver
 {
   public:
+    /**
+     * The window must be a power of two: slot lookup runs on every
+     * reservation probe, and a mask beats an integer division there.
+     */
     explicit SlotReserver(std::size_t window = 1024)
-        : slots_(window, neverCycle)
-    {}
+        : slots_(window, neverCycle), mask_(window - 1)
+    {
+        CSIM_ASSERT(window > 0 && (window & (window - 1)) == 0,
+                    "SlotReserver window must be a power of two");
+    }
 
     /** Reserve the first free cycle at or after want; returns it. */
     Cycle
@@ -32,12 +40,45 @@ class SlotReserver
     {
         Cycle t = want;
         for (;;) {
-            Cycle &slot = slots_[t % slots_.size()];
+            Cycle &slot = slots_[t & mask_];
             if (slot != t) {
                 slot = t;
                 return t;
             }
             t++;
+        }
+    }
+
+    /** First free cycle at or after want, without reserving it. */
+    Cycle
+    firstFree(Cycle want) const
+    {
+        Cycle t = want;
+        while (slots_[t & mask_] == t)
+            t++;
+        return t;
+    }
+
+    /**
+     * Start of the first free len-cycle span at or after want, without
+     * reserving it. Same fit rule as reserveSpan.
+     */
+    Cycle
+    firstFreeSpan(Cycle want, Cycle len) const
+    {
+        checkSpanFits(len);
+        Cycle start = want;
+        for (;;) {
+            bool ok = true;
+            for (Cycle i = 0; i < len; i++) {
+                if (slots_[(start + i) & mask_] == start + i) {
+                    start = start + i + 1;
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok)
+                return start;
         }
     }
 
@@ -48,11 +89,12 @@ class SlotReserver
     Cycle
     reserveSpan(Cycle want, Cycle len)
     {
+        checkSpanFits(len);
         Cycle start = want;
         for (;;) {
             bool ok = true;
             for (Cycle i = 0; i < len; i++) {
-                if (slots_[(start + i) % slots_.size()] == start + i) {
+                if (slots_[(start + i) & mask_] == start + i) {
                     start = start + i + 1;
                     ok = false;
                     break;
@@ -62,12 +104,32 @@ class SlotReserver
                 break;
         }
         for (Cycle i = 0; i < len; i++)
-            slots_[(start + i) % slots_.size()] = start + i;
+            slots_[(start + i) & mask_] = start + i;
         return start;
     }
 
+    std::size_t window() const { return slots_.size(); }
+
   private:
+    /**
+     * A span longer than the window can never fit: its cycles alias the
+     * same slots modulo the window size, so the search would loop
+     * forever. A span of exactly the window size is fine (N consecutive
+     * cycles are distinct mod N). Growing the window instead is unsound
+     * — live and stale entries become indistinguishable under the new
+     * modulus — so reject the request.
+     */
+    void
+    checkSpanFits(Cycle len) const
+    {
+        if (len > static_cast<Cycle>(slots_.size())) {
+            fatal("SlotReserver: span of ", len,
+                  " cycles cannot fit a window of ", slots_.size());
+        }
+    }
+
     std::vector<Cycle> slots_;
+    std::size_t mask_;
 };
 
 } // namespace clustersim

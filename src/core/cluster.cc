@@ -20,13 +20,6 @@ Cluster::Cluster(int id, const ClusterParams &params,
                        SlotReserver(1024));
 }
 
-bool
-Cluster::iqHasSpace(bool fp) const
-{
-    return fp ? fpIqUsed_ < params_.fpIssueQueue
-              : intIqUsed_ < params_.intIssueQueue;
-}
-
 void
 Cluster::iqAllocate(bool fp)
 {
@@ -44,13 +37,6 @@ Cluster::iqRelease(bool fp)
     CSIM_CHECK_PROBE(onClusterIq(id_, fp, iqOccupancy(fp)));
 }
 
-bool
-Cluster::regHasSpace(bool fp) const
-{
-    return fp ? fpRegsUsed_ < params_.fpRegs
-              : intRegsUsed_ < params_.intRegs;
-}
-
 void
 Cluster::regAllocate(bool fp)
 {
@@ -66,13 +52,6 @@ Cluster::regRelease(bool fp)
     CSIM_ASSERT(used > 0, "register file underflow");
     used--;
     CSIM_CHECK_PROBE(onClusterRegs(id_, fp, regsUsed(fp)));
-}
-
-int
-Cluster::regsFree(bool fp) const
-{
-    return fp ? params_.fpRegs - fpRegsUsed_
-              : params_.intRegs - intRegsUsed_;
 }
 
 SlotReserver &
@@ -95,13 +74,29 @@ Cluster::unitFor(OpClass op)
 Cycle
 Cluster::reserveFu(OpClass op, Cycle ready)
 {
-    // With multiple units of a kind (monolithic baseline), spread
-    // requests round-robin by ready cycle; with one unit this is exact.
+    // With multiple units of a kind (monolithic baseline), either pick
+    // the unit that can start soonest (fuEarliestFree) or spread
+    // requests round-robin by ready cycle (legacy policy, under which
+    // the golden snapshot is pinned); with one unit both are exact.
     auto reserve_best = [&](std::vector<SlotReserver> &units,
                             Cycle span) -> Cycle {
-        std::size_t idx = units.size() == 1
-            ? 0
-            : static_cast<std::size_t>(ready) % units.size();
+        std::size_t idx = 0;
+        if (units.size() > 1) {
+            if (params_.fuEarliestFree) {
+                Cycle best = neverCycle;
+                for (std::size_t u = 0; u < units.size(); u++) {
+                    Cycle c = span > 1
+                        ? units[u].firstFreeSpan(ready, span)
+                        : units[u].firstFree(ready);
+                    if (c < best) {
+                        best = c;
+                        idx = u;
+                    }
+                }
+            } else {
+                idx = static_cast<std::size_t>(ready) % units.size();
+            }
+        }
         return span > 1 ? units[idx].reserveSpan(ready, span)
                         : units[idx].reserve(ready);
     };

@@ -29,17 +29,34 @@ class Cluster
     int id() const { return id_; }
 
     // --- issue queue ---------------------------------------------------------
-    bool iqHasSpace(bool fp) const;
+    // Occupancy queries run inside the steering loop for every
+    // dispatched instruction; keep them inline.
+    bool
+    iqHasSpace(bool fp) const
+    {
+        return fp ? fpIqUsed_ < params_.fpIssueQueue
+                  : intIqUsed_ < params_.intIssueQueue;
+    }
     void iqAllocate(bool fp);
     void iqRelease(bool fp);
     int iqOccupancy(bool fp) const { return fp ? fpIqUsed_ : intIqUsed_; }
     int iqTotalOccupancy() const { return fpIqUsed_ + intIqUsed_; }
 
     // --- register file ---------------------------------------------------------
-    bool regHasSpace(bool fp) const;
+    bool
+    regHasSpace(bool fp) const
+    {
+        return fp ? fpRegsUsed_ < params_.fpRegs
+                  : intRegsUsed_ < params_.intRegs;
+    }
     void regAllocate(bool fp);
     void regRelease(bool fp);
-    int regsFree(bool fp) const;
+    int
+    regsFree(bool fp) const
+    {
+        return fp ? params_.fpRegs - fpRegsUsed_
+                  : params_.intRegs - intRegsUsed_;
+    }
     int regsUsed(bool fp) const { return fp ? fpRegsUsed_ : intRegsUsed_; }
 
     // --- functional units -------------------------------------------------------

@@ -7,8 +7,8 @@
 #define CLUSTERSIM_CORE_DYN_INST_HH
 
 #include <array>
-#include <vector>
 
+#include "common/small_vec.hh"
 #include "core/params.hh"
 #include "workload/isa.hh"
 
@@ -71,8 +71,13 @@ struct DynInst {
     /** The value this instruction produces (valid if op.dest != -1). */
     ValueInfo value;
 
-    /** Consumers registered while this instruction is in flight. */
-    std::vector<Waiter> waiters;
+    /**
+     * Consumers registered while this instruction is in flight. Most
+     * values have very few direct consumers before completion, so the
+     * list lives inline; ROB ring slots retain any spilled capacity
+     * across reuse, keeping the steady state allocation-free.
+     */
+    SmallVec<Waiter, 4> waiters;
 
     // --- memory -------------------------------------------------------------
     bool addrGenScheduled = false;
@@ -92,6 +97,46 @@ struct DynInst {
     int prevDestCluster = invalidCluster; ///< cluster of the previous
                                           ///< mapping of op.dest
     bool prevDestHadReg = false;    ///< previous mapping held a phys reg
+    bool retryArmed = false; ///< pending load woken by an LSQ change
+
+    /**
+     * Reinitialize a recycled ROB ring slot to the exact state a
+     * freshly constructed entry would have (waiter capacity is the one
+     * thing deliberately preserved). Must stay in sync with the field
+     * initializers above.
+     */
+    void
+    reset(const MicroOp &mop, InstSeqNum s)
+    {
+        op = mop;
+        seq = s;
+        cluster = invalidCluster;
+        fetchCycle = 0;
+        dispatchCycle = 0;
+        enterIqCycle = 0;
+        issueCycle = neverCycle;
+        completeCycle = neverCycle;
+        srcReady = {0, 0};
+        srcProducerPc = {0, 0};
+        pendingSrcs = 0;
+        issueScheduled = false;
+        completed = false;
+        value = ValueInfo();
+        waiters.clear();
+        addrGenScheduled = false;
+        addrReadyAt = neverCycle;
+        addrAtBankAt = neverCycle;
+        storeDataAt = neverCycle;
+        bank = -1;
+        predictedBank = -1;
+        loadIssuedToCache = false;
+        mispredicted = false;
+        distant = false;
+        prevDest = invalidReg;
+        prevDestCluster = invalidCluster;
+        prevDestHadReg = false;
+        retryArmed = false;
+    }
 };
 
 } // namespace clustersim

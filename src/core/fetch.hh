@@ -13,6 +13,7 @@
 #ifndef CLUSTERSIM_CORE_FETCH_HH
 #define CLUSTERSIM_CORE_FETCH_HH
 
+#include <algorithm>
 #include <deque>
 #include <optional>
 
@@ -51,6 +52,23 @@ class FetchUnit
     void resumeAt(Cycle c);
 
     bool stalledOnBranch() const { return stalledOnBranch_; }
+
+    /**
+     * Earliest cycle >= now at which cycle() could make progress, or
+     * neverCycle when only an external event can unblock it: a branch
+     * stall ends via resumeAt (an active-cycle cascade), and a full
+     * queue drains only when dispatch pops (dispatch runs before fetch
+     * within a cycle, so that cycle is busy anyway). Used by the
+     * processor's idle-cycle skip.
+     */
+    Cycle
+    nextActiveCycle(Cycle now) const
+    {
+        if (stalledOnBranch_ ||
+            static_cast<int>(queue_.size()) >= cfg_.fetchQueueSize)
+            return neverCycle;
+        return std::max(stallUntil_, now);
+    }
 
     const BranchUnit &branchUnit() const { return branch_; }
     BranchUnit &branchUnit() { return branch_; }

@@ -31,6 +31,16 @@ struct ClusterParams {
     int intMultDivs = 1;
     int fpAlus = 1;
     int fpMultDivs = 1;
+    /**
+     * With multiple units of a kind (the monolithic baseline), pick the
+     * unit whose earliest free slot is soonest instead of hashing the
+     * ready cycle across units (which piles every same-ready request
+     * onto one unit while the rest idle). Off by default: enabling it
+     * changes monolithic-baseline schedules, so the pinned golden
+     * snapshot (tests/golden/default.json) is recorded with the legacy
+     * policy. Single-unit clusters behave identically either way.
+     */
+    bool fuEarliestFree = false;
 };
 
 /**
@@ -106,6 +116,15 @@ struct ProcessorConfig {
 
     /** Largest number of simultaneously active clusters. */
     int activeClustersAtReset = 0; ///< 0 = all
+
+    /**
+     * Let run() jump over provably idle cycles (no event, commit,
+     * dispatch, fetch, load retry, or reconfiguration possible) instead
+     * of stepping through them. Simulated outcomes are identical either
+     * way — see docs/PERF.md — so this is on by default; the
+     * equivalence test forces it off to cross-check.
+     */
+    bool idleSkip = true;
 };
 
 /** The paper's default 16-cluster centralized-cache ring machine. */

@@ -100,15 +100,20 @@ void
 Processor::step()
 {
     cycle_++;
-    processIqEvents();
-    doCommit();
-    retryPendingLoads();
-    doDispatch();
+    bool events = processIqEvents();
+    bool committed = doCommit();
+    bool retried = retryPendingLoads();
+    int dispatched = doDispatch();
+    std::uint64_t fetch_before = fetch_->fetched() + fetch_->icacheMisses();
     doFetch();
-    applyReconfig();
+    bool fetched =
+        fetch_->fetched() + fetch_->icacheMisses() != fetch_before;
+    bool reconfigured = applyReconfig();
     stats_.cycles++;
     stats_.activeClusterSum += activeClusters_;
     CSIM_CHECK_PROBE(onCycle(activeClusters_));
+    lastStepIdle_ = !events && !committed && !retried &&
+                    dispatched == 0 && !fetched && !reconfigured;
 }
 
 void
@@ -131,7 +136,90 @@ Processor::run(std::uint64_t instructions)
                        " cycles (committed ", stats_.committed, " of ",
                        goal, ", cycle ", cycle_, "): livelock");
         }
+        // After a provably idle cycle, jump straight to the next cycle
+        // at which any stage can act. Every simulated outcome is
+        // identical to stepping (docs/PERF.md has the argument); only
+        // wall-clock changes. The jump never crosses the livelock
+        // horizon, so the panic above still fires at the same cycle a
+        // stepping run would report.
+        if (cfg_.idleSkip && lastStepIdle_ && stats_.committed < goal) {
+            Cycle next = nextBusyCycle();
+            Cycle cap = lastProgress + livelockBudget + 1;
+            if (next > cap)
+                next = cap;
+            if (next > cycle_ + 1)
+                skipIdleCycles(next - cycle_ - 1);
+        }
     }
+}
+
+Cycle
+Processor::nextBusyCycle() const
+{
+    // A woken or still-armed pending load is retried next cycle.
+    if (lsq_->hasWokenLoads() || armedPending_ > 0)
+        return cycle_ + 1;
+
+    Cycle next = neverCycle;
+    auto consider = [&next](Cycle c) {
+        if (c < next)
+            next = c;
+    };
+
+    // IQ-release events (the only source of in-flight completions'
+    // side effects during an idle window).
+    consider(iqEvents_.nextEventCycle());
+
+    // Commit: the head's completion cycle is known once completed; an
+    // incomplete head only completes through cascades on busy cycles.
+    if (!rob_.empty() && rob_.head().completed)
+        consider(std::max(rob_.head().completeCycle, cycle_ + 1));
+
+    // Dispatch. With a reconfiguration pending, dispatch is gated until
+    // the drain finishes, which only commits (covered above) advance.
+    if (pendingTarget_ == 0) {
+        if (cycle_ < dispatchStallUntil_) {
+            consider(dispatchStallUntil_);
+        } else if (!fetch_->queueEmpty() &&
+                   cycle_ < fetch_->front().readyAt) {
+            consider(fetch_->front().readyAt);
+        } else if (!fetch_->queueEmpty() &&
+                   lastDispatchStall_ == StallCause::None) {
+            // Dispatch saw a ready instruction, made no progress, and
+            // charged no stall cause; be conservative and step.
+            return cycle_ + 1;
+        }
+        // Rob/Lsq/Reg stalls clear at commit (covered above); an Iq
+        // stall clears at an IQ-release event (covered above); an Empty
+        // stall clears when fetch enqueues (covered below).
+    }
+
+    // Fetch (neverCycle while branch-stalled or queue-full: both end
+    // on busy cycles).
+    consider(fetch_->nextActiveCycle(cycle_ + 1));
+
+    return next;
+}
+
+void
+Processor::skipIdleCycles(Cycle skip)
+{
+    // Each skipped cycle would have repeated the just-observed idle
+    // step exactly: same active-cluster count, same single dispatch
+    // stall charge, no other counter movement.
+    cycle_ += skip;
+    stats_.cycles += skip;
+    stats_.activeClusterSum +=
+        static_cast<double>(activeClusters_) * static_cast<double>(skip);
+    switch (lastDispatchStall_) {
+      case StallCause::Empty: stats_.stallEmpty += skip; break;
+      case StallCause::Rob:   stats_.stallRob += skip; break;
+      case StallCause::Lsq:   stats_.stallLsq += skip; break;
+      case StallCause::Iq:    stats_.stallIq += skip; break;
+      case StallCause::Reg:   stats_.stallReg += skip; break;
+      case StallCause::None:  break;
+    }
+    CSIM_CHECK_PROBE(onCycle(activeClusters_));
 }
 
 void
@@ -238,7 +326,7 @@ Processor::scheduleExec(DynInst &inst)
     Cycle issue = cl.reserveFu(inst.op.op, ready);
     inst.issueCycle = issue;
     inst.issueScheduled = true;
-    iqEvents_.push({issue, inst.seq, inst.cluster, usesFpIq(inst.op)});
+    iqEvents_.push(issue, {inst.seq, inst.cluster, usesFpIq(inst.op)});
 
     // Criticality training: the later-arriving operand's producer was
     // critical for this instruction.
@@ -272,7 +360,7 @@ Processor::scheduleAddrGen(DynInst &inst)
     Cycle issue = cl.reserveFu(OpClass::IntAlu, ready);
     inst.issueCycle = issue;
     inst.issueScheduled = true;
-    iqEvents_.push({issue, inst.seq, inst.cluster, false});
+    iqEvents_.push(issue, {inst.seq, inst.cluster, false});
 
     Cycle addr_done = issue + 1 + dtlb_.translate(inst.op.effAddr);
     inst.addrReadyAt = addr_done;
@@ -337,8 +425,13 @@ Processor::tryLoad(DynInst &inst)
 {
     LoadCheckResult res = lsq_->checkLoad(inst.seq);
     if (res.status == LoadCheck::BlockedOlderStore ||
-        res.status == LoadCheck::WaitStoreData)
+        res.status == LoadCheck::WaitStoreData) {
+        // Park the load on the store that blocked it; the LSQ wakes it
+        // when that store's address (Blocked) or data (WaitStoreData)
+        // resolves, and nothing else can change the verdict.
+        lsq_->addLoadWaiter(res.blockerSeq, inst.seq);
         return false;
+    }
 
     Cycle complete;
     bool decentralized = cfg_.l1.decentralized;
@@ -414,12 +507,16 @@ Processor::markComplete(DynInst &inst, Cycle when)
 // Per-cycle stages
 // ---------------------------------------------------------------------------
 
-void
+bool
 Processor::processIqEvents()
 {
-    while (!iqEvents_.empty() && iqEvents_.top().cycle <= cycle_) {
-        IqEvent ev = iqEvents_.top();
-        iqEvents_.pop();
+    bool any = false;
+    // Same-cycle events are delivered FIFO instead of in heap order;
+    // that is unobservable (iqRelease is a commutative counter
+    // decrement, and headSeq is fixed for the whole drain since commit
+    // runs after this stage).
+    iqEvents_.drainUntil(cycle_, [&](const IqEvent &ev) {
+        any = true;
         clusters_[static_cast<std::size_t>(ev.cluster)]->iqRelease(ev.fp);
         DynInst *inst = rob_.find(ev.seq);
         if (inst) {
@@ -428,12 +525,14 @@ Processor::processIqEvents()
             if (inst->distant)
                 stats_.distantIssued++;
         }
-    }
+    });
+    return any;
 }
 
-void
+bool
 Processor::doCommit()
 {
+    bool any = false;
     for (int w = 0; w < cfg_.commitWidth; w++) {
         if (rob_.empty())
             break;
@@ -473,45 +572,97 @@ Processor::doCommit()
 
         stats_.committed++;
         rob_.retireHead();
+        any = true;
     }
+    return any;
 }
 
 void
+Processor::armWokenLoads()
+{
+    if (!lsq_->hasWokenLoads())
+        return;
+    for (InstSeqNum seq : lsq_->wokenLoads()) {
+        DynInst *inst = rob_.find(seq);
+        CSIM_ASSERT(inst, "woken load vanished");
+        if (!inst->retryArmed) {
+            inst->retryArmed = true;
+            armedPending_++;
+        }
+    }
+    lsq_->clearWokenLoads();
+}
+
+bool
 Processor::retryPendingLoads()
 {
+    // A pending load's verdict can change only when a store it reported
+    // as its blocker resolves (address or data), which lands it on the
+    // LSQ's woken list; everything else is guaranteed to fail its check
+    // again, so only armed loads are re-checked. The scan order and
+    // swap-removal are identical to checking every pending load, so the
+    // successful checks happen in exactly the same sequence.
+    armWokenLoads();
+    if (armedPending_ == 0)
+        return false;
+    bool any = false;
     for (std::size_t i = 0; i < pendingLoads_.size();) {
+        if (armedPending_ == 0)
+            break;
         DynInst *inst = rob_.find(pendingLoads_[i]);
         CSIM_ASSERT(inst, "pending load vanished");
+        if (!inst->retryArmed) {
+            i++;
+            continue;
+        }
+        inst->retryArmed = false;
+        armedPending_--;
+        any = true;
         if (tryLoad(*inst)) {
             pendingLoads_[i] = pendingLoads_.back();
             pendingLoads_.pop_back();
         } else {
             i++;
         }
+        // A successful retry can cascade (a dependent store's address
+        // resolves, waking further loads): arm them now so a load later
+        // in this scan is retried this cycle, and one already passed
+        // stays armed for the next cycle — exactly the schedule a full
+        // rescan would produce.
+        armWokenLoads();
     }
+    return any;
 }
 
-void
+int
 Processor::doDispatch()
 {
+    lastDispatchStall_ = StallCause::None;
     if (cycle_ < dispatchStallUntil_ || pendingTarget_ != 0)
-        return;
+        return 0;
 
+    int dispatched = 0;
     for (int w = 0; w < cfg_.dispatchWidth; w++) {
         if (fetch_->queueEmpty()) {
-            if (w == 0)
+            if (w == 0) {
                 stats_.stallEmpty++;
+                lastDispatchStall_ = StallCause::Empty;
+            }
             break;
         }
         if (rob_.full()) {
-            if (w == 0)
+            if (w == 0) {
                 stats_.stallRob++;
+                lastDispatchStall_ = StallCause::Rob;
+            }
             break;
         }
         const FetchEntry &fe = fetch_->front();
         if (cycle_ < fe.readyAt) {
-            if (w == 0)
+            if (w == 0) {
                 stats_.stallEmpty++;
+                lastDispatchStall_ = StallCause::Empty;
+            }
             break;
         }
         const MicroOp &op = fe.op;
@@ -525,14 +676,18 @@ Processor::doDispatch()
         // whole; distributed load slots restrict the cluster choice.
         if (is_mem && !lsq_->distributed() &&
             !lsq_->canAllocate(op.isStore(), 0, activeClusters_)) {
-            if (w == 0)
+            if (w == 0) {
                 stats_.stallLsq++;
+                lastDispatchStall_ = StallCause::Lsq;
+            }
             break;
         }
         if (is_mem && lsq_->distributed() && op.isStore() &&
             !lsq_->canAllocate(true, 0, activeClusters_)) {
-            if (w == 0)
+            if (w == 0) {
                 stats_.stallLsq++;
+                lastDispatchStall_ = StallCause::Lsq;
+            }
             break;
         }
 
@@ -556,10 +711,13 @@ Processor::doDispatch()
                             ->iqHasSpace(fp_iq))
                         any_iq = true;
                 }
-                if (!any_iq)
+                if (!any_iq) {
                     stats_.stallIq++;
-                else
+                    lastDispatchStall_ = StallCause::Iq;
+                } else {
                     stats_.stallReg++;
+                    lastDispatchStall_ = StallCause::Reg;
+                }
             }
             break;
         }
@@ -654,7 +812,9 @@ Processor::doDispatch()
         }
 
         fetch_->pop();
+        dispatched++;
     }
+    return dispatched;
 }
 
 void
@@ -663,7 +823,7 @@ Processor::doFetch()
     fetch_->cycle(cycle_);
 }
 
-void
+bool
 Processor::applyReconfig()
 {
     int target = activeClusters_;
@@ -681,20 +841,23 @@ Processor::applyReconfig()
                                              false));
             activeClusters_ = target;
             stats_.reconfigurations++;
+            return true;
         }
-        return;
+        return false;
     }
 
     // Decentralized: a change requires draining in-flight work, then
     // stalling while the L1 is flushed (the bank mapping changes).
     if (pendingTarget_ == 0) {
-        if (target != activeClusters_)
+        if (target != activeClusters_) {
             pendingTarget_ = target;
-        return;
+            return true;
+        }
+        return false;
     }
     if (pendingTarget_ == activeClusters_) {
         pendingTarget_ = 0;
-        return;
+        return true;
     }
     if (rob_.empty() && lsq_->size() == 0) {
         CSIM_CHECK_PROBE(onReconfigApply(activeClusters_, pendingTarget_,
@@ -706,7 +869,9 @@ Processor::applyReconfig()
         activeClusters_ = pendingTarget_;
         pendingTarget_ = 0;
         stats_.reconfigurations++;
+        return true;
     }
+    return false;
 }
 
 } // namespace clustersim

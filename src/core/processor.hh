@@ -22,10 +22,10 @@
 #define CLUSTERSIM_CORE_PROCESSOR_HH
 
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "core/cluster.hh"
+#include "core/event_queue.hh"
 #include "core/fetch.hh"
 #include "core/params.hh"
 #include "core/rob.hh"
@@ -110,6 +110,17 @@ class Processor
     /** Directly set the active cluster count (used by tests). */
     void setActiveClusters(int n);
 
+    // --- idle-skip introspection (tests and harnesses) --------------------
+    /** Did the last step() perform any observable work? */
+    bool lastStepIdle() const { return lastStepIdle_; }
+    /**
+     * Earliest cycle after an idle step at which any stage could do
+     * observable work; neverCycle when nothing ever will (run() clamps
+     * to the livelock budget so the no-commit panic still fires at the
+     * identical cycle). Meaningful only right after an idle step.
+     */
+    Cycle nextBusyCycle() const;
+
     const ProcessorStats &stats() const { return stats_; }
     const ProcessorConfig &config() const { return cfg_; }
     const Network &network() const { return *network_; }
@@ -122,12 +133,20 @@ class Processor
 
   private:
     // --- pipeline stages (called youngest-first each cycle) ---------------
-    void doCommit();
-    void retryPendingLoads();
-    void doDispatch();
+    // Stages report whether they did observable work so step() can tell
+    // a fully idle cycle from a busy one (the idle-skip precondition).
+    bool doCommit();
+    bool retryPendingLoads();
+    int doDispatch();
     void doFetch();
-    void applyReconfig();
-    void processIqEvents();
+    bool applyReconfig();
+    bool processIqEvents();
+
+    // --- idle-cycle skipping ----------------------------------------------
+    /** Arm retries for loads the LSQ woke since the last drain. */
+    void armWokenLoads();
+    /** Account for skip cycles that each stage would have idled through. */
+    void skipIdleCycles(Cycle skip);
 
     // --- rename / value plumbing -----------------------------------------
     /** The ValueInfo currently mapped to a logical register. */
@@ -188,17 +207,32 @@ class Processor
 
     /** Loads waiting for older-store disambiguation. */
     std::vector<InstSeqNum> pendingLoads_;
+    /**
+     * Pending loads whose retryArmed flag is set: a store resolution
+     * changed their disambiguation inputs since their last check, so
+     * the next retry pass must re-check them. Zero means every pending
+     * load is guaranteed to fail its check and the pass is skipped.
+     */
+    int armedPending_ = 0;
 
-    /** IQ-release events: (issueCycle, seq). */
+    /**
+     * Why dispatch made no progress on the last cycle it ran (the w==0
+     * stall charge). Replayed in bulk over skipped idle cycles so the
+     * stall counters match a step-every-cycle run exactly.
+     */
+    enum class StallCause { None, Empty, Rob, Lsq, Iq, Reg };
+    StallCause lastDispatchStall_ = StallCause::None;
+
+    /** Did the last step() perform any observable work? */
+    bool lastStepIdle_ = false;
+
+    /** IQ-release events, keyed by issue cycle. */
     struct IqEvent {
-        Cycle cycle;
         InstSeqNum seq;
         int cluster;
         bool fp;
-        bool operator>(const IqEvent &o) const { return cycle > o.cycle; }
     };
-    std::priority_queue<IqEvent, std::vector<IqEvent>,
-                        std::greater<IqEvent>> iqEvents_;
+    CalendarQueue<IqEvent> iqEvents_;
 
     ProcessorStats stats_;
 };

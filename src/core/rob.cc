@@ -8,57 +8,27 @@ namespace clustersim {
 ReorderBuffer::ReorderBuffer(int capacity) : cap_(capacity)
 {
     CSIM_ASSERT(capacity >= 1);
+    slots_.resize(static_cast<std::size_t>(capacity));
 }
 
 DynInst &
 ReorderBuffer::allocate(const MicroOp &op)
 {
     CSIM_ASSERT(!full(), "ROB overflow");
-    buf_.emplace_back();
-    DynInst &inst = buf_.back();
-    inst.op = op;
-    inst.seq = nextSeq_++;
-    CSIM_CHECK_PROBE(onRobAllocate(inst.seq, buf_.size(), cap_));
+    DynInst &inst = slots_[slot(size_)];
+    ++size_;
+    inst.reset(op, nextSeq_++);
+    CSIM_CHECK_PROBE(onRobAllocate(inst.seq, size_, cap_));
     return inst;
-}
-
-DynInst &
-ReorderBuffer::head()
-{
-    CSIM_ASSERT(!buf_.empty(), "ROB underflow");
-    return buf_.front();
-}
-
-const DynInst &
-ReorderBuffer::head() const
-{
-    CSIM_ASSERT(!buf_.empty(), "ROB underflow");
-    return buf_.front();
-}
-
-InstSeqNum
-ReorderBuffer::headSeq() const
-{
-    return buf_.empty() ? nextSeq_ : buf_.front().seq;
 }
 
 void
 ReorderBuffer::retireHead()
 {
-    CSIM_ASSERT(!buf_.empty(), "ROB underflow");
-    CSIM_CHECK_PROBE(onRobRetire(buf_.front().seq));
-    buf_.pop_front();
-}
-
-DynInst *
-ReorderBuffer::find(InstSeqNum seq)
-{
-    if (buf_.empty())
-        return nullptr;
-    InstSeqNum head_seq = buf_.front().seq;
-    if (seq < head_seq || seq >= head_seq + buf_.size())
-        return nullptr;
-    return &buf_[static_cast<std::size_t>(seq - head_seq)];
+    CSIM_ASSERT(size_ > 0, "ROB underflow");
+    CSIM_CHECK_PROBE(onRobRetire(slots_[head_].seq));
+    head_ = slot(1);
+    --size_;
 }
 
 } // namespace clustersim

@@ -14,6 +14,9 @@ LoadStoreQueue::LoadStoreQueue(bool distributed, int num_clusters,
       occupancy_(static_cast<std::size_t>(num_clusters), 0)
 {
     CSIM_ASSERT(num_clusters >= 1 && per_cluster >= 1);
+    slots_.resize(static_cast<std::size_t>(num_clusters) *
+                  static_cast<std::size_t>(per_cluster));
+    storeRing_.resize(slots_.size());
 }
 
 bool
@@ -22,7 +25,7 @@ LoadStoreQueue::canAllocate(bool is_store, int cluster,
 {
     if (!distributed_) {
         int cap = perCluster_ * numClusters_;
-        return static_cast<int>(queue_.size()) < cap;
+        return static_cast<int>(size_) < cap;
     }
     if (is_store) {
         // Needs a dummy slot in every active cluster.
@@ -38,12 +41,30 @@ void
 LoadStoreQueue::allocate(InstSeqNum seq, bool is_store, int cluster,
                          int active_clusters)
 {
-    CSIM_ASSERT(queue_.empty() || queue_.back().seq < seq,
+    CSIM_ASSERT(size_ == 0 || at(size_ - 1).seq < seq,
                 "LSQ allocation out of program order");
-    LsqEntry e;
+    CSIM_ASSERT(size_ < slots_.size(), "LSQ ring overflow");
+    // Reset the recycled slot in place (waiter list keeps capacity).
+    std::size_t idx = slot(size_);
+    LsqEntry &e = slots_[idx];
+    ++size_;
+    if (is_store) {
+        storeRing_[storeSlot(storeCount_)] =
+            static_cast<std::uint32_t>(idx);
+        ++storeCount_;
+    }
     e.seq = seq;
     e.isStore = is_store;
     e.cluster = cluster;
+    e.bank = 0;
+    e.addr = 0;
+    e.addrValid = false;
+    e.addrKnownAt = neverCycle;
+    e.broadcastAt = neverCycle;
+    e.dataReadyAt = neverCycle;
+    e.accessed = false;
+    e.dummyClusters = 0;
+    e.loadWaiters.clear();
     if (distributed_) {
         if (is_store) {
             e.dummyClusters = active_clusters;
@@ -53,18 +74,26 @@ LoadStoreQueue::allocate(InstSeqNum seq, bool is_store, int cluster,
             occupancy_[static_cast<std::size_t>(cluster)]++;
         }
     }
-    queue_.push_back(e);
     CSIM_CHECK_PROBE(onLsqMutate(*this));
 }
 
 LsqEntry *
 LoadStoreQueue::find(InstSeqNum seq)
 {
-    auto it = std::lower_bound(
-        queue_.begin(), queue_.end(), seq,
-        [](const LsqEntry &e, InstSeqNum s) { return e.seq < s; });
-    if (it != queue_.end() && it->seq == seq)
-        return &*it;
+    // Binary search over ring offsets (seq ascending from the head).
+    std::size_t lo = 0, hi = size_;
+    while (lo < hi) {
+        std::size_t mid = lo + (hi - lo) / 2;
+        if (at(mid).seq < seq)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo < size_) {
+        LsqEntry &e = at(lo);
+        if (e.seq == seq)
+            return &e;
+    }
     return nullptr;
 }
 
@@ -100,6 +129,9 @@ LoadStoreQueue::setAddress(InstSeqNum seq, Addr addr, int bank,
         }
         e->dummyClusters = 0;
     }
+    // A load blocked on this store's unknown address can now make
+    // progress (BlockedOlderStore verdicts wake here).
+    wakeWaiters(*e);
     CSIM_CHECK_PROBE(onLsqMutate(*this));
 }
 
@@ -109,6 +141,24 @@ LoadStoreQueue::setStoreData(InstSeqNum seq, Cycle when)
     LsqEntry *e = find(seq);
     CSIM_ASSERT(e && e->isStore, "setStoreData: not a store");
     e->dataReadyAt = when;
+    // WaitStoreData verdicts wake here.
+    wakeWaiters(*e);
+}
+
+void
+LoadStoreQueue::addLoadWaiter(InstSeqNum store_seq, InstSeqNum load_seq)
+{
+    LsqEntry *e = find(store_seq);
+    CSIM_ASSERT(e && e->isStore, "addLoadWaiter: blocker is not a store");
+    e->loadWaiters.push_back(load_seq);
+}
+
+void
+LoadStoreQueue::wakeWaiters(LsqEntry &e)
+{
+    for (InstSeqNum s : e.loadWaiters)
+        woken_.push_back(s);
+    e.loadWaiters.clear();
 }
 
 Cycle
@@ -134,16 +184,16 @@ LoadStoreQueue::checkLoad(InstSeqNum seq) const
     Cycle visible_bound = load->addrKnownAt;
     int where = distributed_ ? load->bank : 0;
 
-    for (const LsqEntry &e : queue_) {
+    for (std::size_t off = 0; off < storeCount_; ++off) {
+        const LsqEntry &e = slots_[storeRing_[storeSlot(off)]];
         if (e.seq >= seq)
             break;
-        if (!e.isStore)
-            continue;
         if (!e.addrValid) {
             // Address not even computed yet: its resolution time is
             // unknown, so the load must wait in simulated time.
             blocked_.inc();
             res.status = LoadCheck::BlockedOlderStore;
+            res.blockerSeq = e.seq;
             return res;
         }
         Cycle vis = visibleAt(e, where);
@@ -157,6 +207,7 @@ LoadStoreQueue::checkLoad(InstSeqNum seq) const
     if (fwd) {
         if (fwd->dataReadyAt == neverCycle) {
             res.status = LoadCheck::WaitStoreData;
+            res.blockerSeq = fwd->seq;
             return res;
         }
         forwards_.inc();
@@ -183,9 +234,13 @@ LoadStoreQueue::markAccessed(InstSeqNum seq)
 void
 LoadStoreQueue::release(InstSeqNum seq)
 {
-    CSIM_ASSERT(!queue_.empty() && queue_.front().seq == seq,
+    CSIM_ASSERT(size_ > 0 && at(0).seq == seq,
                 "LSQ release out of order");
-    LsqEntry &e = queue_.front();
+    LsqEntry &e = at(0);
+    // A store resolves (addr + data) before it can complete and commit,
+    // so its waiters have always been drained by now; defensively wake
+    // any stragglers rather than strand them.
+    wakeWaiters(e);
     if (distributed_) {
         if (e.isStore) {
             if (e.dummyClusters > 0) {
@@ -198,7 +253,12 @@ LoadStoreQueue::release(InstSeqNum seq)
             occupancy_[static_cast<std::size_t>(e.cluster)]--;
         }
     }
-    queue_.pop_front();
+    if (e.isStore) {
+        storeHead_ = storeSlot(1);
+        --storeCount_;
+    }
+    head_ = slot(1);
+    --size_;
     CSIM_CHECK_PROBE(onLsqRelease(seq));
     CSIM_CHECK_PROBE(onLsqMutate(*this));
 }
@@ -206,8 +266,10 @@ LoadStoreQueue::release(InstSeqNum seq)
 void
 LoadStoreQueue::squashAfter(InstSeqNum seq)
 {
-    while (!queue_.empty() && queue_.back().seq > seq) {
-        LsqEntry &e = queue_.back();
+    while (size_ > 0 && at(size_ - 1).seq > seq) {
+        LsqEntry &e = at(size_ - 1);
+        // Squashed waiters are squashed with their loads; drop them.
+        e.loadWaiters.clear();
         if (distributed_) {
             if (e.isStore) {
                 if (e.dummyClusters > 0) {
@@ -220,7 +282,9 @@ LoadStoreQueue::squashAfter(InstSeqNum seq)
                 occupancy_[static_cast<std::size_t>(e.cluster)]--;
             }
         }
-        queue_.pop_back();
+        if (e.isStore)
+            --storeCount_;
+        --size_;
     }
     CSIM_CHECK_PROBE(onLsqMutate(*this));
 }

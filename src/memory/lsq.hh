@@ -18,9 +18,11 @@
 #ifndef CLUSTERSIM_MEMORY_LSQ_HH
 #define CLUSTERSIM_MEMORY_LSQ_HH
 
-#include <deque>
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "common/small_vec.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -45,6 +47,15 @@ struct LoadCheckResult {
      *  the load may access the bank (all older stores visible). */
     Cycle readyCycle = 0;
     int srcCluster = 0;   ///< Forward: cluster holding the store data
+    /**
+     * The store whose state change can flip this verdict:
+     * BlockedOlderStore -> the first unresolved older store (wakes on
+     * setAddress); WaitStoreData -> the forwarding store (wakes on
+     * setStoreData). 0 for the success verdicts. The core registers the
+     * load on this store via addLoadWaiter so only genuinely unblocked
+     * loads are re-checked.
+     */
+    InstSeqNum blockerSeq = 0;
 };
 
 /** One LSQ entry. */
@@ -60,6 +71,8 @@ struct LsqEntry {
     Cycle dataReadyAt = neverCycle;  ///< store data availability
     bool accessed = false;           ///< load has been sent to the cache
     int dummyClusters = 0;           ///< active clusters at allocation
+    /** Pending loads to wake when this store resolves (addr or data). */
+    SmallVec<InstSeqNum, 2> loadWaiters;
 };
 
 /** The load-store queue. */
@@ -94,6 +107,19 @@ class LoadStoreQueue
     /** Mark a load as having been issued to the cache. */
     void markAccessed(InstSeqNum seq);
 
+    /**
+     * Register a pending load to be woken when the store identified by
+     * a checkLoad blockerSeq resolves (address computed for
+     * BlockedOlderStore, data ready for WaitStoreData). The wake moves
+     * the load's seq into the woken list read by the core each cycle.
+     */
+    void addLoadWaiter(InstSeqNum store_seq, InstSeqNum load_seq);
+
+    /** Loads woken by store resolutions since the last clear. */
+    const std::vector<InstSeqNum> &wokenLoads() const { return woken_; }
+    bool hasWokenLoads() const { return !woken_.empty(); }
+    void clearWokenLoads() { woken_.clear(); }
+
     /** Release the entry at commit (entries commit in order). */
     void release(InstSeqNum seq);
 
@@ -103,7 +129,7 @@ class LoadStoreQueue
     /** Entry accessor (must exist). */
     const LsqEntry &entry(InstSeqNum seq) const;
 
-    std::size_t size() const { return queue_.size(); }
+    std::size_t size() const { return size_; }
     bool distributed() const { return distributed_; }
     int numClusters() const { return numClusters_; }
     int perCluster() const { return perCluster_; }
@@ -112,8 +138,45 @@ class LoadStoreQueue
     {
         return occupancy_[static_cast<std::size_t>(cluster)];
     }
+
+    /** Forward iterator over live entries in program order. */
+    class ConstIterator
+    {
+      public:
+        ConstIterator(const LoadStoreQueue *q, std::size_t off)
+            : q_(q), off_(off)
+        {}
+        const LsqEntry &operator*() const { return q_->at(off_); }
+        const LsqEntry *operator->() const { return &q_->at(off_); }
+        ConstIterator &operator++() { ++off_; return *this; }
+        bool operator==(const ConstIterator &o) const
+        {
+            return off_ == o.off_;
+        }
+        bool operator!=(const ConstIterator &o) const
+        {
+            return off_ != o.off_;
+        }
+
+      private:
+        const LoadStoreQueue *q_;
+        std::size_t off_;
+    };
+
+    /** Range over live entries, program order (invariant checker). */
+    class EntriesView
+    {
+      public:
+        explicit EntriesView(const LoadStoreQueue *q) : q_(q) {}
+        ConstIterator begin() const { return {q_, 0}; }
+        ConstIterator end() const { return {q_, q_->size_}; }
+
+      private:
+        const LoadStoreQueue *q_;
+    };
+
     /** All live entries, program order (for the invariant checker). */
-    const std::deque<LsqEntry> &entries() const { return queue_; }
+    EntriesView entries() const { return EntriesView(this); }
 
     std::uint64_t forwards() const { return forwards_.value(); }
     std::uint64_t blockedChecks() const { return blocked_.value(); }
@@ -130,9 +193,53 @@ class LoadStoreQueue
     int numClusters_;
     int perCluster_;
 
-    std::deque<LsqEntry> queue_; ///< program order (seq ascending)
+    /** Move a resolved store's waiters onto the woken list. */
+    void wakeWaiters(LsqEntry &e);
+
+    /** Slot index for the entry at ring offset off from the head. */
+    std::size_t
+    slot(std::size_t off) const
+    {
+        std::size_t i = head_ + off;
+        if (i >= slots_.size())
+            i -= slots_.size();
+        return i;
+    }
+
+    const LsqEntry &at(std::size_t off) const { return slots_[slot(off)]; }
+    LsqEntry &at(std::size_t off) { return slots_[slot(off)]; }
+
+    /**
+     * Fixed-capacity ring, program order (seq ascending) from head_.
+     * Every entry pins at least one per-cluster slot, so the live count
+     * never exceeds perCluster * numClusters in either organization;
+     * slots are reset in place on reuse, so the steady state performs
+     * no heap allocation (waiter lists keep any spilled capacity).
+     */
+    std::vector<LsqEntry> slots_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+
+    /**
+     * Slot indices of the live stores, a ring in program order. The
+     * stores form a FIFO subsequence of the entry FIFO and slot indices
+     * are stable for an entry's lifetime, so checkLoad can walk just
+     * the older stores instead of every older entry.
+     */
+    std::size_t
+    storeSlot(std::size_t off) const
+    {
+        std::size_t i = storeHead_ + off;
+        if (i >= storeRing_.size())
+            i -= storeRing_.size();
+        return i;
+    }
+    std::vector<std::uint32_t> storeRing_;
+    std::size_t storeHead_ = 0;
+    std::size_t storeCount_ = 0;
     std::vector<int> occupancy_; ///< per cluster (index 0 only when
                                  ///< centralized)
+    std::vector<InstSeqNum> woken_; ///< loads unblocked since last clear
 
     mutable Counter forwards_;
     mutable Counter blocked_;

@@ -294,6 +294,26 @@ TEST(SlotReserver, SpanSkipsPartialHoles)
     EXPECT_EQ(r.reserveSpan(10, 3), 12u);
 }
 
+TEST(SlotReserver, SpanEqualToWindowFits)
+{
+    SlotReserver r(16);
+    EXPECT_EQ(r.reserveSpan(4, 16), 4u); // occupies 4..19 exactly
+    // Every slot is now busy until its cycle passes; the next request
+    // for an occupied cycle is pushed to the first cycle whose slot
+    // has gone stale.
+    EXPECT_EQ(r.reserve(4), 20u);
+}
+
+TEST(SlotReserver, SpanLongerThanWindowIsFatal)
+{
+    // A span longer than the window can never fit: any candidate start
+    // collides with its own tail modulo the window, so the search
+    // would spin forever. The reserver must report instead of looping.
+    SlotReserver r(16);
+    EXPECT_THROW(r.reserveSpan(0, 17), SimError);
+    EXPECT_THROW(r.firstFreeSpan(0, 17), SimError);
+}
+
 // ---------------------------------------------------------------------------
 // Table / logging
 // ---------------------------------------------------------------------------

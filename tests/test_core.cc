@@ -132,6 +132,47 @@ TEST(Cluster, FpAndIntUnitsIndependent)
     EXPECT_EQ(cl.reserveFu(OpClass::FpMult, 5), 5u);
 }
 
+TEST(Cluster, MultiAluLegacyPolicyPilesSameReadyRequests)
+{
+    ClusterParams params;
+    params.intAlus = 4; // monolithic baseline: several units of a kind
+    Cluster cl(0, params, FuLatencies{});
+    // Legacy policy hashes by ready cycle: 10 % 4 == 2, so every
+    // same-ready request lands on unit 2 and serializes there even
+    // though three other ALUs sit idle.
+    EXPECT_EQ(cl.reserveFu(OpClass::IntAlu, 10), 10u);
+    EXPECT_EQ(cl.reserveFu(OpClass::IntAlu, 10), 11u);
+    EXPECT_EQ(cl.reserveFu(OpClass::IntAlu, 10), 12u);
+}
+
+TEST(Cluster, MultiAluEarliestFreeSpreadsAcrossUnits)
+{
+    ClusterParams params;
+    params.intAlus = 4;
+    params.fuEarliestFree = true;
+    Cluster cl(0, params, FuLatencies{});
+    // Four same-ready requests take four distinct units and all issue
+    // at the requested cycle; the fifth is the first to be pushed back.
+    for (int i = 0; i < 4; i++)
+        EXPECT_EQ(cl.reserveFu(OpClass::IntAlu, 10), 10u) << "req " << i;
+    EXPECT_EQ(cl.reserveFu(OpClass::IntAlu, 10), 11u);
+}
+
+TEST(Cluster, MultiDivEarliestFreeUsesIdleUnit)
+{
+    ClusterParams params;
+    params.intMultDivs = 2;
+    params.fuEarliestFree = true;
+    Cluster cl(0, params, FuLatencies{});
+    // Non-pipelined divides occupy a unit for their full latency; the
+    // second one starts immediately on the idle unit instead of
+    // queueing behind the first (which the legacy 10 % 2 == 0 hash
+    // would force). The third finds both busy until cycle 30.
+    EXPECT_EQ(cl.reserveFu(OpClass::IntDiv, 10), 10u);
+    EXPECT_EQ(cl.reserveFu(OpClass::IntDiv, 10), 10u);
+    EXPECT_EQ(cl.reserveFu(OpClass::IntDiv, 10), 30u);
+}
+
 // ---------------------------------------------------------------------------
 // Steering
 // ---------------------------------------------------------------------------
@@ -278,6 +319,42 @@ TEST(Processor, DeterministicAcrossRuns)
     p2.run(15000);
     EXPECT_EQ(p1.cycle(), p2.cycle());
     EXPECT_EQ(p1.committed(), p2.committed());
+}
+
+TEST(Processor, IdleSkipIsStatInvisible)
+{
+    // Fast-forwarding over provably idle cycles must be invisible in
+    // every statistic: run the same workload with the skip enabled and
+    // forced off (step every cycle) and demand bit-identical stats.
+    // The slow suite repeats this over randomized fuzz cases.
+    ProcessorConfig cfg = clusteredConfig(4);
+    cfg.idleSkip = true;
+    SyntheticWorkload t1(microWorkload());
+    Processor skip(cfg, &t1);
+    skip.run(15000);
+
+    cfg.idleSkip = false;
+    SyntheticWorkload t2(microWorkload());
+    Processor step(cfg, &t2);
+    step.run(15000);
+
+    EXPECT_EQ(skip.cycle(), step.cycle());
+    const ProcessorStats &a = skip.stats();
+    const ProcessorStats &b = step.stats();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_EQ(a.committedBranches, b.committedBranches);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.distantIssued, b.distantIssued);
+    EXPECT_EQ(a.regTransfers, b.regTransfers);
+    EXPECT_EQ(a.stallIq, b.stallIq);
+    EXPECT_EQ(a.stallReg, b.stallReg);
+    EXPECT_EQ(a.stallLsq, b.stallLsq);
+    EXPECT_EQ(a.stallRob, b.stallRob);
+    EXPECT_EQ(a.stallEmpty, b.stallEmpty);
+    EXPECT_DOUBLE_EQ(a.activeClusterSum, b.activeClusterSum);
 }
 
 TEST(Processor, MonolithicBeatsClustered)

@@ -6,11 +6,12 @@
  * Thousands of short randomized simulations -- random machine shapes,
  * controllers, and workloads -- run under a recording InvariantChecker;
  * any violation is shrunk to a minimal reproducer and reported as a
- * one-line FuzzCase string. Two further properties ride on the same
- * generator: bit-identical determinism of repeated runs, and the
+ * one-line FuzzCase string. Further properties ride on the same
+ * generator: bit-identical determinism of repeated runs, the
  * controller attach() reset contract (a reused controller must
  * reproduce a fresh controller's run exactly -- the PR 1 state-leak
- * class).
+ * class), and idle-cycle-skip equivalence (fast-forwarding must be
+ * invisible in every ProcessorStats field).
  *
  * Budget knobs (environment):
  *   CLUSTERSIM_FUZZ_RUNS  cases for the invariant sweep (default 250)
@@ -22,8 +23,10 @@
 #include <cstdlib>
 
 #include "check/fuzz.hh"
+#include "core/processor.hh"
 #include "sim/presets.hh"
 #include "sim/simulation.hh"
+#include "workload/synthetic.hh"
 
 using namespace clustersim;
 
@@ -75,6 +78,52 @@ expectSameResult(const SimResult &a, const SimResult &b,
     EXPECT_DOUBLE_EQ(a.distantFraction, b.distantFraction) << what;
 }
 
+/**
+ * Run a fuzz case's simulation at full ProcessorStats resolution
+ * (runSimulation only surfaces the coarser SimResult) with idle-cycle
+ * skipping forced to @p skip.
+ */
+ProcessorStats
+runCaseStats(const FuzzCase &c, bool skip, Cycle *end_cycle)
+{
+    ProcessorConfig cfg = fuzzConfig(c);
+    cfg.idleSkip = skip;
+    WorkloadSpec w = fuzzWorkload(c);
+    SyntheticWorkload trace(w);
+    std::unique_ptr<ReconfigController> ctrl = fuzzController(c);
+    Processor proc(cfg, &trace, ctrl.get());
+    proc.run(c.warmup);
+    proc.resetStats();
+    proc.run(c.measure);
+    *end_cycle = proc.cycle();
+    return proc.stats();
+}
+
+/** Every ProcessorStats field, compared exactly. */
+void
+expectSameStats(const ProcessorStats &a, const ProcessorStats &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.committed, b.committed) << what;
+    EXPECT_EQ(a.committedBranches, b.committedBranches) << what;
+    EXPECT_EQ(a.mispredicts, b.mispredicts) << what;
+    EXPECT_EQ(a.loads, b.loads) << what;
+    EXPECT_EQ(a.stores, b.stores) << what;
+    EXPECT_EQ(a.distantIssued, b.distantIssued) << what;
+    EXPECT_EQ(a.regTransfers, b.regTransfers) << what;
+    EXPECT_EQ(a.bankLookups, b.bankLookups) << what;
+    EXPECT_EQ(a.bankMispredicts, b.bankMispredicts) << what;
+    EXPECT_EQ(a.reconfigurations, b.reconfigurations) << what;
+    EXPECT_EQ(a.flushWritebacks, b.flushWritebacks) << what;
+    EXPECT_EQ(a.stallIq, b.stallIq) << what;
+    EXPECT_EQ(a.stallReg, b.stallReg) << what;
+    EXPECT_EQ(a.stallLsq, b.stallLsq) << what;
+    EXPECT_EQ(a.stallRob, b.stallRob) << what;
+    EXPECT_EQ(a.stallEmpty, b.stallEmpty) << what;
+    EXPECT_DOUBLE_EQ(a.activeClusterSum, b.activeClusterSum) << what;
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -123,6 +172,31 @@ TEST(Properties, RandomizedSimsAreDeterministic)
                                     c.measure);
         expectSameResult(a, b, "case " + std::to_string(i) + ": " +
                                    describeCase(c));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Idle-cycle skipping: fast-forwarding over provably idle stretches
+// must be invisible -- a skip-enabled run and a forced
+// step-every-cycle run of the same case give bit-identical
+// ProcessorStats and final cycle counts.
+// ---------------------------------------------------------------------------
+
+TEST(Properties, IdleSkipMatchesStepEveryCycle)
+{
+    const std::uint64_t runs =
+        envU64("CLUSTERSIM_FUZZ_IDLESKIP_RUNS", 60);
+    Rng rng(fuzzSeed() ^ 0x1d1e5c1bULL);
+    for (std::uint64_t i = 0; i < runs; i++) {
+        FuzzCase c = randomCase(rng);
+        Cycle end_skip = 0;
+        Cycle end_step = 0;
+        ProcessorStats a = runCaseStats(c, true, &end_skip);
+        ProcessorStats b = runCaseStats(c, false, &end_step);
+        std::string what =
+            "case " + std::to_string(i) + ": " + describeCase(c);
+        EXPECT_EQ(end_skip, end_step) << what;
+        expectSameStats(a, b, what);
     }
 }
 

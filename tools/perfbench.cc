@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Wall-clock performance harness for the simulation kernel.
+ *
+ * Runs the golden 24-point grid (3 benchmarks x 8 machine variants,
+ * the same work `tools/golden` executes) single-threaded, timing each
+ * point, and reports committed-instructions/sec (MIPS) and
+ * simulated-cycles/sec per point plus in aggregate. The output JSON
+ * (BENCH_kernel.json) is the artifact CI uploads; docs/PERF.md
+ * documents the schema.
+ *
+ *   perfbench [--quick] [--out FILE] [--repeat N]
+ *             [--baseline FILE] [--max-regress FRAC]
+ *
+ * --quick runs one benchmark (gzip) across all variants: the CI smoke
+ * configuration. --baseline reads a previously written report (or the
+ * checked-in bench/perf_baseline.json) and exits non-zero when the
+ * aggregate MIPS regresses by more than --max-regress (default 0.25)
+ * against it.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/golden.hh"
+#include "common/json.hh"
+#include "common/json_reader.hh"
+#include "common/logging.hh"
+#include "core/processor.hh"
+#include "sim/sweep.hh"
+#include "workload/synthetic.hh"
+
+using namespace clustersim;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct PointResult {
+    std::string benchmark;
+    std::string config;
+    std::uint64_t instructions = 0; ///< committed, warmup + measure
+    std::uint64_t simCycles = 0;    ///< simulated, warmup + measure
+    double wallSeconds = 0.0;       ///< best of --repeat runs
+};
+
+/**
+ * Execute one golden grid point (the same simulation tools/golden
+ * runs: derived seed, warmup + stats reset + measure) and time it.
+ */
+PointResult
+runPoint(const RunPoint &p, int repeat)
+{
+    PointResult out;
+    std::string label = !p.label.empty() ? p.label : p.cfg.name;
+    out.benchmark = p.workload.name;
+    out.config = label;
+
+    WorkloadSpec w = p.workload;
+    w.seed = sweepSeed(w.seed, w.name, label);
+
+    for (int r = 0; r < repeat; r++) {
+        SyntheticWorkload trace(w);
+        std::unique_ptr<ReconfigController> ctrl;
+        if (p.makeController)
+            ctrl = p.makeController();
+        Processor proc(p.cfg, &trace, ctrl.get());
+
+        Clock::time_point start = Clock::now();
+        proc.run(p.warmup);
+        proc.resetStats();
+        proc.run(p.measure);
+        double wall = secondsSince(start);
+
+        out.instructions = proc.committed() + p.warmup;
+        out.simCycles = proc.cycle();
+        if (r == 0 || wall < out.wallSeconds)
+            out.wallSeconds = wall;
+    }
+    return out;
+}
+
+int
+usage(const char *prog, int code)
+{
+    std::fprintf(stderr,
+                 "usage: %s [options]\n"
+                 "\n"
+                 "options:\n"
+                 "  --quick            run the gzip slice of the grid "
+                 "only (CI smoke)\n"
+                 "  --out FILE         output JSON path (default: "
+                 "BENCH_kernel.json)\n"
+                 "  --repeat N         timed runs per point, best "
+                 "kept (default: 3)\n"
+                 "  --baseline FILE    compare aggregate MIPS against "
+                 "a previous report\n"
+                 "  --max-regress F    failure threshold vs baseline "
+                 "(default: 0.25)\n"
+                 "  --quiet            no per-point progress on "
+                 "stderr\n",
+                 prog);
+    return code;
+}
+
+/** Aggregate MIPS from a perfbench or baseline JSON document. */
+double
+baselineMips(const std::string &text)
+{
+    JsonValue doc = parseJson(text);
+    if (!doc.has("aggregate"))
+        fatal("baseline JSON has no \"aggregate\" object");
+    const JsonValue &agg = doc.at("aggregate");
+    if (!agg.has("mips"))
+        fatal("baseline JSON has no aggregate.mips");
+    return agg.at("mips").asDouble();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    bool quiet = false;
+    int repeat = 3;
+    std::string out_path = "BENCH_kernel.json";
+    std::string baseline_path;
+    double max_regress = 0.25;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires an argument\n", flag);
+                std::exit(usage(argv[0], 2));
+            }
+            return argv[++i];
+        };
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--out") {
+            out_path = need("--out");
+        } else if (arg == "--repeat") {
+            repeat = std::atoi(need("--repeat"));
+            if (repeat < 1)
+                repeat = 1;
+        } else if (arg == "--baseline") {
+            baseline_path = need("--baseline");
+        } else if (arg == "--max-regress") {
+            max_regress = std::atof(need("--max-regress"));
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return usage(argv[0], 2);
+        }
+    }
+
+    std::vector<RunPoint> points = goldenRunPoints();
+    if (quick) {
+        std::vector<RunPoint> slice;
+        for (RunPoint &p : points) {
+            if (p.workload.name == "gzip")
+                slice.push_back(std::move(p));
+        }
+        points = std::move(slice);
+    }
+
+    std::vector<PointResult> results;
+    std::uint64_t total_insts = 0;
+    std::uint64_t total_cycles = 0;
+    double total_wall = 0.0;
+    for (std::size_t i = 0; i < points.size(); i++) {
+        PointResult r = runPoint(points[i], repeat);
+        if (!quiet) {
+            std::fprintf(stderr,
+                         "[%zu/%zu] %s/%s: %.3fs (%.2f MIPS)\n", i + 1,
+                         points.size(), r.benchmark.c_str(),
+                         r.config.c_str(), r.wallSeconds,
+                         static_cast<double>(r.instructions) / 1e6 /
+                             r.wallSeconds);
+        }
+        total_insts += r.instructions;
+        total_cycles += r.simCycles;
+        total_wall += r.wallSeconds;
+        results.push_back(std::move(r));
+    }
+
+    double agg_mips =
+        static_cast<double>(total_insts) / 1e6 / total_wall;
+    double agg_cps =
+        static_cast<double>(total_cycles) / total_wall;
+
+    JsonWriter wr;
+    wr.beginObject();
+    wr.field("schema", "clustersim-perfbench-v1");
+    wr.field("quick", quick);
+    wr.field("repeat", repeat);
+
+    wr.key("host").beginObject();
+#if defined(__linux__)
+    wr.field("os", "linux");
+#elif defined(__APPLE__)
+    wr.field("os", "darwin");
+#else
+    wr.field("os", "other");
+#endif
+    wr.field("hardware_threads",
+             static_cast<std::uint64_t>(
+                 std::thread::hardware_concurrency()));
+#if defined(__VERSION__)
+    wr.field("compiler", __VERSION__);
+#else
+    wr.field("compiler", "unknown");
+#endif
+    wr.endObject();
+
+    wr.key("points").beginArray();
+    for (const PointResult &r : results) {
+        wr.beginObject();
+        wr.field("benchmark", r.benchmark);
+        wr.field("config", r.config);
+        wr.field("instructions", r.instructions);
+        wr.field("sim_cycles", r.simCycles);
+        wr.field("wall_seconds", r.wallSeconds);
+        wr.field("mips", static_cast<double>(r.instructions) / 1e6 /
+                             r.wallSeconds);
+        wr.field("sim_cycles_per_sec",
+                 static_cast<double>(r.simCycles) / r.wallSeconds);
+        wr.endObject();
+    }
+    wr.endArray();
+
+    wr.key("aggregate").beginObject();
+    wr.field("points", static_cast<std::uint64_t>(results.size()));
+    wr.field("instructions", total_insts);
+    wr.field("sim_cycles", total_cycles);
+    wr.field("wall_seconds", total_wall);
+    wr.field("mips", agg_mips);
+    wr.field("sim_cycles_per_sec", agg_cps);
+    wr.endObject();
+
+    double base_mips = 0.0;
+    bool regressed = false;
+    if (!baseline_path.empty()) {
+        std::ifstream f(baseline_path, std::ios::binary);
+        if (!f) {
+            std::fprintf(stderr, "perfbench: cannot read baseline %s\n",
+                         baseline_path.c_str());
+            return 2;
+        }
+        std::ostringstream ss;
+        ss << f.rdbuf();
+        base_mips = baselineMips(ss.str());
+        regressed = agg_mips < base_mips * (1.0 - max_regress);
+        wr.key("baseline").beginObject();
+        wr.field("path", baseline_path);
+        wr.field("mips", base_mips);
+        wr.field("ratio", agg_mips / base_mips);
+        wr.field("max_regress", max_regress);
+        wr.field("regressed", regressed);
+        wr.endObject();
+    }
+
+    wr.endObject();
+    std::string doc = wr.str();
+
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "perfbench: cannot write %s\n",
+                     out_path.c_str());
+        return 2;
+    }
+    out << doc << "\n";
+
+    std::printf("perfbench: %zu points, %.3fs wall, %.2f aggregate "
+                "MIPS, %.0f sim cycles/s -> %s\n",
+                results.size(), total_wall, agg_mips, agg_cps,
+                out_path.c_str());
+    if (!baseline_path.empty()) {
+        std::printf("perfbench: baseline %.2f MIPS, ratio %.2fx%s\n",
+                    base_mips, agg_mips / base_mips,
+                    regressed ? " REGRESSION" : "");
+        if (regressed)
+            return 1;
+    }
+    return 0;
+}
