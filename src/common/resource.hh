@@ -12,6 +12,8 @@
 #include "common/logging.hh"
 #include "common/types.hh"
 
+// simlint: hot-path
+
 namespace clustersim {
 
 /**

@@ -20,6 +20,8 @@
 #include <type_traits>
 #include <utility>
 
+// simlint: hot-path
+
 namespace clustersim {
 
 template <typename T, std::size_t N>
@@ -30,6 +32,8 @@ class SmallVec
                   "SmallVec is restricted to trivially copyable types");
 
   public:
+    // simlint: cold-begin -- special members run at construction,
+    // transfer, and teardown, not on the steady-state path
     SmallVec() = default;
 
     SmallVec(const SmallVec &o) { assign(o); }
@@ -83,6 +87,7 @@ class SmallVec
     }
 
     ~SmallVec() { delete[] heap_; }
+    // simlint: cold-end
 
     void
     push_back(const T &v)
@@ -112,6 +117,10 @@ class SmallVec
     const T *end() const { return data() + size_; }
 
   private:
+    // simlint: cold-begin -- assign() serves the copy special members;
+    // grow() is the documented inline-capacity spill: it runs at most
+    // log2(peak) times per slot and clear() keeps the spilled storage,
+    // so steady-state reuse never re-enters it
     void
     assign(const SmallVec &o)
     {
@@ -134,6 +143,7 @@ class SmallVec
         heap_ = bigger;
         cap_ = new_cap;
     }
+    // simlint: cold-end
 
     T inline_[N];
     T *heap_ = nullptr;

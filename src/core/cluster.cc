@@ -3,7 +3,11 @@
 #include "check/invariant.hh"
 #include "common/logging.hh"
 
+// simlint: hot-path
+
 namespace clustersim {
+
+// simlint: cold-begin -- slot reservers are sized at construction
 
 Cluster::Cluster(int id, const ClusterParams &params,
                  const FuLatencies &lat)
@@ -19,6 +23,8 @@ Cluster::Cluster(int id, const ClusterParams &params,
     fpMultDivs_.assign(static_cast<std::size_t>(params.fpMultDivs),
                        SlotReserver(1024));
 }
+
+// simlint: cold-end
 
 void
 Cluster::iqAllocate(bool fp)

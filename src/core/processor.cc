@@ -5,6 +5,8 @@
 #include "check/invariant.hh"
 #include "common/logging.hh"
 
+// simlint: hot-path
+
 namespace clustersim {
 
 namespace {
@@ -18,6 +20,8 @@ buildTopology(const ProcessorConfig &cfg)
 }
 
 } // namespace
+
+// simlint: cold-begin -- construction allocates every pooled buffer
 
 Processor::Processor(const ProcessorConfig &cfg, TraceSource *trace,
                      ReconfigController *controller)
@@ -45,6 +49,11 @@ Processor::Processor(const ProcessorConfig &cfg, TraceSource *trace,
             c, cfg_.cluster, cfg_.fuLat));
     }
 
+    // Every in-flight load occupies a ROB slot, so the pending-load
+    // list can never outgrow the ROB; reserving here keeps the
+    // steady-state push_back in addressReady() allocation-free.
+    pendingLoads_.reserve(static_cast<std::size_t>(cfg_.robSize));
+
     renameTable_.fill(0);
     for (auto &v : archValues_)
         v = ValueInfo::initial();
@@ -71,6 +80,8 @@ Processor::Processor(const ProcessorConfig &cfg, TraceSource *trace,
 }
 
 Processor::~Processor() = default;
+
+// simlint: cold-end
 
 int
 Processor::numSources(const MicroOp &op)

@@ -3,13 +3,19 @@
 #include "check/invariant.hh"
 #include "common/logging.hh"
 
+// simlint: hot-path
+
 namespace clustersim {
+
+// simlint: cold-begin -- the slot ring is sized once at construction
 
 ReorderBuffer::ReorderBuffer(int capacity) : cap_(capacity)
 {
     CSIM_ASSERT(capacity >= 1);
     slots_.resize(static_cast<std::size_t>(capacity));
 }
+
+// simlint: cold-end
 
 DynInst &
 ReorderBuffer::allocate(const MicroOp &op)

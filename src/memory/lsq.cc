@@ -5,7 +5,11 @@
 #include "check/invariant.hh"
 #include "common/logging.hh"
 
+// simlint: hot-path
+
 namespace clustersim {
+
+// simlint: cold-begin -- entry rings are sized once at construction
 
 LoadStoreQueue::LoadStoreQueue(bool distributed, int num_clusters,
                                int per_cluster)
@@ -17,7 +21,12 @@ LoadStoreQueue::LoadStoreQueue(bool distributed, int num_clusters,
     slots_.resize(static_cast<std::size_t>(num_clusters) *
                   static_cast<std::size_t>(per_cluster));
     storeRing_.resize(slots_.size());
+    // A woken load is a live LSQ entry, so the wake list is bounded by
+    // the entry count; reserving keeps wakeWaiters() allocation-free.
+    woken_.reserve(slots_.size());
 }
+
+// simlint: cold-end
 
 bool
 LoadStoreQueue::canAllocate(bool is_store, int cluster,

@@ -19,6 +19,9 @@ using Clock = std::chrono::steady_clock;
 double
 secondsSince(Clock::time_point t0)
 {
+    // simlint-ignore(D002): wall-clock feeds only the wall_seconds /
+    // cpu_seconds report fields, which --no-timing strips from every
+    // deterministic (golden, byte-identity) report
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
@@ -82,6 +85,7 @@ runSweep(const std::vector<RunPoint> &points, const SweepOptions &opts)
                             std::max<std::size_t>(points.size(), 1));
     out.threads = threads;
 
+    // simlint-ignore(D002): timing-only bookkeeping, never a sim input
     Clock::time_point sweep_start = Clock::now();
     std::atomic<std::size_t> next{0};
     std::mutex complete_mutex;
@@ -102,6 +106,8 @@ runSweep(const std::vector<RunPoint> &points, const SweepOptions &opts)
             if (p.makeController)
                 ctrl = p.makeController();
 
+            // simlint-ignore(D002): timing-only bookkeeping, never a
+            // sim input
             Clock::time_point run_start = Clock::now();
             SimResult r = runSimulation(p.cfg, w, ctrl.get(), p.warmup,
                                         p.measure);

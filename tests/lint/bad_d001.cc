@@ -1,0 +1,8 @@
+// simlint fixture: D001 must fire on libc randomness.
+#include <cstdlib>
+
+int
+pickCluster(int n)
+{
+    return rand() % n;
+}

@@ -1,0 +1,10 @@
+// simlint fixture: D002 must fire on host-clock reads.
+#include <chrono>
+#include <ctime>
+
+long
+seedFromHost()
+{
+    auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return t.count() + time(nullptr);
+}

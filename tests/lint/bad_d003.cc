@@ -1,0 +1,12 @@
+// simlint fixture: D003 must fire on unordered containers — their
+// iteration order is unspecified and can leak into steering order.
+#include <unordered_map>
+
+int
+sumAll(const std::unordered_map<int, int> &m)
+{
+    int s = 0;
+    for (const auto &[k, v] : m)
+        s += v;
+    return s;
+}

@@ -1,0 +1,14 @@
+// simlint fixture: D004 must fire on pointer-keyed ordered containers
+// — address order differs between runs.
+#include <map>
+
+struct Inst {};
+
+int
+countInsts(const std::map<Inst *, int> &byInst)
+{
+    int n = 0;
+    for (const auto &[inst, c] : byInst)
+        n += c;
+    return n;
+}

@@ -1,0 +1,11 @@
+// simlint fixture: D005 must fire on pointer-to-integer casts — the
+// address is not stable across runs.
+#include <cstdint>
+
+struct Inst {};
+
+std::uint64_t
+hashInst(const Inst *p)
+{
+    return reinterpret_cast<std::uintptr_t>(p) * 0x9e3779b97f4a7c15ULL;
+}

@@ -1,0 +1,14 @@
+// simlint fixture: H001 must fire on heap allocation in hot-path code.
+// simlint: hot-path
+
+struct Ev {
+    int cluster;
+};
+
+Ev *
+makeEvent(int c)
+{
+    Ev *e = new Ev;
+    e->cluster = c;
+    return e;
+}

@@ -1,0 +1,12 @@
+// simlint fixture: H002 must fire on growth of a container that is
+// neither a SmallVec nor visibly reserve()d anywhere in the tree.
+// simlint: hot-path
+#include <vector>
+
+std::vector<int> unreservedList;
+
+void
+track(int seq)
+{
+    unreservedList.push_back(seq);
+}

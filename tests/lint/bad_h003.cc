@@ -1,0 +1,9 @@
+// simlint fixture: H003 must fire on string construction in hot code.
+// simlint: hot-path
+#include <string>
+
+std::string
+labelFor(int cluster)
+{
+    return "cluster-" + std::to_string(cluster);
+}

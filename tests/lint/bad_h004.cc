@@ -1,0 +1,9 @@
+// simlint fixture: H004 must fire on throwing constructs in hot code.
+// simlint: hot-path
+
+void
+checkRange(int clusters)
+{
+    if (clusters < 1)
+        throw clusters;
+}

@@ -1,0 +1,10 @@
+// simlint fixture: L001 must fire on a suppression without a reason —
+// undocumented exemptions are how invariants rot.
+#include <cstdlib>
+
+int
+pick(int n)
+{
+    // simlint-ignore(D001)
+    return rand() % n;
+}

@@ -1,0 +1,24 @@
+// simlint fixture: ordinary deterministic code; no rule may fire.
+#include <map>
+#include <vector>
+
+struct Run {
+    int index;
+    double ipc;
+};
+
+double
+meanIpc(const std::vector<Run> &runs)
+{
+    double s = 0.0;
+    for (const Run &r : runs)
+        s += r.ipc;
+    return runs.empty() ? 0.0 : s / static_cast<double>(runs.size());
+}
+
+int
+lookup(const std::map<int, int> &byIndex, int i)
+{
+    auto it = byIndex.find(i);
+    return it == byIndex.end() ? -1 : it->second;
+}

@@ -1,0 +1,34 @@
+// simlint fixture: every rule trigger here is either in a cold region
+// or carries a reasoned suppression; simlint must exit 0.
+// simlint: hot-path
+#include <cstdlib>
+#include <vector>
+
+struct Pool {
+    std::vector<int> slots;
+
+    // simlint: cold-begin -- construction sizes the pool once
+    explicit Pool(int n)
+    {
+        slots.resize(static_cast<std::size_t>(n));
+        seed_ = new int[16];
+    }
+    ~Pool() { delete[] seed_; }
+    // simlint: cold-end
+
+    int *seed_;
+};
+
+int
+jitter()
+{
+    // simlint-ignore(D001): fixture exercising a reasoned suppression
+    return rand() & 7;
+}
+
+void
+record(Pool &p, int v)
+{
+    // slots is resized at construction, so this never grows it
+    p.slots.push_back(v);
+}

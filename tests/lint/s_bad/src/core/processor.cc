@@ -1,0 +1,10 @@
+// simlint S-rule fixture (bad): per-field reset that forgets
+// scratchCounter; S003 must fire.
+#include "core/processor.hh"
+
+void
+Processor::resetStats()
+{
+    stats_.cycles = 0;
+    stats_.committed = 0;
+}

@@ -1,0 +1,23 @@
+// simlint S-rule fixture (bad): scratchCounter is missing from the
+// equivalence comparator and the per-field reset below misses it too.
+#include <cstdint>
+
+struct ProcessorStats {
+    std::uint64_t cycles = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t scratchCounter = 0;
+
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(committed) / cycles : 0.0;
+    }
+};
+
+class Processor
+{
+  public:
+    void resetStats();
+
+  private:
+    ProcessorStats stats_;
+};

@@ -1,0 +1,13 @@
+// simlint S-rule fixture (bad): ghostMetric is populated here but the
+// exporter in sweep.cc never writes it; orphanMetric appears nowhere.
+#include "sim/simulation.hh"
+
+SimResult
+runSimulation(std::uint64_t insts, std::uint64_t cyc)
+{
+    SimResult r;
+    r.cycles = cyc;
+    r.ipc = cyc ? static_cast<double>(insts) / cyc : 0.0;
+    r.ghostMetric = r.ipc * 2.0;
+    return r;
+}

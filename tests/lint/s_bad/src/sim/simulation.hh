@@ -1,0 +1,10 @@
+// simlint S-rule fixture (bad): orphanMetric is populated nowhere and
+// ghostMetric never reaches the JSON exporter.
+#include <cstdint>
+
+struct SimResult {
+    double ipc = 0.0;
+    std::uint64_t cycles = 0;
+    double orphanMetric = 0.0;
+    double ghostMetric = 0.0;
+};

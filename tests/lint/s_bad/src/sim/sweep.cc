@@ -1,0 +1,13 @@
+// simlint S-rule fixture (bad): the exporter misses ghostMetric (and
+// orphanMetric, which is already unpopulated).
+#include "sim/simulation.hh"
+
+void
+toJson(const SimResult &r, char *out, int n)
+{
+    // stand-in for the real JsonWriter-based exporter
+    (void)r.ipc;
+    (void)r.cycles;
+    (void)out;
+    (void)n;
+}

@@ -1,0 +1,9 @@
+// simlint S-rule fixture (bad): the exhaustive comparator forgot
+// scratchCounter; S001 must fire.
+#include "core/processor.hh"
+
+bool
+expectSameStats(const ProcessorStats &a, const ProcessorStats &b)
+{
+    return a.cycles == b.cycles && a.committed == b.committed;
+}

@@ -1,0 +1,8 @@
+// simlint S-rule fixture (good): wholesale aggregate reset.
+#include "core/processor.hh"
+
+void
+Processor::resetStats()
+{
+    stats_ = ProcessorStats{};
+}

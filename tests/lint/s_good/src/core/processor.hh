@@ -1,0 +1,16 @@
+// simlint S-rule fixture (good): every stat is covered everywhere.
+#include <cstdint>
+
+struct ProcessorStats {
+    std::uint64_t cycles = 0;
+    std::uint64_t committed = 0;
+};
+
+class Processor
+{
+  public:
+    void resetStats();
+
+  private:
+    ProcessorStats stats_;
+};

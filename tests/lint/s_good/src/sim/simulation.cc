@@ -1,0 +1,11 @@
+// simlint S-rule fixture (good): every SimResult field is populated.
+#include "sim/simulation.hh"
+
+SimResult
+runSimulation(std::uint64_t insts, std::uint64_t cyc)
+{
+    SimResult r;
+    r.cycles = cyc;
+    r.ipc = cyc ? static_cast<double>(insts) / cyc : 0.0;
+    return r;
+}

@@ -1,0 +1,7 @@
+// simlint S-rule fixture (good).
+#include <cstdint>
+
+struct SimResult {
+    double ipc = 0.0;
+    std::uint64_t cycles = 0;
+};

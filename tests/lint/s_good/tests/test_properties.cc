@@ -1,0 +1,8 @@
+// simlint S-rule fixture (good): the comparator covers every field.
+#include "core/processor.hh"
+
+bool
+expectSameStats(const ProcessorStats &a, const ProcessorStats &b)
+{
+    return a.cycles == b.cycles && a.committed == b.committed;
+}

@@ -211,6 +211,59 @@ TEST(Sweep, OnCompleteSeesEveryRun)
         EXPECT_TRUE(seen[i]) << i;
 }
 
+TEST(Sweep, ConcurrentCallbackStress)
+{
+    // TSan-targeted: hammer the progress-callback and the
+    // result-aggregation paths from many workers with tiny runs. The
+    // engine promises onComplete is serialized and that every slot of
+    // out.runs is written by exactly one worker; the callback below
+    // mutates shared state with no locking of its own, so a broken
+    // serialization (or a torn slot write) is a data race ThreadSanitizer
+    // flags and ASan never can. Several rounds vary the interleavings.
+    for (int round = 0; round < 3; round++) {
+        std::vector<RunPoint> points;
+        for (int i = 0; i < 24; i++) {
+            RunPoint p;
+            p.label = "stress-" + std::to_string(i % 4);
+            p.cfg = staticSubsetConfig(i % 2 ? 4 : 8);
+            p.workload = makeBenchmark(i % 2 ? "gzip" : "swim");
+            p.warmup = 500;
+            p.measure = 1500;
+            points.push_back(std::move(p));
+        }
+
+        SweepOptions opts;
+        opts.threads = 8;
+        std::size_t calls = 0;
+        std::vector<std::size_t> order;
+        std::vector<bool> seen(points.size(), false);
+        opts.onComplete = [&](std::size_t i, const SimResult &r) {
+            // unsynchronized on purpose: relies on the engine's
+            // serialization promise
+            calls++;
+            order.push_back(i);
+            EXPECT_FALSE(seen[i]) << "duplicate completion " << i;
+            seen[i] = true;
+            EXPECT_GT(r.cycles, 0u) << i;
+        };
+
+        SweepResult res = runSweep(points, opts);
+
+        EXPECT_EQ(calls, points.size());
+        EXPECT_EQ(order.size(), points.size());
+        ASSERT_EQ(res.runs.size(), points.size());
+        for (std::size_t i = 0; i < points.size(); i++) {
+            EXPECT_TRUE(seen[i]) << i;
+            // aggregation is in submission order regardless of which
+            // worker ran the point or when it finished
+            EXPECT_EQ(res.runs[i].result.benchmark,
+                      points[i].workload.name) << i;
+            EXPECT_EQ(res.runs[i].result.config, points[i].label) << i;
+            EXPECT_GT(res.runs[i].result.cycles, 0u) << i;
+        }
+    }
+}
+
 TEST(Sweep, SmokeReportByteIdenticalAcrossJobCounts)
 {
     // The full JSON report (timing fields omitted) must be

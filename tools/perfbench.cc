@@ -46,6 +46,8 @@ using Clock = std::chrono::steady_clock;
 double
 secondsSince(Clock::time_point start)
 {
+    // simlint-ignore(D002): perfbench measures host wall-clock by
+    // design; the timing never feeds back into simulated state.
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
@@ -79,6 +81,8 @@ runPoint(const RunPoint &p, int repeat)
             ctrl = p.makeController();
         Processor proc(p.cfg, &trace, ctrl.get());
 
+        // simlint-ignore(D002): wall-clock start stamp for the MIPS
+        // measurement; does not influence the simulation.
         Clock::time_point start = Clock::now();
         proc.run(p.warmup);
         proc.resetStats();

@@ -1,0 +1,1090 @@
+/**
+ * @file
+ * simlint: project-native static analysis for the simulator sources.
+ *
+ * The repository's core guarantees — bit-identical sweeps for any
+ * thread count, an allocation-free steady-state window, and golden-run
+ * reproducibility — are enforced dynamically by the golden harness and
+ * the property fuzzer, but a careless edit only trips those long after
+ * it lands. simlint makes the underlying coding rules machine-checked
+ * at lint time, with no compiler dependency: a lightweight C++
+ * tokenizer walks the tree and reports named, suppressible
+ * diagnostics.
+ *
+ * Rule families (see docs/TESTING.md for the full table):
+ *   D0xx  determinism   banned sources of run-to-run variation
+ *   H0xx  hot path      allocation / growth / string / throw bans in
+ *                       files annotated `// simlint: hot-path`
+ *   S0xx  stats         cross-checks that every ProcessorStats /
+ *                       SimResult field is covered by the equivalence
+ *                       comparator, the JSON export, and stats reset
+ *   L0xx  lint          malformed simlint directives
+ *
+ * Annotations (line comments anywhere in a file):
+ *   // simlint: hot-path          whole file is steady-state code
+ *   // simlint: cold-begin        construction/reconfig region where
+ *   // simlint: cold-end          H-rules do not apply
+ *   // simlint-ignore(D002): why  suppress rule(s) on this line, or on
+ *                                 the next line when the comment stands
+ *                                 alone; the reason is mandatory
+ *
+ * Exit status: 0 when no diagnostics, 1 when any fired, 2 on usage or
+ * I/O errors.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+struct RuleInfo {
+    const char *id;
+    const char *title;
+    const char *hint;
+};
+
+const RuleInfo ruleTable[] = {
+    {"D001", "banned random source",
+     "use the project PCG in src/common/random.* (seeded, deterministic)"},
+    {"D002", "wall-clock read",
+     "derive timing from simulated cycles; wall-clock fields must stay "
+     "out of deterministic reports (suppress with a reason if "
+     "reporting-only)"},
+    {"D003", "unordered container",
+     "iteration order is unspecified and can feed steering/report "
+     "order; use std::map, std::set, or a sorted vector"},
+    {"D004", "pointer-keyed ordered container",
+     "ordering by address varies run to run; key by a stable id "
+     "(InstSeqNum, cluster index)"},
+    {"D005", "pointer-to-integer cast",
+     "an address is not a stable value across runs; use a stable id"},
+    {"H001", "heap allocation in hot path",
+     "allocate at construction (cold region) or reuse a pooled buffer"},
+    {"H002", "unreserved growth in hot path",
+     "receiver must be a SmallVec or have a visible reserve()/resize() "
+     "call; reserve in the constructor"},
+    {"H003", "std::string construction in hot path",
+     "string temporaries allocate; format only in error/report paths"},
+    {"H004", "throw/try in hot path",
+     "use fatal()/CSIM_ASSERT for fatal conditions; exceptions are "
+     "banned on the steady-state path"},
+    {"S001", "stat missing from equivalence comparator",
+     "add the field to expectSameStats() in tests/test_properties.cc "
+     "so determinism checks cover it"},
+    {"S002", "metric missing from export path",
+     "populate the field in src/sim/simulation.cc and write it in "
+     "toJson() in src/sim/sweep.cc so golden runs cover it"},
+    {"S003", "stat missing from reset path",
+     "Processor::resetStats() must reset the whole ProcessorStats "
+     "aggregate or touch every field"},
+    {"L001", "malformed simlint directive",
+     "suppressions are `// simlint-ignore(ID[,ID...]): reason` with a "
+     "non-empty reason"},
+};
+
+const RuleInfo *
+findRule(const std::string &id)
+{
+    for (const RuleInfo &r : ruleTable)
+        if (id == r.id)
+            return &r;
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+struct Tok {
+    enum Kind { Ident, Number, String, Punct };
+    Kind kind;
+    std::string text;
+    int line;
+};
+
+struct Comment {
+    std::string text;   ///< content without the // or /* */ markers
+    int line;           ///< line the comment starts on
+    bool ownLine;       ///< no code token earlier on the same line
+};
+
+struct LexedFile {
+    std::vector<Tok> toks;
+    std::vector<Comment> comments;
+};
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+LexedFile
+lex(const std::string &src)
+{
+    LexedFile out;
+    int line = 1;
+    int lastCodeLine = -1;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+
+    auto newlineCount = [&](const std::string &s) {
+        return static_cast<int>(std::count(s.begin(), s.end(), '\n'));
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            line++;
+            i++;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            i++;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            std::size_t j = src.find('\n', i);
+            if (j == std::string::npos)
+                j = n;
+            out.comments.push_back({src.substr(i + 2, j - i - 2), line,
+                                    lastCodeLine != line});
+            i = j;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            std::size_t j = src.find("*/", i + 2);
+            if (j == std::string::npos)
+                j = n;
+            std::string body = src.substr(i + 2, j - i - 2);
+            out.comments.push_back({body, line, lastCodeLine != line});
+            line += newlineCount(body);
+            i = (j == n) ? n : j + 2;
+            continue;
+        }
+        if (c == '"') {
+            // Raw strings: the previous token was R (glued, e.g. R"( ).
+            bool raw = !out.toks.empty() &&
+                out.toks.back().kind == Tok::Ident &&
+                out.toks.back().text == "R";
+            std::size_t j;
+            if (raw) {
+                std::size_t d = src.find('(', i);
+                std::string delim = ")" +
+                    src.substr(i + 1, d - i - 1) + "\"";
+                j = src.find(delim, d);
+                j = (j == std::string::npos) ? n
+                                             : j + delim.size() - 1;
+            } else {
+                j = i + 1;
+                while (j < n && src[j] != '"') {
+                    if (src[j] == '\\')
+                        j++;
+                    j++;
+                }
+            }
+            std::string body = src.substr(i, std::min(j + 1, n) - i);
+            line += newlineCount(body);
+            out.toks.push_back({Tok::String, "\"\"", line});
+            lastCodeLine = line;
+            i = std::min(j + 1, n);
+            continue;
+        }
+        if (c == '\'') {
+            std::size_t j = i + 1;
+            while (j < n && src[j] != '\'') {
+                if (src[j] == '\\')
+                    j++;
+                j++;
+            }
+            out.toks.push_back({Tok::String, "''", line});
+            lastCodeLine = line;
+            i = std::min(j + 1, n);
+            continue;
+        }
+        if (isIdentStart(c)) {
+            std::size_t j = i;
+            while (j < n && isIdentChar(src[j]))
+                j++;
+            out.toks.push_back({Tok::Ident, src.substr(i, j - i), line});
+            lastCodeLine = line;
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < n && (isIdentChar(src[j]) || src[j] == '.' ||
+                             ((src[j] == '+' || src[j] == '-') && j > i &&
+                              (src[j - 1] == 'e' || src[j - 1] == 'E'))))
+                j++;
+            out.toks.push_back({Tok::Number, src.substr(i, j - i), line});
+            lastCodeLine = line;
+            i = j;
+            continue;
+        }
+        // All punctuation as single characters; `>>` lexes as two `>`
+        // so template-argument scanning stays simple.
+        out.toks.push_back({Tok::Punct, std::string(1, c), line});
+        lastCodeLine = line;
+        i++;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file scan state: annotations, suppressions, diagnostics
+// ---------------------------------------------------------------------------
+
+struct Diag {
+    std::string file;
+    int line;
+    std::string rule;
+    std::string msg;
+};
+
+struct FileScan {
+    std::string path;        ///< as given on the command line
+    LexedFile lx;
+    bool hotPath = false;
+    std::vector<std::pair<int, int>> coldRanges;
+    /** line -> rule ids suppressed on that line ("*" = all). */
+    std::map<int, std::set<std::string>> suppress;
+    std::vector<Diag> directiveDiags;  ///< L001 findings
+};
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t a = s.find_first_not_of(" \t\r");
+    if (a == std::string::npos)
+        return "";
+    std::size_t b = s.find_last_not_of(" \t\r");
+    return s.substr(a, b - a + 1);
+}
+
+void
+parseDirectives(FileScan &f)
+{
+    // An own-line suppression applies to the next line that holds code,
+    // so a directive may wrap across several comment lines.
+    std::vector<int> codeLines;
+    codeLines.reserve(f.lx.toks.size());
+    for (const Tok &t : f.lx.toks)
+        if (codeLines.empty() || codeLines.back() != t.line)
+            codeLines.push_back(t.line);
+    std::sort(codeLines.begin(), codeLines.end());
+    auto nextCodeLine = [&](int after) {
+        auto it = std::upper_bound(codeLines.begin(), codeLines.end(),
+                                   after);
+        return it == codeLines.end() ? after + 1 : *it;
+    };
+
+    int coldOpen = -1;
+    for (const Comment &c : f.lx.comments) {
+        std::string body = trim(c.text);
+        if (body.rfind("simlint:", 0) == 0) {
+            // Only the first word is the annotation; anything after it
+            // is free-form commentary (e.g. "cold-begin -- why").
+            std::string what = trim(body.substr(8));
+            std::size_t sp = what.find_first_of(" \t");
+            if (sp != std::string::npos)
+                what = what.substr(0, sp);
+            if (what == "hot-path") {
+                f.hotPath = true;
+            } else if (what == "cold-begin") {
+                if (coldOpen >= 0)
+                    f.directiveDiags.push_back(
+                        {f.path, c.line, "L001",
+                         "cold-begin while a cold region is already "
+                         "open"});
+                coldOpen = c.line;
+            } else if (what == "cold-end") {
+                if (coldOpen < 0) {
+                    f.directiveDiags.push_back(
+                        {f.path, c.line, "L001",
+                         "cold-end without a matching cold-begin"});
+                } else {
+                    f.coldRanges.push_back({coldOpen, c.line});
+                    coldOpen = -1;
+                }
+            } else {
+                f.directiveDiags.push_back(
+                    {f.path, c.line, "L001",
+                     "unknown simlint annotation '" + what + "'"});
+            }
+            continue;
+        }
+        std::size_t at = body.find("simlint-ignore");
+        if (at == std::string::npos)
+            continue;
+        std::size_t open = body.find('(', at);
+        std::size_t close = body.find(')', at);
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open) {
+            f.directiveDiags.push_back(
+                {f.path, c.line, "L001",
+                 "simlint-ignore needs a (RULE) list"});
+            continue;
+        }
+        std::size_t colon = body.find(':', close);
+        std::string reason = colon == std::string::npos
+            ? ""
+            : trim(body.substr(colon + 1));
+        if (reason.empty()) {
+            f.directiveDiags.push_back(
+                {f.path, c.line, "L001",
+                 "simlint-ignore suppression has no reason"});
+            continue;
+        }
+        int target = c.ownLine ? nextCodeLine(c.line) : c.line;
+        std::stringstream ids(body.substr(open + 1, close - open - 1));
+        std::string id;
+        bool any = false;
+        while (std::getline(ids, id, ',')) {
+            id = trim(id);
+            if (id.empty())
+                continue;
+            if (id != "*" && !findRule(id)) {
+                f.directiveDiags.push_back(
+                    {f.path, c.line, "L001",
+                     "unknown rule id '" + id + "' in suppression"});
+                continue;
+            }
+            f.suppress[target].insert(id);
+            any = true;
+        }
+        if (!any)
+            f.directiveDiags.push_back(
+                {f.path, c.line, "L001",
+                 "simlint-ignore lists no rule ids"});
+    }
+    if (coldOpen >= 0)
+        f.directiveDiags.push_back(
+            {f.path, coldOpen, "L001",
+             "cold-begin never closed by cold-end"});
+}
+
+bool
+inCold(const FileScan &f, int line)
+{
+    for (const auto &[a, b] : f.coldRanges)
+        if (line >= a && line <= b)
+            return true;
+    return false;
+}
+
+bool
+suppressed(const FileScan &f, int line, const std::string &rule)
+{
+    auto it = f.suppress.find(line);
+    if (it == f.suppress.end())
+        return false;
+    return it->second.count(rule) || it->second.count("*");
+}
+
+// ---------------------------------------------------------------------------
+// Scan helpers
+// ---------------------------------------------------------------------------
+
+bool
+tokIs(const std::vector<Tok> &t, std::size_t i, const char *s)
+{
+    return i < t.size() && t[i].text == s;
+}
+
+bool
+prevIs(const std::vector<Tok> &t, std::size_t i, const char *s)
+{
+    return i > 0 && t[i - 1].text == s;
+}
+
+/**
+ * The first template argument of `name<...>` starting with tok[i] at
+ * the `<`. Returns the argument's tokens joined by spaces, or "" if the
+ * scan fails (unbalanced, not a template).
+ */
+std::string
+firstTemplateArg(const std::vector<Tok> &t, std::size_t lt)
+{
+    if (!tokIs(t, lt, "<"))
+        return "";
+    int depth = 1;
+    std::string arg;
+    for (std::size_t i = lt + 1; i < t.size() && i < lt + 64; i++) {
+        const std::string &s = t[i].text;
+        if (s == "<") {
+            depth++;
+        } else if (s == ">") {
+            if (--depth == 0)
+                return arg;
+        } else if (s == "," && depth == 1) {
+            return arg;
+        } else if (s == ";" || s == "{") {
+            return "";  // not a template after all (a < b; ...)
+        }
+        if (depth >= 1) {
+            if (!arg.empty())
+                arg += " ";
+            arg += s;
+        }
+    }
+    return "";
+}
+
+/**
+ * The container identifier a member call grows: the innermost name of
+ * the receiver expression. `a.push_back(` gives "a", `p->waiters.
+ * push_back(` gives "waiters", `buckets_[i].push_back(` gives
+ * "buckets_". Returns "" when the receiver is not an identifier (e.g.
+ * `f().push_back(`); callers treat that conservatively.
+ */
+std::string
+receiverOf(const std::vector<Tok> &t, std::size_t callIdent)
+{
+    // callIdent is the member-name token; step over the `.` or `->`.
+    std::size_t i = callIdent;
+    if (prevIs(t, i, ".")) {
+        i -= 1;
+    } else if (i >= 2 && t[i - 1].text == ">" && t[i - 2].text == "-") {
+        i -= 2;
+    } else {
+        return "";
+    }
+    if (i == 0)
+        return "";
+    std::size_t j = i - 1;
+    // skip one or more subscript groups: buckets_[eff & mask]
+    while (t[j].text == "]") {
+        int depth = 1;
+        while (j > 0 && depth > 0) {
+            j--;
+            if (t[j].text == "]")
+                depth++;
+            else if (t[j].text == "[")
+                depth--;
+        }
+        if (j == 0)
+            return "";
+        j--;
+    }
+    return t[j].kind == Tok::Ident ? t[j].text : "";
+}
+
+// ---------------------------------------------------------------------------
+// Struct field extraction (for the S rules)
+// ---------------------------------------------------------------------------
+
+struct FieldDef {
+    std::string name;
+    int line;
+};
+
+/**
+ * Data members of `struct name { ... }` in a lexed file. A member
+ * statement is one with no `(` at struct depth (functions and
+ * constructors all carry parens).
+ */
+std::vector<FieldDef>
+structFields(const LexedFile &lx, const std::string &name)
+{
+    const std::vector<Tok> &t = lx.toks;
+    std::vector<FieldDef> out;
+    std::size_t i = 0;
+    for (; i + 2 < t.size(); i++) {
+        if ((t[i].text == "struct" || t[i].text == "class") &&
+            t[i + 1].text == name && t[i + 2].text == "{")
+            break;
+    }
+    if (i + 2 >= t.size())
+        return out;
+    int depth = 0;
+    bool sawParen = false;
+    std::string lastIdent, nameCandidate;
+    int candLine = 0;
+    for (std::size_t j = i + 2; j < t.size(); j++) {
+        const std::string &s = t[j].text;
+        if (s == "{") {
+            depth++;
+            continue;
+        }
+        if (s == "}") {
+            if (--depth == 0)
+                break;
+            continue;
+        }
+        if (depth != 1)
+            continue;
+        if (s == "(") {
+            sawParen = true;
+        } else if (s == "=" && !sawParen) {
+            nameCandidate = lastIdent;
+            candLine = t[j].line;
+        } else if (s == ";") {
+            if (!sawParen) {
+                if (nameCandidate.empty()) {
+                    nameCandidate = lastIdent;
+                    candLine = t[j].line;
+                }
+                if (!nameCandidate.empty())
+                    out.push_back({nameCandidate, candLine});
+            }
+            sawParen = false;
+            nameCandidate.clear();
+            lastIdent.clear();
+        } else if (t[j].kind == Tok::Ident && nameCandidate.empty()) {
+            lastIdent = t[j].text;
+            candLine = t[j].line;
+        }
+    }
+    return out;
+}
+
+/** All identifier texts in a lexed file. */
+std::set<std::string>
+identSet(const LexedFile &lx)
+{
+    std::set<std::string> out;
+    for (const Tok &t : lx.toks)
+        if (t.kind == Tok::Ident)
+            out.insert(t.text);
+    return out;
+}
+
+/**
+ * Tokens of the body of `Class::method(...) { ... }`; empty when not
+ * found.
+ */
+std::vector<Tok>
+methodBody(const LexedFile &lx, const std::string &cls,
+           const std::string &method)
+{
+    const std::vector<Tok> &t = lx.toks;
+    for (std::size_t i = 0; i + 3 < t.size(); i++) {
+        if (t[i].text != cls || t[i + 1].text != ":" ||
+            t[i + 2].text != ":" || t[i + 3].text != method)
+            continue;
+        // find the opening brace of the definition
+        std::size_t j = i + 4;
+        while (j < t.size() && t[j].text != "{" && t[j].text != ";")
+            j++;
+        if (j >= t.size() || t[j].text == ";")
+            continue;  // a declaration, keep looking
+        int depth = 0;
+        std::vector<Tok> body;
+        for (; j < t.size(); j++) {
+            if (t[j].text == "{") {
+                depth++;
+                if (depth == 1)
+                    continue;
+            }
+            if (t[j].text == "}" && --depth == 0)
+                return body;
+            body.push_back(t[j]);
+        }
+    }
+    return {};
+}
+
+// ---------------------------------------------------------------------------
+// The linter
+// ---------------------------------------------------------------------------
+
+struct Options {
+    std::vector<std::string> paths;
+    std::string projectRoot = ".";
+    bool fixList = false;
+    bool quiet = false;
+    bool listRules = false;
+    bool noStats = false;
+};
+
+class Linter
+{
+  public:
+    explicit Linter(const Options &opts) : opts_(opts) {}
+
+    int run();
+
+  private:
+    void scanFile(FileScan &f);
+    void statsRules();
+    void emit(const FileScan &f, int line, const char *rule,
+              const std::string &msg);
+    void emitRaw(const Diag &d) { diags_.push_back(d); }
+
+    bool allowlisted(const std::string &path) const
+    {
+        // The project RNG is the one sanctioned randomness source.
+        return path.find("common/random.") != std::string::npos;
+    }
+
+    Options opts_;
+    std::vector<FileScan> files_;
+    std::set<std::string> smallVecVars_;
+    std::set<std::string> reservedVars_;
+    std::vector<Diag> diags_;
+};
+
+void
+Linter::emit(const FileScan &f, int line, const char *rule,
+             const std::string &msg)
+{
+    if (suppressed(f, line, rule))
+        return;
+    diags_.push_back({f.path, line, rule, msg});
+}
+
+void
+Linter::scanFile(FileScan &f)
+{
+    const std::vector<Tok> &t = f.lx.toks;
+    const bool allow = allowlisted(f.path);
+
+    for (const Diag &d : f.directiveDiags)
+        if (!suppressed(f, d.line, d.rule))
+            emitRaw(d);
+
+    for (std::size_t i = 0; i < t.size(); i++) {
+        const Tok &tk = t[i];
+        const bool hot = f.hotPath && !inCold(f, tk.line);
+        if (tk.kind != Tok::Ident) {
+            // H004: throw/try are keywords but lex as idents; nothing
+            // to do for punctuation.
+            continue;
+        }
+        const std::string &s = tk.text;
+
+        // --- D001: banned random sources --------------------------------
+        if (!allow &&
+            (s == "rand" || s == "srand" || s == "drand48" ||
+             s == "lrand48" || s == "mrand48" || s == "random") &&
+            tokIs(t, i + 1, "(")) {
+            emit(f, tk.line, "D001",
+                 "call to '" + s + "()' is nondeterministic; use the "
+                 "project PCG (src/common/random.*)");
+        }
+        if (!allow && (s == "random_device" || s == "random_shuffle")) {
+            emit(f, tk.line, "D001",
+                 "'std::" + s + "' is nondeterministic; use the "
+                 "project PCG (src/common/random.*)");
+        }
+
+        // --- D002: wall-clock reads -------------------------------------
+        if (!allow &&
+            (s == "time" || s == "clock" || s == "gettimeofday" ||
+             s == "clock_gettime" || s == "localtime" || s == "gmtime") &&
+            tokIs(t, i + 1, "(") && !prevIs(t, i, ".") &&
+            !(prevIs(t, i, ">") && i >= 2 && t[i - 2].text == "-")) {
+            emit(f, tk.line, "D002",
+                 "wall-clock call '" + s + "()' leaks host time into "
+                 "the simulation");
+        }
+        if (!allow && s == "now" && prevIs(t, i, ":") &&
+            tokIs(t, i + 1, "(")) {
+            emit(f, tk.line, "D002",
+                 "'::now()' reads the host clock; simulated results "
+                 "must depend only on simulated cycles");
+        }
+
+        // --- D003: unordered containers ---------------------------------
+        if (s == "unordered_map" || s == "unordered_set" ||
+            s == "unordered_multimap" || s == "unordered_multiset") {
+            emit(f, tk.line, "D003",
+                 "'std::" + s + "' iteration order is unspecified and "
+                 "unstable across libraries; use an ordered container");
+        }
+
+        // --- D004: pointer-keyed ordered containers ---------------------
+        if ((s == "map" || s == "set" || s == "multimap" ||
+             s == "multiset" || s == "priority_queue" || s == "less" ||
+             s == "greater" || s == "hash") &&
+            tokIs(t, i + 1, "<")) {
+            std::string arg = firstTemplateArg(t, i + 1);
+            if (!arg.empty() && arg.back() == '*') {
+                emit(f, tk.line, "D004",
+                     "'" + s + "<" + arg + ", ...>' orders by pointer "
+                     "value, which varies run to run; key by a stable "
+                     "id");
+            }
+        }
+
+        // --- D005: pointer-to-integer casts -----------------------------
+        if (s == "reinterpret_cast" && tokIs(t, i + 1, "<")) {
+            std::string arg = firstTemplateArg(t, i + 1);
+            if (arg.find("intptr_t") != std::string::npos ||
+                arg.find("size_t") != std::string::npos) {
+                emit(f, tk.line, "D005",
+                     "casting a pointer to an integer bakes an address "
+                     "into a value; addresses differ across runs");
+            }
+        }
+
+        if (!hot)
+            continue;
+
+        // --- H001: heap allocation --------------------------------------
+        if (s == "new") {
+            emit(f, tk.line, "H001",
+                 "'new' in hot-path code; allocate at construction or "
+                 "pool the buffer");
+        }
+        // `) = delete;` declares a deleted function, not a deallocation
+        if (s == "delete" &&
+            !(prevIs(t, i, "=") && tokIs(t, i + 1, ";"))) {
+            emit(f, tk.line, "H001",
+                 "'delete' in hot-path code; ownership churn implies "
+                 "allocation churn");
+        }
+        if ((s == "malloc" || s == "calloc" || s == "realloc" ||
+             s == "free") &&
+            tokIs(t, i + 1, "(")) {
+            emit(f, tk.line, "H001",
+                 "'" + s + "()' in hot-path code");
+        }
+        if (s == "make_unique" || s == "make_shared") {
+            emit(f, tk.line, "H001",
+                 "'std::" + s + "' allocates; hot-path code must not");
+        }
+
+        // --- H002: unreserved container growth --------------------------
+        if ((s == "push_back" || s == "emplace_back") &&
+            (prevIs(t, i, ".") ||
+             (prevIs(t, i, ">") && i >= 2 && t[i - 2].text == "-"))) {
+            std::string recv = receiverOf(t, i);
+            bool ok = !recv.empty() &&
+                (smallVecVars_.count(recv) || reservedVars_.count(recv));
+            if (!ok) {
+                std::string what = recv.empty()
+                    ? "receiver is not a simple identifier chain"
+                    : "'" + recv + "' is neither a SmallVec nor "
+                      "visibly reserve()d";
+                emit(f, tk.line, "H002",
+                     "'" + s + "' may grow the heap in hot-path code "
+                     "(" + what + ")");
+            }
+        }
+
+        // --- H003: string construction ----------------------------------
+        if (s == "string" && prevIs(t, i, ":") &&
+            !tokIs(t, i + 1, "&") && !tokIs(t, i + 1, "*")) {
+            emit(f, tk.line, "H003",
+                 "'std::string' by value in hot-path code allocates; "
+                 "pass a reference or format in the cold path");
+        }
+        if (s == "to_string" || s == "stringstream" ||
+            s == "ostringstream" || s == "istringstream") {
+            emit(f, tk.line, "H003",
+                 "'" + s + "' builds strings in hot-path code");
+        }
+
+        // --- H004: throwing constructs ----------------------------------
+        if (s == "throw" || s == "try") {
+            emit(f, tk.line, "H004",
+                 "'" + s + "' in hot-path code; use fatal()/CSIM_ASSERT "
+                 "for fatal conditions");
+        }
+    }
+}
+
+void
+Linter::statsRules()
+{
+    const fs::path root = opts_.projectRoot;
+    const fs::path procHh = root / "src/core/processor.hh";
+    const fs::path procCc = root / "src/core/processor.cc";
+    const fs::path simHh = root / "src/sim/simulation.hh";
+    const fs::path simCc = root / "src/sim/simulation.cc";
+    const fs::path sweepCc = root / "src/sim/sweep.cc";
+    const fs::path propCc = root / "tests/test_properties.cc";
+
+    auto readLex = [](const fs::path &p, FileScan &f) {
+        std::ifstream in(p);
+        if (!in)
+            return false;
+        std::stringstream ss;
+        ss << in.rdbuf();
+        f.path = p.string();
+        f.lx = lex(ss.str());
+        parseDirectives(f);
+        return true;
+    };
+
+    FileScan fProcHh, fProcCc, fSimHh, fSimCc, fSweep, fProp;
+    if (!readLex(procHh, fProcHh) || !readLex(procCc, fProcCc) ||
+        !readLex(simHh, fSimHh) || !readLex(simCc, fSimCc) ||
+        !readLex(sweepCc, fSweep) || !readLex(propCc, fProp)) {
+        // Not a full project tree (e.g. linting a subset); S rules
+        // need the whole stats pipeline to cross-check.
+        if (!opts_.quiet)
+            std::fprintf(stderr,
+                         "simlint: note: stats pipeline files not found "
+                         "under '%s'; S rules skipped\n",
+                         root.string().c_str());
+        return;
+    }
+
+    std::vector<FieldDef> psFields =
+        structFields(fProcHh.lx, "ProcessorStats");
+    std::vector<FieldDef> srFields =
+        structFields(fSimHh.lx, "SimResult");
+    if (psFields.empty() || srFields.empty()) {
+        emitRaw({fProcHh.path, 1, "S001",
+                 "could not parse ProcessorStats/SimResult fields; the "
+                 "stats cross-check is blind"});
+        return;
+    }
+
+    // S001: every ProcessorStats field is exhaustively compared by the
+    // determinism property suite.
+    std::set<std::string> propIds = identSet(fProp.lx);
+    for (const FieldDef &fd : psFields) {
+        if (!propIds.count(fd.name)) {
+            if (!suppressed(fProcHh, fd.line, "S001"))
+                emitRaw({fProcHh.path, fd.line, "S001",
+                         "ProcessorStats::" + fd.name + " is not "
+                         "compared in tests/test_properties.cc "
+                         "(expectSameStats); determinism equivalence "
+                         "would silently skip it"});
+        }
+    }
+
+    // S002: every SimResult field is populated by the metric-extraction
+    // path and written by the JSON exporter feeding golden runs.
+    std::set<std::string> simIds = identSet(fSimCc.lx);
+    std::set<std::string> sweepIds = identSet(fSweep.lx);
+    for (const FieldDef &fd : srFields) {
+        if (suppressed(fSimHh, fd.line, "S002"))
+            continue;
+        if (!simIds.count(fd.name))
+            emitRaw({fSimHh.path, fd.line, "S002",
+                     "SimResult::" + fd.name + " is never populated in "
+                     "src/sim/simulation.cc; golden runs would record "
+                     "a default value"});
+        else if (!sweepIds.count(fd.name))
+            emitRaw({fSimHh.path, fd.line, "S002",
+                     "SimResult::" + fd.name + " is not written by "
+                     "toJson() in src/sim/sweep.cc; it escapes golden "
+                     "coverage"});
+    }
+
+    // S003: resetStats() must clear every field (wholesale aggregate
+    // reset, or touch each field by name).
+    std::vector<Tok> reset = methodBody(fProcCc.lx, "Processor",
+                                        "resetStats");
+    if (reset.empty()) {
+        emitRaw({fProcCc.path, 1, "S003",
+                 "Processor::resetStats() definition not found"});
+        return;
+    }
+    bool wholesale = false;
+    std::set<std::string> resetIds;
+    for (std::size_t i = 0; i < reset.size(); i++) {
+        if (reset[i].kind == Tok::Ident)
+            resetIds.insert(reset[i].text);
+        if (reset[i].text == "stats_" && i + 2 < reset.size() &&
+            reset[i + 1].text == "=" &&
+            reset[i + 2].text == "ProcessorStats")
+            wholesale = true;
+    }
+    if (!wholesale) {
+        for (const FieldDef &fd : psFields) {
+            if (!resetIds.count(fd.name) &&
+                !suppressed(fProcHh, fd.line, "S003"))
+                emitRaw({fProcCc.path, reset.front().line, "S003",
+                         "ProcessorStats::" + fd.name + " is not reset "
+                         "by Processor::resetStats(); warmup state "
+                         "would leak into measurement"});
+        }
+    }
+}
+
+int
+Linter::run()
+{
+    if (opts_.listRules) {
+        for (const RuleInfo &r : ruleTable)
+            std::printf("%s  %-40s %s\n", r.id, r.title, r.hint);
+        return 0;
+    }
+
+    // Collect files.
+    std::vector<std::string> sources;
+    for (const std::string &p : opts_.paths) {
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (auto it = fs::recursive_directory_iterator(p, ec);
+                 it != fs::recursive_directory_iterator(); ++it) {
+                if (!it->is_regular_file())
+                    continue;
+                std::string ext = it->path().extension().string();
+                if (ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+                    ext == ".h" || ext == ".hpp")
+                    sources.push_back(it->path().string());
+            }
+        } else if (fs::is_regular_file(p, ec)) {
+            sources.push_back(p);
+        } else {
+            std::fprintf(stderr, "simlint: no such path: %s\n",
+                         p.c_str());
+            return 2;
+        }
+    }
+    std::sort(sources.begin(), sources.end());
+
+    files_.reserve(sources.size());
+    for (const std::string &p : sources) {
+        std::ifstream in(p);
+        if (!in) {
+            std::fprintf(stderr, "simlint: cannot read %s\n", p.c_str());
+            return 2;
+        }
+        std::stringstream ss;
+        ss << in.rdbuf();
+        FileScan f;
+        f.path = p;
+        f.lx = lex(ss.str());
+        parseDirectives(f);
+        files_.push_back(std::move(f));
+    }
+
+    // Global pre-pass: SmallVec declarations and visible reserve()/
+    // resize() receivers, used by H002 across file boundaries (a member
+    // may be declared in a header and grown in the .cc).
+    for (const FileScan &f : files_) {
+        const std::vector<Tok> &t = f.lx.toks;
+        for (std::size_t i = 0; i < t.size(); i++) {
+            if (t[i].text == "SmallVec" && tokIs(t, i + 1, "<")) {
+                int depth = 0;
+                for (std::size_t j = i + 1; j < t.size(); j++) {
+                    if (t[j].text == "<")
+                        depth++;
+                    else if (t[j].text == ">" && --depth == 0) {
+                        if (j + 1 < t.size() &&
+                            t[j + 1].kind == Tok::Ident)
+                            smallVecVars_.insert(t[j + 1].text);
+                        break;
+                    }
+                }
+            }
+            if ((t[i].text == "reserve" || t[i].text == "resize") &&
+                tokIs(t, i + 1, "(")) {
+                std::string recv = receiverOf(t, i);
+                if (!recv.empty())
+                    reservedVars_.insert(recv);
+            }
+        }
+    }
+
+    for (FileScan &f : files_)
+        scanFile(f);
+    if (!opts_.noStats)
+        statsRules();
+
+    std::sort(diags_.begin(), diags_.end(),
+              [](const Diag &a, const Diag &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+
+    for (const Diag &d : diags_)
+        std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line,
+                    d.rule.c_str(), d.msg.c_str());
+
+    if (opts_.fixList && !diags_.empty()) {
+        std::map<std::string, int> counts;
+        for (const Diag &d : diags_)
+            counts[d.rule]++;
+        std::printf("\nfix list:\n");
+        for (const auto &[id, n] : counts) {
+            const RuleInfo *r = findRule(id);
+            std::printf("  %s x%-3d %s\n      fix: %s\n", id.c_str(), n,
+                        r ? r->title : "?", r ? r->hint : "?");
+        }
+    }
+
+    if (!opts_.quiet)
+        std::fprintf(stderr, "simlint: %zu file(s), %zu diagnostic(s)\n",
+                     files_.size(), diags_.size());
+    return diags_.empty() ? 0 : 1;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: simlint [options] [path...]\n"
+        "  path                 files or directories to scan "
+        "(default: <root>/src)\n"
+        "  --project-root DIR   tree containing src/ and tests/ for "
+        "the S rules (default: .)\n"
+        "  --fix-list           append a per-rule summary with fix "
+        "hints\n"
+        "  --no-stats           skip the S (stats pipeline) rules\n"
+        "  --list-rules         print the rule table and exit\n"
+        "  --quiet              suppress the summary line\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; i++) {
+        std::string a = argv[i];
+        if (a == "--fix-list") {
+            opts.fixList = true;
+        } else if (a == "--quiet") {
+            opts.quiet = true;
+        } else if (a == "--list-rules") {
+            opts.listRules = true;
+        } else if (a == "--no-stats") {
+            opts.noStats = true;
+        } else if (a == "--project-root") {
+            if (++i >= argc) {
+                usage();
+                return 2;
+            }
+            opts.projectRoot = argv[i];
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "simlint: unknown option %s\n",
+                         a.c_str());
+            usage();
+            return 2;
+        } else {
+            opts.paths.push_back(a);
+        }
+    }
+    if (opts.paths.empty())
+        opts.paths.push_back(
+            (std::filesystem::path(opts.projectRoot) / "src").string());
+
+    return Linter(opts).run();
+}
