@@ -15,6 +15,10 @@
 
 #include "bench/bench_common.hh"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "common/table.hh"
 #include "sim/phase_stats.hh"
 
@@ -58,14 +62,20 @@ main(int argc, char **argv)
                       &collector, defaultWarmup, insts);
         const auto &samples = collector.samples();
 
+        std::size_t dropped = 0;
         auto factor = [&](std::uint64_t len) {
             if (samples.size() / (len / 1000) < 4)
-                return -1.0; // too few intervals to judge
-            return instabilityFactor(samples, 1000, len);
+                return std::numeric_limits<double>::quiet_NaN();
+            std::size_t d = 0;
+            double f = instabilityFactor(samples, 1000, len, 0.10,
+                                         100.0, &d);
+            dropped = std::max(dropped, d);
+            return f;
         };
         auto cellOf = [&](std::uint64_t len) {
             double f = factor(len);
-            if (f < 0)
+            // NaN: too few whole intervals at this length to judge.
+            if (std::isnan(f))
                 return std::string("-");
             char buf[16];
             std::snprintf(buf, sizeof(buf), "%.0f%%", f * 100);
@@ -86,7 +96,10 @@ main(int argc, char **argv)
                           : std::string(">window"));
         t.cell(row.minInterval);
         t.cell(row.at10k);
-        std::fprintf(stderr, "  %-8s done\n", row.name);
+        std::fprintf(stderr,
+                     "  %-8s done (%zu samples, up to %zu trailing"
+                     " samples excluded at the widest interval)\n",
+                     row.name, samples.size(), dropped);
     }
 
     std::printf("%s\n", t.format().c_str());

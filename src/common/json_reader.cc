@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -21,6 +22,16 @@ JsonValue::asDouble() const
 {
     if (!isNumber())
         fatal("JSON value is not a number");
+    return num_;
+}
+
+double
+JsonValue::numberOrNaN() const
+{
+    if (isNull())
+        return std::numeric_limits<double>::quiet_NaN();
+    if (!isNumber())
+        fatal("JSON value is not a number or null");
     return num_;
 }
 

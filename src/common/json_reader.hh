@@ -37,6 +37,13 @@ class JsonValue
     /** Typed accessors; fatal() on a kind mismatch. */
     bool asBool() const;
     double asDouble() const;
+    /**
+     * Number view that round-trips JsonWriter's non-finite encoding:
+     * the writer serializes NaN/Inf as null (JSON has no non-finite
+     * literals), so null reads back as NaN here. Any kind other than
+     * Null or Number is still a fatal() mismatch.
+     */
+    double numberOrNaN() const;
     /** Integer view; fatal() if the number was not written as one. */
     std::int64_t asInt() const;
     /** True when the number lexed as an integer (no '.', 'e', or '-0'). */

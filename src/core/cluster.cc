@@ -2,6 +2,7 @@
 
 #include "check/invariant.hh"
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 // simlint: hot-path
 
@@ -32,6 +33,7 @@ Cluster::iqAllocate(bool fp)
     CSIM_ASSERT(iqHasSpace(fp), "IQ overflow");
     (fp ? fpIqUsed_ : intIqUsed_)++;
     CSIM_CHECK_PROBE(onClusterIq(id_, fp, iqOccupancy(fp)));
+    CSIM_TRACE(iq(id_, fp, iqOccupancy(fp)));
 }
 
 void
@@ -41,6 +43,7 @@ Cluster::iqRelease(bool fp)
     CSIM_ASSERT(used > 0, "IQ underflow");
     used--;
     CSIM_CHECK_PROBE(onClusterIq(id_, fp, iqOccupancy(fp)));
+    CSIM_TRACE(iq(id_, fp, iqOccupancy(fp)));
 }
 
 void
@@ -49,6 +52,7 @@ Cluster::regAllocate(bool fp)
     CSIM_ASSERT(regHasSpace(fp), "register file overflow");
     (fp ? fpRegsUsed_ : intRegsUsed_)++;
     CSIM_CHECK_PROBE(onClusterRegs(id_, fp, regsUsed(fp)));
+    CSIM_TRACE(regs(id_, fp, regsUsed(fp)));
 }
 
 void
@@ -58,6 +62,7 @@ Cluster::regRelease(bool fp)
     CSIM_ASSERT(used > 0, "register file underflow");
     used--;
     CSIM_CHECK_PROBE(onClusterRegs(id_, fp, regsUsed(fp)));
+    CSIM_TRACE(regs(id_, fp, regsUsed(fp)));
 }
 
 SlotReserver &

@@ -4,6 +4,7 @@
 
 #include "check/invariant.hh"
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 // simlint: hot-path
 
@@ -111,6 +112,7 @@ void
 Processor::step()
 {
     cycle_++;
+    CSIM_TRACE(beginCycle(cycle_, activeClusters_));
     bool events = processIqEvents();
     bool committed = doCommit();
     bool retried = retryPendingLoads();
@@ -231,6 +233,7 @@ Processor::skipIdleCycles(Cycle skip)
       case StallCause::None:  break;
     }
     CSIM_CHECK_PROBE(onCycle(activeClusters_));
+    CSIM_TRACE(beginCycle(cycle_, activeClusters_));
 }
 
 void
@@ -580,6 +583,7 @@ Processor::doCommit()
 
         if (controller_)
             controller_->onCommit({op.pc, op.op, head.distant, cycle_});
+        CSIM_TRACE(commit(op.op, head.distant, cycle_));
 
         stats_.committed++;
         rob_.retireHead();
@@ -850,6 +854,9 @@ Processor::applyReconfig()
             CSIM_CHECK_PROBE(onReconfigApply(activeClusters_, target,
                                              rob_.size(), lsq_->size(),
                                              false));
+            CSIM_TRACE(event(TraceEventKind::ReconfigApply, 0,
+                             activeClusters_,
+                             static_cast<std::uint64_t>(target)));
             activeClusters_ = target;
             stats_.reconfigurations++;
             return true;
@@ -862,6 +869,9 @@ Processor::applyReconfig()
     if (pendingTarget_ == 0) {
         if (target != activeClusters_) {
             pendingTarget_ = target;
+            CSIM_TRACE(event(TraceEventKind::ReconfigPending, 0,
+                             activeClusters_,
+                             static_cast<std::uint64_t>(target)));
             return true;
         }
         return false;
@@ -877,6 +887,11 @@ Processor::applyReconfig()
         std::uint64_t flushed = l1_->flushAll(cycle_);
         stats_.flushWritebacks += flushed;
         dispatchStallUntil_ = cycle_ + flushed + 10;
+        CSIM_TRACE(event(TraceEventKind::ReconfigApply, 0,
+                         activeClusters_,
+                         static_cast<std::uint64_t>(pendingTarget_)));
+        CSIM_TRACE(event(TraceEventKind::CacheFlush, 0,
+                         static_cast<std::int64_t>(flushed)));
         activeClusters_ = pendingTarget_;
         pendingTarget_ = 0;
         stats_.reconfigurations++;

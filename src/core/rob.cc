@@ -2,6 +2,7 @@
 
 #include "check/invariant.hh"
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 // simlint: hot-path
 
@@ -25,6 +26,7 @@ ReorderBuffer::allocate(const MicroOp &op)
     ++size_;
     inst.reset(op, nextSeq_++);
     CSIM_CHECK_PROBE(onRobAllocate(inst.seq, size_, cap_));
+    CSIM_TRACE(rob(size_));
     return inst;
 }
 
@@ -35,6 +37,7 @@ ReorderBuffer::retireHead()
     CSIM_CHECK_PROBE(onRobRetire(slots_[head_].seq));
     head_ = slot(1);
     --size_;
+    CSIM_TRACE(rob(size_));
 }
 
 } // namespace clustersim

@@ -2,6 +2,7 @@
 
 #include "check/invariant.hh"
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 namespace clustersim {
 
@@ -52,6 +53,7 @@ Network::schedule(int src, int dst, Cycle ready)
     transfers_.inc();
     totalHops_.inc(links.size());
     totalLatency_.inc(arrive - ready);
+    CSIM_TRACE(transfer(static_cast<int>(links.size()), arrive - ready));
     return arrive;
 }
 

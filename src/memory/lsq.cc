@@ -4,6 +4,7 @@
 
 #include "check/invariant.hh"
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 // simlint: hot-path
 
@@ -84,6 +85,7 @@ LoadStoreQueue::allocate(InstSeqNum seq, bool is_store, int cluster,
         }
     }
     CSIM_CHECK_PROBE(onLsqMutate(*this));
+    CSIM_TRACE(lsq(size_));
 }
 
 LsqEntry *
@@ -270,6 +272,7 @@ LoadStoreQueue::release(InstSeqNum seq)
     --size_;
     CSIM_CHECK_PROBE(onLsqRelease(seq));
     CSIM_CHECK_PROBE(onLsqMutate(*this));
+    CSIM_TRACE(lsq(size_));
 }
 
 void

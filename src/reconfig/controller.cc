@@ -1,12 +1,18 @@
 #include "reconfig/controller.hh"
 
+#include "trace/trace.hh"
+
 namespace clustersim {
 
 void
 ReconfigController::attach(int hw_clusters, int initial)
 {
     hwClusters_ = hw_clusters;
+    CSIM_TRACE(event(TraceEventKind::ControllerAttach, 0, initial,
+                     static_cast<std::uint64_t>(hw_clusters)));
+#if !CLUSTERSIM_TRACE_ENABLED
     (void)initial;
+#endif
 }
 
 } // namespace clustersim

@@ -4,6 +4,7 @@
 
 #include "check/invariant.hh"
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 namespace clustersim {
 
@@ -38,6 +39,7 @@ FinegrainController::attach(int hw_clusters, int initial)
     sinceFlush_ = 0;
     reconfigPoints_ = 0;
     tableFlushes_ = 0;
+    tableConflicts_ = 0;
 
     CSIM_CHECK_PROBE(onControllerAttach(name(), hw_clusters, target_));
 }
@@ -69,18 +71,24 @@ FinegrainController::onCommit(const CommitEvent &ev)
         tableFlushes_++;
         for (auto &e : table_)
             e = TableEntry{};
+        CSIM_TRACE(event(TraceEventKind::TableFlush, 0,
+                         static_cast<std::int64_t>(tableFlushes_)));
     }
 
     bool point = isReconfigPoint(ev);
     if (point) {
         reconfigPoints_++;
         TableEntry &e = entryFor(ev.pc);
+        int prev = target_;
         if (e.valid && e.tag == ev.pc && e.decided) {
             target_ = e.advice;
         } else {
             // Unknown branch: run wide so its distant ILP is visible.
             target_ = params_.bigConfig;
         }
+        if (target_ != prev)
+            CSIM_TRACE(event(TraceEventKind::TargetChange, 0, target_,
+                             ev.pc));
     }
 
     // Window bookkeeping; when a sampled branch leaves the window we
@@ -89,7 +97,19 @@ FinegrainController::onCommit(const CommitEvent &ev)
                                                    point);
     if (old.valid && old.marked) {
         TableEntry &e = entryFor(old.pc);
-        if (!e.valid || e.tag != old.pc) {
+        if (e.valid && e.tag != old.pc) {
+            // Aliasing: a different branch already owns this slot.
+            // Never evict the resident entry -- two hot branches
+            // sharing a slot would otherwise ping-pong and neither
+            // could ever accumulate samplesNeeded. The loser's sample
+            // is dropped; the slot frees up at the next table flush.
+            tableConflicts_++;
+            CSIM_TRACE(event(TraceEventKind::TableConflict, 0,
+                             static_cast<std::int64_t>(e.samples),
+                             old.pc));
+            return;
+        }
+        if (!e.valid) {
             e = TableEntry{};
             e.valid = true;
             e.tag = old.pc;
@@ -104,6 +124,8 @@ FinegrainController::onCommit(const CommitEvent &ev)
                     ? params_.bigConfig
                     : params_.smallConfig;
                 e.decided = true;
+                CSIM_TRACE(event(TraceEventKind::TableDecide, 0,
+                                 e.advice, old.pc, avg));
             }
         }
     }

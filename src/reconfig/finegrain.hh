@@ -63,6 +63,9 @@ class FinegrainController : public ReconfigController
 
     std::uint64_t reconfigPoints() const { return reconfigPoints_; }
     std::uint64_t tableFlushes() const { return tableFlushes_; }
+    /** Learning samples dropped because a different branch owned the
+     *  aliased table slot (the resident entry is never evicted). */
+    std::uint64_t tableConflicts() const { return tableConflicts_; }
 
   private:
     struct TableEntry {
@@ -89,6 +92,7 @@ class FinegrainController : public ReconfigController
 
     std::uint64_t reconfigPoints_ = 0;
     std::uint64_t tableFlushes_ = 0;
+    std::uint64_t tableConflicts_ = 0;
 };
 
 } // namespace clustersim

@@ -5,6 +5,7 @@
 
 #include "check/invariant.hh"
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 namespace clustersim {
 
@@ -56,6 +57,7 @@ IntervalExploreController::attach(int hw_clusters, int initial)
     popularity_.clear();
     phaseChanges_ = 0;
     explorations_ = 0;
+    failedExplorations_ = 0;
     chgBranch_ = 0;
     chgMem_ = 0;
     chgIpc_ = 0;
@@ -115,6 +117,8 @@ IntervalExploreController::endInterval(Cycle now)
         exploreIdx_ = 0;
         target_ = params_.configs[0];
         explorations_++;
+        CSIM_TRACE(event(TraceEventKind::ExploreStart, 0, target_,
+                         intervalLength_));
         return;
     }
 
@@ -129,6 +133,8 @@ IntervalExploreController::endInterval(Cycle now)
                 chgBranch_++;
             if (mem_change)
                 chgMem_++;
+            CSIM_TRACE(event(TraceEventKind::ExploreAbort, 0,
+                             static_cast<std::int64_t>(exploreIdx_)));
             phaseChange();
             return;
         }
@@ -136,6 +142,8 @@ IntervalExploreController::endInterval(Cycle now)
         exploreIdx_++;
         if (exploreIdx_ < params_.configs.size()) {
             target_ = params_.configs[exploreIdx_];
+            CSIM_TRACE(event(TraceEventKind::ExploreStep, 0, target_,
+                             0, ipc));
             return;
         }
         // Exploration complete: adopt the best configuration and use
@@ -144,9 +152,24 @@ IntervalExploreController::endInterval(Cycle now)
         for (std::size_t i = 1; i < exploreIpc_.size(); i++)
             if (exploreIpc_[i] > exploreIpc_[best])
                 best = i;
+        if (exploreIpc_[best] <= 0.0) {
+            // Every exploration interval measured zero IPC (degenerate
+            // cycle window). Adopting refIpc_ = 0.0 would permanently
+            // disable IPC-based phase detection -- the refIpc_ > 0.0
+            // guard below never fires again -- so treat the whole
+            // exploration as failed and restart it at the next
+            // interval boundary instead of entering the stable state.
+            failedExplorations_++;
+            haveReference_ = false;
+            CSIM_TRACE(event(TraceEventKind::ExploreAbort, 0, -1,
+                             failedExplorations_));
+            return;
+        }
         target_ = params_.configs[best];
         refIpc_ = exploreIpc_[best];
         stable_ = true;
+        CSIM_TRACE(event(TraceEventKind::ExploreAdopt, 0, target_, 0,
+                         refIpc_));
         return;
     }
 
@@ -182,9 +205,14 @@ IntervalExploreController::phaseChange()
     stable_ = false;
     numIpcVariations_ = 0.0;
     instability_ += 2.0;
+    CSIM_TRACE(event(TraceEventKind::PhaseChange, 0,
+                     static_cast<std::int64_t>(phaseChanges_), 0,
+                     instability_));
     if (instability_ > params_.thresh2) {
         intervalLength_ *= 2;
         instability_ = 0.0;
+        CSIM_TRACE(event(TraceEventKind::IntervalDouble, 0, 0,
+                         intervalLength_));
         if (intervalLength_ > params_.maxInterval) {
             // Give up on reconfiguration; settle on the most popular
             // configuration observed so far.
@@ -203,6 +231,8 @@ IntervalExploreController::phaseChange()
             }
             if (!have_best)
                 target_ = params_.configs.back();
+            CSIM_TRACE(event(TraceEventKind::Discontinue, 0, target_,
+                             intervalLength_));
         }
     }
 }

@@ -56,6 +56,12 @@ class IntervalExploreController : public ReconfigController
     bool stable() const { return stable_; }
     std::uint64_t phaseChanges() const { return phaseChanges_; }
     std::uint64_t explorations() const { return explorations_; }
+    /** Explorations whose every interval measured zero IPC; the
+     *  result is discarded and exploration restarts. */
+    std::uint64_t failedExplorations() const
+    {
+        return failedExplorations_;
+    }
     std::uint64_t changesFromBranches() const { return chgBranch_; }
     std::uint64_t changesFromMemrefs() const { return chgMem_; }
     std::uint64_t changesFromIpc() const { return chgIpc_; }
@@ -97,6 +103,7 @@ class IntervalExploreController : public ReconfigController
 
     std::uint64_t phaseChanges_ = 0;
     std::uint64_t explorations_ = 0;
+    std::uint64_t failedExplorations_ = 0;
     std::uint64_t chgBranch_ = 0;
     std::uint64_t chgMem_ = 0;
     std::uint64_t chgIpc_ = 0;

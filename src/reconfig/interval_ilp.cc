@@ -6,6 +6,7 @@
 
 #include "check/invariant.hh"
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 namespace clustersim {
 
@@ -97,6 +98,8 @@ IntervalIlpController::endInterval(Cycle now)
         target_ = per_mille > params_.distantPerMille
             ? params_.bigConfig
             : params_.smallConfig;
+        CSIM_TRACE(event(TraceEventKind::IlpDecide, 0, target_, distant,
+                         per_mille));
         measuring_ = false;
         haveReference_ = true;
         refBranches_ = branches;
@@ -121,6 +124,9 @@ IntervalIlpController::endInterval(Cycle now)
         measuring_ = true;
         haveReference_ = false;
         target_ = params_.bigConfig;
+        CSIM_TRACE(event(TraceEventKind::PhaseChange, 0,
+                         static_cast<std::int64_t>(phaseChanges_), 0,
+                         ipc));
     }
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -37,15 +38,22 @@ IntervalStatsCollector::onCommit(const CommitEvent &ev)
 double
 instabilityFactor(const std::vector<IntervalSample> &samples,
                   std::uint64_t base_len, std::uint64_t interval_len,
-                  double ipc_tolerance, double metric_divisor)
+                  double ipc_tolerance, double metric_divisor,
+                  std::size_t *dropped_samples)
 {
     CSIM_ASSERT(interval_len >= base_len &&
                 interval_len % base_len == 0,
                 "interval length must be a multiple of the base sample");
     std::size_t group = interval_len / base_len;
     std::size_t n = samples.size() / group;
-    if (n < 2)
-        return 0.0;
+    if (dropped_samples)
+        *dropped_samples = samples.size() - n * group;
+    if (n < 2) {
+        // Fewer than two whole intervals: there is no pair to compare,
+        // so "stable" would be a fabrication. NaN is the explicit
+        // no-data answer; callers must test with std::isnan.
+        return std::numeric_limits<double>::quiet_NaN();
+    }
 
     double metric_sig =
         static_cast<double>(interval_len) / metric_divisor;
@@ -108,7 +116,10 @@ minimumStableInterval(const std::vector<IntervalSample> &samples,
             continue;
         if (samples.size() / (len / base_len) < 4)
             continue; // too few intervals to judge
-        if (instabilityFactor(samples, base_len, len) < threshold)
+        double factor = instabilityFactor(samples, base_len, len);
+        if (std::isnan(factor))
+            continue; // no data at this length: not evidence of stability
+        if (factor < threshold)
             return len;
     }
     return 0;

@@ -11,6 +11,7 @@
 #ifndef CLUSTERSIM_SIM_PHASE_STATS_HH
 #define CLUSTERSIM_SIM_PHASE_STATS_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -64,22 +65,33 @@ class IntervalStatsCollector : public ReconfigController
  * Instability factor (fraction of intervals flagged unstable) for the
  * given interval length, computed over base samples.
  *
- * @param samples        Base samples from an IntervalStatsCollector.
- * @param base_len       Base sample length, instructions.
- * @param interval_len   Interval length to evaluate (multiple of base).
- * @param ipc_tolerance  Relative IPC change deemed significant.
- * @param metric_divisor Branch/memref changes beyond
- *                       interval_len/metric_divisor are significant.
+ * Returns NaN when fewer than two whole intervals fit in the sample
+ * set -- there is no data to judge stability, which is not the same as
+ * "perfectly stable". Callers must test with std::isnan. Trailing base
+ * samples that do not fill a whole interval are excluded from the
+ * computation; their count is reported via @p dropped_samples.
+ *
+ * @param samples         Base samples from an IntervalStatsCollector.
+ * @param base_len        Base sample length, instructions.
+ * @param interval_len    Interval length to evaluate (multiple of base).
+ * @param ipc_tolerance   Relative IPC change deemed significant.
+ * @param metric_divisor  Branch/memref changes beyond
+ *                        interval_len/metric_divisor are significant.
+ * @param dropped_samples Out (optional): base samples in the excluded
+ *                        trailing partial interval.
  */
 double instabilityFactor(const std::vector<IntervalSample> &samples,
                          std::uint64_t base_len,
                          std::uint64_t interval_len,
                          double ipc_tolerance = 0.10,
-                         double metric_divisor = 100.0);
+                         double metric_divisor = 100.0,
+                         std::size_t *dropped_samples = nullptr);
 
 /**
  * Smallest interval length from `candidates` whose instability factor
- * is below `threshold`; returns 0 when none qualifies.
+ * is below `threshold`; returns 0 when none qualifies. Candidate
+ * lengths with too few whole intervals to judge (factor NaN) are
+ * skipped rather than treated as stable.
  */
 std::uint64_t minimumStableInterval(
     const std::vector<IntervalSample> &samples, std::uint64_t base_len,

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "check/invariant.hh"
+#include "trace/trace.hh"
 
 namespace clustersim {
 
@@ -27,6 +28,17 @@ runSimulation(const ProcessorConfig &cfg, const WorkloadSpec &workload,
     if (warmup > 0) {
         proc.run(warmup);
         proc.resetStats();
+    }
+
+    // Observation only: the sink calls below never feed back into the
+    // simulation, so results are bit-identical with or without a sink
+    // in scope. This is cold, always-compiled code (runtime-gated on
+    // the installed sink, unlike the CSIM_TRACE hot-path hooks).
+    if (TraceSink *sink = currentTraceSink()) {
+        sink->event(TraceEventKind::MeasureStart, 0, 0, proc.cycle());
+        // The time series describes the measurement window only, like
+        // every other SimResult metric: drop warmup rows.
+        sink->timeSeries().reset();
     }
 
     SimResult res;
@@ -71,6 +83,17 @@ runSimulation(const ProcessorConfig &cfg, const WorkloadSpec &workload,
         ? 1.0 - static_cast<double>(st.bankMispredicts) /
                     static_cast<double>(st.bankLookups)
         : 1.0;
+    if (TraceSink *sink = currentTraceSink()) {
+        sink->event(TraceEventKind::MeasureEnd, 0, 0, proc.cycle());
+        // Keep the documented invariant "interval is 0 when the
+        // series is empty": a non-trace build (or a run shorter than
+        // one interval) records no rows even with a recorder enabled.
+        if (sink->timeSeries().enabled() &&
+            !sink->timeSeries().rows().empty()) {
+            res.timeSeries = sink->timeSeries().rows();
+            res.timeSeriesInterval = sink->timeSeries().interval();
+        }
+    }
     return res;
 }
 

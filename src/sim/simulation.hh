@@ -9,8 +9,10 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/processor.hh"
+#include "trace/timeseries.hh"
 #include "workload/benchmarks.hh"
 
 namespace clustersim {
@@ -34,6 +36,15 @@ struct SimResult {
     /** Fraction of issued instructions that were distant. */
     double distantFraction = 0.0;
     double bankPredAccuracy = 0.0;
+    /**
+     * Per-interval time series of the measurement window. Populated
+     * only when a TraceSink with an enabled TimeSeriesRecorder is in
+     * scope during the run (see trace/trace.hh); empty otherwise, and
+     * omitted from JSON reports when empty.
+     */
+    std::vector<TimeSeriesRow> timeSeries;
+    /** Interval length (instructions) of timeSeries; 0 when empty. */
+    std::uint64_t timeSeriesInterval = 0;
 };
 
 /** Default run lengths (instructions). */

@@ -9,6 +9,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "trace/timeseries.hh"
 
 namespace clustersim {
 
@@ -158,6 +159,14 @@ toJson(JsonWriter &w, const SimResult &r)
     w.field("avg_reg_comm_latency", r.avgRegCommLatency);
     w.field("distant_fraction", r.distantFraction);
     w.field("bank_pred_accuracy", r.bankPredAccuracy);
+    // Emitted only when a trace-build run recorded a series: default
+    // builds must keep golden reports byte-identical, and the golden
+    // differ treats a key present on one side as a mismatch.
+    if (!r.timeSeries.empty()) {
+        w.field("time_series_interval", r.timeSeriesInterval);
+        w.key("time_series");
+        timeSeriesJson(w, r.timeSeries);
+    }
     w.endObject();
 }
 

@@ -1,0 +1,115 @@
+#include "trace/timeseries.hh"
+
+#include <cstdio>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace clustersim {
+
+void
+TimeSeriesRecorder::configure(std::uint64_t interval_insts)
+{
+    CSIM_ASSERT(interval_insts >= 1,
+                "time-series interval must be at least 1 instruction");
+    interval_ = interval_insts;
+}
+
+void
+TimeSeriesRecorder::onCommit(OpClass op, bool distant, Cycle cycle,
+                             int active_clusters)
+{
+    if (!enabled())
+        return;
+    if (!startValid_) {
+        cur_.startCycle = cycle;
+        startValid_ = true;
+    }
+    cur_.instructions++;
+    if (isControlOp(op))
+        cur_.branches++;
+    if (isMemOp(op))
+        cur_.memrefs++;
+    if (distant)
+        cur_.distant++;
+    if (cur_.instructions >= interval_) {
+        cur_.endCycle = cycle;
+        cur_.activeClusters = active_clusters;
+        rows_.push_back(cur_);
+        cur_ = TimeSeriesRow{};
+        startValid_ = false;
+    }
+}
+
+void
+TimeSeriesRecorder::reset()
+{
+    rows_.clear();
+    cur_ = TimeSeriesRow{};
+    startValid_ = false;
+}
+
+std::string
+timeSeriesCsv(const std::vector<TimeSeriesRow> &rows)
+{
+    std::string out = "start_cycle,end_cycle,instructions,branches,"
+                      "memrefs,distant,active_clusters,ipc\n";
+    char buf[160];
+    for (const TimeSeriesRow &r : rows) {
+        std::snprintf(buf, sizeof(buf),
+                      "%llu,%llu,%llu,%llu,%llu,%llu,%d,%.6f\n",
+                      static_cast<unsigned long long>(r.startCycle),
+                      static_cast<unsigned long long>(r.endCycle),
+                      static_cast<unsigned long long>(r.instructions),
+                      static_cast<unsigned long long>(r.branches),
+                      static_cast<unsigned long long>(r.memrefs),
+                      static_cast<unsigned long long>(r.distant),
+                      r.activeClusters, r.ipc());
+        out += buf;
+    }
+    return out;
+}
+
+void
+timeSeriesJson(JsonWriter &w, const std::vector<TimeSeriesRow> &rows)
+{
+    // Columnar layout: one array per metric, parallel by index. This
+    // keeps a 100-interval series to a few hundred bytes of keys
+    // instead of repeating them per row.
+    w.beginObject();
+    w.key("start_cycle").beginArray();
+    for (const TimeSeriesRow &r : rows)
+        w.value(r.startCycle);
+    w.endArray();
+    w.key("end_cycle").beginArray();
+    for (const TimeSeriesRow &r : rows)
+        w.value(r.endCycle);
+    w.endArray();
+    w.key("instructions").beginArray();
+    for (const TimeSeriesRow &r : rows)
+        w.value(r.instructions);
+    w.endArray();
+    w.key("branches").beginArray();
+    for (const TimeSeriesRow &r : rows)
+        w.value(r.branches);
+    w.endArray();
+    w.key("memrefs").beginArray();
+    for (const TimeSeriesRow &r : rows)
+        w.value(r.memrefs);
+    w.endArray();
+    w.key("distant").beginArray();
+    for (const TimeSeriesRow &r : rows)
+        w.value(r.distant);
+    w.endArray();
+    w.key("active_clusters").beginArray();
+    for (const TimeSeriesRow &r : rows)
+        w.value(r.activeClusters);
+    w.endArray();
+    w.key("ipc").beginArray();
+    for (const TimeSeriesRow &r : rows)
+        w.value(r.ipc());
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace clustersim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Per-interval time series of the committed stream (observability
+ * layer, part 2).
+ *
+ * A TimeSeriesRecorder aggregates commit events into fixed-length
+ * instruction intervals -- IPC, branch and memory-reference counts,
+ * distant-ILP degree, and the active cluster count -- producing the
+ * data behind Figure 5/6-style "IPC and cluster count over time"
+ * plots. The recorder is owned by a TraceSink (see trace.hh) and fed
+ * from the processor's commit hook; rows can be embedded in
+ * SimResult/sweep JSON or exported as CSV by tools/trace.
+ *
+ * Always compiled (SimResult embeds TimeSeriesRow unconditionally);
+ * only the hot-path feeding hooks are compile-time gated.
+ */
+
+#ifndef CLUSTERSIM_TRACE_TIMESERIES_HH
+#define CLUSTERSIM_TRACE_TIMESERIES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "workload/isa.hh"
+
+namespace clustersim {
+
+class JsonWriter;
+
+/** Aggregate statistics of one completed instruction interval. */
+struct TimeSeriesRow {
+    Cycle startCycle = 0;
+    Cycle endCycle = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t memrefs = 0;
+    /** Committed instructions flagged distant-ILP by the ROB scan. */
+    std::uint64_t distant = 0;
+    /** Active cluster count when the interval closed. */
+    int activeClusters = 0;
+
+    double
+    ipc() const
+    {
+        return endCycle > startCycle
+            ? static_cast<double>(instructions)
+                  / static_cast<double>(endCycle - startCycle)
+            : 0.0;
+    }
+};
+
+/**
+ * Accumulates commit events into fixed-length intervals. Disabled
+ * (interval 0) until configure(); a disabled recorder drops events.
+ */
+class TimeSeriesRecorder
+{
+  public:
+    TimeSeriesRecorder() = default;
+
+    /** Enable with the given interval length (instructions, >= 1). */
+    void configure(std::uint64_t interval_insts);
+
+    bool enabled() const { return interval_ != 0; }
+    std::uint64_t interval() const { return interval_; }
+
+    /** Feed one committed instruction. */
+    void onCommit(OpClass op, bool distant, Cycle cycle,
+                  int active_clusters);
+
+    /** Completed intervals, in commit order. */
+    const std::vector<TimeSeriesRow> &rows() const { return rows_; }
+    /** Instructions accumulated in the open (partial) interval. */
+    std::uint64_t partialInstructions() const
+    {
+        return cur_.instructions;
+    }
+
+    /** Drop all rows and the partial interval; keep the interval. */
+    void reset();
+
+  private:
+    std::uint64_t interval_ = 0;
+    TimeSeriesRow cur_;
+    bool startValid_ = false;
+    std::vector<TimeSeriesRow> rows_;
+};
+
+/** CSV export, one row per interval, with a header line. */
+std::string timeSeriesCsv(const std::vector<TimeSeriesRow> &rows);
+
+/**
+ * Write the series as one JSON value (columnar object). The writer
+ * must be positioned where a value is expected.
+ */
+void timeSeriesJson(JsonWriter &w,
+                    const std::vector<TimeSeriesRow> &rows);
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_TRACE_TIMESERIES_HH

@@ -1,0 +1,28 @@
+// simlint fixture: T001 must fire on trace-sink access that bypasses
+// the CSIM_TRACE compile-time gate in hot-path code; cold regions
+// (construction-time wiring) are exempt.
+// simlint: hot-path
+
+// simlint: cold-begin -- declarations and attach-time wiring
+namespace clustersim {
+class TraceSink;
+TraceSink *currentTraceSink();
+} // namespace clustersim
+
+void
+attachSink()
+{
+    clustersim::TraceSink *sink = clustersim::currentTraceSink();
+    (void)sink;
+}
+// simlint: cold-end
+
+void
+issueOne(int cluster, int occupancy)
+{
+    // Always-compiled hook: the default build would pay for this load.
+    if (clustersim::TraceSink *sink = clustersim::currentTraceSink())
+        (void)sink;
+    (void)cluster;
+    (void)occupancy;
+}

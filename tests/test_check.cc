@@ -9,10 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "check/fuzz.hh"
 #include "check/golden.hh"
 #include "check/invariant.hh"
+#include "common/json.hh"
 #include "common/json_reader.hh"
 #include "common/logging.hh"
 #include "memory/lsq.hh"
@@ -559,6 +561,31 @@ TEST(JsonReader, RoundTripsWriterDoubles)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.17g", val);
     EXPECT_EQ(parseJson(buf).asDouble(), val); // bit-exact
+}
+
+TEST(JsonReader, NonFiniteWriterOutputRoundTrips)
+{
+    // The writer spells non-finite doubles as null (JSON has no NaN
+    // literal); numberOrNaN() is the lossless way back.
+    JsonWriter w;
+    w.beginArray()
+        .value(std::numeric_limits<double>::quiet_NaN())
+        .value(std::numeric_limits<double>::infinity())
+        .value(-std::numeric_limits<double>::infinity())
+        .value(1.5)
+        .endArray();
+    JsonValue v = parseJson(w.str());
+    const auto &arr = v.asArray();
+    ASSERT_EQ(arr.size(), 4u);
+    for (int i = 0; i < 3; i++) {
+        EXPECT_TRUE(arr[i].isNull());
+        EXPECT_TRUE(std::isnan(arr[i].numberOrNaN())) << i;
+    }
+    EXPECT_DOUBLE_EQ(arr[3].numberOrNaN(), 1.5);
+    // Only numbers and null qualify; anything else is still a type
+    // error, not a silent NaN.
+    EXPECT_THROW(parseJson("\"x\"").numberOrNaN(), SimError);
+    EXPECT_THROW(parseJson("true").numberOrNaN(), SimError);
 }
 
 TEST(JsonReader, MalformedInputThrows)

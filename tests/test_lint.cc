@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -71,7 +72,21 @@ TEST(SimlintSelfTest, BadFixturesFireTheirRule)
     expectFires("bad_h002.cc", "H002");
     expectFires("bad_h003.cc", "H003");
     expectFires("bad_h004.cc", "H004");
+    expectFires("bad_t001.cc", "T001");
     expectFires("bad_l001.cc", "L001");
+}
+
+TEST(SimlintSelfTest, TraceGateRuleSparesColdRegions)
+{
+    // The T001 fixture names the sink on one hot-path line (two
+    // identifiers, so two findings) and again inside a cold region,
+    // which must stay silent.
+    LintRun r = runSimlint("--no-stats --quiet " +
+                           fixture("bad_t001.cc"));
+    EXPECT_NE(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("T001"), std::string::npos) << r.output;
+    EXPECT_EQ(std::count(r.output.begin(), r.output.end(), '\n'), 2)
+        << "only the hot-path line should fire:\n" << r.output;
 }
 
 TEST(SimlintSelfTest, HotPathRulesStayQuietWithoutAnnotation)

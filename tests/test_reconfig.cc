@@ -735,3 +735,90 @@ TEST(Finegrain, DistantThresholdBoundaryExact)
             << distant_count << " distant in the window";
     }
 }
+
+// ---------------------------------------------------------------------------
+// Edge-case regressions: table aliasing and zero-IPC exploration
+// ---------------------------------------------------------------------------
+
+TEST(Finegrain, AliasedSlotKeepsResidentEntry)
+{
+    FinegrainParams p;
+    p.branchStride = 1;
+    p.ilpWindow = 18;
+    p.samplesNeeded = 2;
+    p.distantThreshold = 6;
+    p.tableEntries = 4; // (pc >> 2) mod 4 indexing: easy to alias
+    FinegrainController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+
+    // Branch A learns "small" advice in its table slot.
+    for (int i = 0; i < 40; i++)
+        commitBlock(c, 0x2000, 8, false, cycle);
+    ASSERT_EQ(c.targetClusters(), 4);
+    ASSERT_EQ(c.tableConflicts(), 0u);
+
+    // Branch B (A + 4 * tableEntries bytes) maps to the same slot with
+    // distant work that would advise big. The resident entry must not
+    // be evicted -- two hot branches sharing a slot would otherwise
+    // ping-pong and neither could accumulate samplesNeeded. B's
+    // samples are dropped and counted as conflicts...
+    for (int i = 0; i < 40; i++)
+        commitBlock(c, 0x2000 + 4 * 4, 8, true, cycle);
+    EXPECT_GT(c.tableConflicts(), 0u);
+    // ...so B stays unknown (runs wide while being measured)...
+    EXPECT_EQ(c.targetClusters(), 16);
+
+    // ...and A's learned advice still stands at its next visit.
+    commitBlock(c, 0x2000, 8, false, cycle);
+    EXPECT_EQ(c.targetClusters(), 4);
+}
+
+namespace {
+
+/** One 1000-instruction interval with feed()'s op mix; `frozen` holds
+ *  the clock still so the interval's measured IPC is zero. */
+void
+feedExploreInterval(IntervalExploreController &c, Cycle &cycle,
+                    bool frozen)
+{
+    for (int i = 0; i < 1000; i++) {
+        CommitEvent ev;
+        ev.pc = 0x1000 + (i % 64) * 4;
+        ev.op = i % 6 == 0 ? OpClass::CondBranch
+              : i % 3 == 0 ? OpClass::Load
+                           : OpClass::IntAlu;
+        if (!frozen)
+            cycle++;
+        ev.cycle = cycle;
+        c.onCommit(ev);
+    }
+}
+
+} // namespace
+
+TEST(Explore, ZeroIpcExplorationIsNotAdopted)
+{
+    IntervalExploreParams p;
+    p.initialInterval = 1000;
+    IntervalExploreController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+
+    // Reference interval + one interval per candidate config, all with
+    // a frozen clock: every exploration interval measures zero IPC.
+    // Adopting the "best" of those would enter the stable state with a
+    // zero reference IPC, permanently disabling IPC-based phase
+    // detection (the refIpc > 0 guard would never fire again).
+    for (int i = 0; i < 5; i++)
+        feedExploreInterval(c, cycle, true);
+    EXPECT_EQ(c.failedExplorations(), 1u);
+    EXPECT_FALSE(c.stable());
+
+    // Once the clock advances again the controller re-explores and
+    // adopts a real winner.
+    for (int i = 0; i < 6; i++)
+        feedExploreInterval(c, cycle, false);
+    EXPECT_TRUE(c.stable());
+    EXPECT_EQ(c.failedExplorations(), 1u);
+}

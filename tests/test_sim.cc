@@ -283,3 +283,60 @@ TEST(Experiment, SpeedupOverBestFixedPicksSingleBaseline)
     double s = speedupOverBestFixed(m, 2, {0, 1});
     EXPECT_NEAR(s, std::sqrt(1.0 * 1.6), 1e-9);
 }
+
+TEST(PhaseStats, TooFewIntervalsIsNaNNotStable)
+{
+    std::vector<IntervalSample> samples(5);
+    for (auto &s : samples) {
+        s.instructions = 1000;
+        s.cycles = 1000;
+        s.branches = 160;
+        s.memrefs = 350;
+    }
+    // Zero whole 10K intervals fit in 5K of samples: no data at all.
+    std::size_t dropped = 99;
+    double f = instabilityFactor(samples, 1000, 10000, 0.10, 100.0,
+                                 &dropped);
+    EXPECT_TRUE(std::isnan(f));
+    EXPECT_EQ(dropped, 5u);
+    // One whole interval is no better: there is no pair to compare,
+    // and NaN (not 0.0, "perfectly stable") is the answer.
+    f = instabilityFactor(samples, 1000, 4000, 0.10, 100.0, &dropped);
+    EXPECT_TRUE(std::isnan(f));
+    EXPECT_EQ(dropped, 1u);
+}
+
+TEST(PhaseStats, ReportsDroppedTrailingSamples)
+{
+    std::vector<IntervalSample> samples(10);
+    for (auto &s : samples) {
+        s.instructions = 1000;
+        s.cycles = 1000;
+        s.branches = 160;
+        s.memrefs = 350;
+    }
+    // 10 samples at a 4K interval: two whole groups, two trailing
+    // samples excluded from the computation.
+    std::size_t dropped = 99;
+    double f = instabilityFactor(samples, 1000, 4000, 0.10, 100.0,
+                                 &dropped);
+    EXPECT_DOUBLE_EQ(f, 0.0);
+    EXPECT_EQ(dropped, 2u);
+}
+
+TEST(PhaseStats, MinimumStableIntervalRejectsNoDataLengths)
+{
+    // Perfectly uniform samples, but the only candidate fits just one
+    // whole interval: "no data" must not be reported as stable.
+    std::vector<IntervalSample> samples(8);
+    for (auto &s : samples) {
+        s.instructions = 1000;
+        s.cycles = 1000;
+        s.branches = 160;
+        s.memrefs = 350;
+    }
+    EXPECT_EQ(minimumStableInterval(samples, 1000, {8000}), 0u);
+    // With a judgeable candidate present, that one is picked.
+    EXPECT_EQ(minimumStableInterval(samples, 1000, {8000, 1000}),
+              1000u);
+}

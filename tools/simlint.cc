@@ -18,6 +18,8 @@
  *   S0xx  stats         cross-checks that every ProcessorStats /
  *                       SimResult field is covered by the equivalence
  *                       comparator, the JSON export, and stats reset
+ *   T0xx  tracing       trace hooks in hot-path files must sit behind
+ *                       the CSIM_TRACE compile-time gate
  *   L0xx  lint          malformed simlint directives
  *
  * Annotations (line comments anywhere in a file):
@@ -91,6 +93,9 @@ const RuleInfo ruleTable[] = {
     {"S003", "stat missing from reset path",
      "Processor::resetStats() must reset the whole ProcessorStats "
      "aggregate or touch every field"},
+    {"T001", "ungated trace-sink access in hot path",
+     "route the hook through CSIM_TRACE so a default build compiles "
+     "it out; raw TraceSink/currentTraceSink use belongs in cold code"},
     {"L001", "malformed simlint directive",
      "suppressions are `// simlint-ignore(ID[,ID...]): reason` with a "
      "non-empty reason"},
@@ -802,6 +807,18 @@ Linter::scanFile(FileScan &f)
             emit(f, tk.line, "H004",
                  "'" + s + "' in hot-path code; use fatal()/CSIM_ASSERT "
                  "for fatal conditions");
+        }
+
+        // --- T001: ungated trace-sink access ----------------------------
+        // CSIM_TRACE expands to a currentTraceSink() load only in trace
+        // builds; naming the sink directly in hot-path code would make
+        // the default build pay for observability.
+        if (s == "TraceSink" || s == "currentTraceSink" ||
+            s == "TraceScope") {
+            emit(f, tk.line, "T001",
+                 "'" + s + "' in hot-path code bypasses the CSIM_TRACE "
+                 "compile-time gate; a default build must carry no "
+                 "tracing");
         }
     }
 }
