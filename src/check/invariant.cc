@@ -61,6 +61,19 @@ InvariantChecker::reset()
     violations_.clear();
 }
 
+void
+InvariantChecker::onStreamRebase()
+{
+    bump();
+    // Each sequencing rule treats a zero "last seen" as unbased and
+    // accepts (then adopts) whatever comes next; violations and probe
+    // counts are deliberately kept.
+    lastAllocSeq_ = 0;
+    lastRetireSeq_ = 0;
+    lastCommitSeq_ = 0;
+    lastLsqRelease_ = 0;
+}
+
 bool
 InvariantChecker::bump()
 {

@@ -118,6 +118,18 @@ class InvariantChecker
     /** Once per cycle: the active cluster count in force. */
     void onCycle(int active_clusters);
 
+    // --- checkpoint / multiplexing (Processor + batch-driver probes) ------
+    /**
+     * The instruction stream this sink observes is about to rewind or
+     * switch: a snapshot restore moved the processor back in sequence
+     * space, or a driver is multiplexing several processors onto one
+     * thread (the batched sweep's round-robin warmup). Re-bases the
+     * sequencing rules (dense ROB allocation, in-order commit/retire,
+     * ordered LSQ release) on their next observation; all conservation
+     * rules keep checking through the switch.
+     */
+    void onStreamRebase();
+
     // --- results ----------------------------------------------------------
     bool ok() const { return violations_.empty(); }
     const std::vector<Violation> &violations() const { return violations_; }

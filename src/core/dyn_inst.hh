@@ -121,7 +121,11 @@ struct DynInst {
         pendingSrcs = 0;
         issueScheduled = false;
         completed = false;
-        value = ValueInfo();
+        // `value` is deliberately NOT cleared: dispatch fully
+        // reinitializes it for instructions with a destination, and it
+        // is never read for the rest (only producers are reachable via
+        // the rename table), so the 17-field re-init here would be pure
+        // overhead in the per-instruction allocate path.
         waiters.clear();
         addrGenScheduled = false;
         addrReadyAt = neverCycle;

@@ -10,6 +10,8 @@ FetchUnit::FetchUnit(const ProcessorConfig &cfg, TraceSource *trace,
       icache_(cfg.icacheBytes, cfg.icacheWays, cfg.icacheLineBytes)
 {
     CSIM_ASSERT(trace_ && l2_);
+    CSIM_ASSERT(cfg.fetchQueueSize >= 1);
+    queue_.resize(static_cast<std::size_t>(cfg.fetchQueueSize));
 }
 
 void
@@ -20,33 +22,35 @@ FetchUnit::cycle(Cycle now)
 
     int taken_seen = 0;
     for (int i = 0; i < cfg_.fetchWidth; i++) {
-        if (static_cast<int>(queue_.size()) >= cfg_.fetchQueueSize)
+        if (static_cast<int>(queueCount_) >= cfg_.fetchQueueSize)
             break;
 
-        MicroOp op;
+        // Fill the queue slot in place; on an icache miss the op moves
+        // to pending_ and the slot is taken back.
+        FetchEntry &entry = pushSlot();
+        entry.readyAt = now + cfg_.frontEndDepth;
+        entry.mispredicted = false;
         if (pending_) {
-            op = *pending_;
+            entry.op = *pending_;
             pending_.reset();
         } else {
-            op = trace_->next();
+            entry.op = trace_->next();
         }
+        const MicroOp &op = entry.op;
 
         // Instruction cache: a miss stalls fetch until the line fills.
         if (!icache_.access(op.pc, false).hit) {
             icacheMisses_.inc();
             stallUntil_ = l2_->access(op.pc, false, now + 1);
             pending_ = op;
+            --queueCount_; // take the slot back
             break;
         }
 
-        FetchEntry entry;
-        entry.op = op;
-        entry.readyAt = now + cfg_.frontEndDepth;
+        fetched_.inc();
         if (op.isControl()) {
             bool correct = branch_.predict(op);
             entry.mispredicted = !correct;
-            queue_.push_back(entry);
-            fetched_.inc();
             if (!correct) {
                 // Fetch is on the wrong path from here: stall until the
                 // core resolves this branch.
@@ -55,9 +59,6 @@ FetchUnit::cycle(Cycle now)
             }
             if (op.taken && ++taken_seen >= cfg_.maxFetchBlocks)
                 break;
-        } else {
-            queue_.push_back(entry);
-            fetched_.inc();
         }
     }
 }
@@ -75,6 +76,40 @@ FetchUnit::resetStats()
     fetched_.reset();
     icacheMisses_.reset();
     branch_.resetStats();
+}
+
+FetchUnit::Snapshot
+FetchUnit::snapshot() const
+{
+    std::vector<FetchEntry> entries;
+    entries.reserve(queueCount_);
+    for (std::size_t i = 0; i < queueCount_; i++) {
+        std::size_t idx = queueHead_ + i;
+        if (idx >= queue_.size())
+            idx -= queue_.size();
+        entries.push_back(queue_[idx]);
+    }
+    return Snapshot{branch_,  icache_,         std::move(entries),
+                    pending_, stalledOnBranch_, stallUntil_,
+                    fetched_, icacheMisses_};
+}
+
+void
+FetchUnit::restore(const Snapshot &s)
+{
+    branch_ = s.branch;
+    icache_ = s.icache;
+    CSIM_ASSERT(s.queue.size() <= queue_.size(),
+                "fetch snapshot from a larger queue configuration");
+    // Rebuild the ring from slot 0; the phase is unobservable.
+    queueHead_ = 0;
+    queueCount_ = s.queue.size();
+    std::copy(s.queue.begin(), s.queue.end(), queue_.begin());
+    pending_ = s.pending;
+    stalledOnBranch_ = s.stalledOnBranch;
+    stallUntil_ = s.stallUntil;
+    fetched_ = s.fetched;
+    icacheMisses_ = s.icacheMisses;
 }
 
 } // namespace clustersim

@@ -14,8 +14,8 @@
 #define CLUSTERSIM_CORE_FETCH_HH
 
 #include <algorithm>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "common/stats.hh"
 #include "core/params.hh"
@@ -43,10 +43,16 @@ class FetchUnit
     /** Fetch up to fetchWidth instructions for cycle now. */
     void cycle(Cycle now);
 
-    bool queueEmpty() const { return queue_.empty(); }
-    std::size_t queueSize() const { return queue_.size(); }
-    const FetchEntry &front() const { return queue_.front(); }
-    void pop() { queue_.pop_front(); }
+    bool queueEmpty() const { return queueCount_ == 0; }
+    std::size_t queueSize() const { return queueCount_; }
+    const FetchEntry &front() const { return queue_[queueHead_]; }
+
+    void
+    pop()
+    {
+        queueHead_ = queueHead_ + 1 == queue_.size() ? 0 : queueHead_ + 1;
+        --queueCount_;
+    }
 
     /** A mispredicted branch resolved; fetch may resume at cycle c. */
     void resumeAt(Cycle c);
@@ -65,7 +71,7 @@ class FetchUnit
     nextActiveCycle(Cycle now) const
     {
         if (stalledOnBranch_ ||
-            static_cast<int>(queue_.size()) >= cfg_.fetchQueueSize)
+            static_cast<int>(queueCount_) >= cfg_.fetchQueueSize)
             return neverCycle;
         return std::max(stallUntil_, now);
     }
@@ -77,6 +83,28 @@ class FetchUnit
     std::uint64_t icacheMisses() const { return icacheMisses_.value(); }
     void resetStats();
 
+    // --- checkpoint support -------------------------------------------------
+    /**
+     * Copy of all mutable fetch state. The cfg/trace/l2 wiring is
+     * excluded: a snapshot is only restorable into a FetchUnit built
+     * against an equal ProcessorConfig, and the trace source must be
+     * seek()-able to the processor-recorded position.
+     */
+    struct Snapshot {
+        BranchUnit branch;
+        CacheBank icache;
+        /** Queue contents in dispatch order (ring phase is invisible). */
+        std::vector<FetchEntry> queue;
+        std::optional<MicroOp> pending;
+        bool stalledOnBranch = false;
+        Cycle stallUntil = 0;
+        Counter fetched;
+        Counter icacheMisses;
+    };
+
+    Snapshot snapshot() const;
+    void restore(const Snapshot &s);
+
   private:
     const ProcessorConfig &cfg_;
     TraceSource *trace_;
@@ -84,7 +112,28 @@ class FetchUnit
 
     BranchUnit branch_;
     CacheBank icache_;
-    std::deque<FetchEntry> queue_;
+
+    /**
+     * Fetch queue: a fixed-capacity ring of cfg.fetchQueueSize slots
+     * sized once at construction, so the steady-state push/pop cycle
+     * performs no heap allocation (a deque reallocates a block every
+     * few entries at this churn rate).
+     */
+    std::vector<FetchEntry> queue_;
+    std::size_t queueHead_ = 0;
+    std::size_t queueCount_ = 0;
+
+    /** Slot for the next push; entry stays default-reusable. */
+    FetchEntry &
+    pushSlot()
+    {
+        std::size_t i = queueHead_ + queueCount_;
+        if (i >= queue_.size())
+            i -= queue_.size();
+        ++queueCount_;
+        return queue_[i];
+    }
+
     std::optional<MicroOp> pending_; ///< op stalled on an I-cache miss
 
     bool stalledOnBranch_ = false;

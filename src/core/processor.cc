@@ -1,6 +1,7 @@
 #include "core/processor.hh"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "check/invariant.hh"
 #include "common/logging.hh"
@@ -246,7 +247,122 @@ Processor::resetStats()
     l2_->resetStats();
     lsq_->resetStats();
     dtlb_.resetStats();
+    bankPred_.resetStats();
 }
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restore
+// ---------------------------------------------------------------------------
+// simlint: cold-begin -- snapshot capture/restore copies whole subsystems
+
+// A Snapshot copies every subsystem by value; these assertions document
+// (and enforce) that the copied types stay value-semantic. Growing a
+// pointer member in one of them requires teaching snapshot()/restore()
+// about it explicitly.
+static_assert(std::is_copy_assignable_v<L2Cache>);
+static_assert(std::is_copy_assignable_v<LoadStoreQueue>);
+static_assert(std::is_copy_assignable_v<Cluster>);
+static_assert(std::is_copy_assignable_v<Tlb>);
+static_assert(std::is_copy_assignable_v<BankPredictor>);
+static_assert(std::is_copy_assignable_v<CriticalityPredictor>);
+static_assert(std::is_copy_assignable_v<ReorderBuffer>);
+static_assert(std::is_copy_assignable_v<CacheBank>);
+static_assert(std::is_copy_assignable_v<BranchUnit>);
+
+Processor::Snapshot
+Processor::snapshot() const
+{
+    CSIM_ASSERT(trace_->seekable(),
+                "snapshot requires a seekable trace source");
+    std::unique_ptr<ReconfigController> ctrl;
+    if (controller_) {
+        ctrl = controller_->clone();
+        CSIM_ASSERT(ctrl != nullptr,
+                    "snapshot requires a clonable controller: ",
+                    controller_->name());
+    }
+
+    Snapshot s{fetch_->snapshot(),
+               network_->snapshot(),
+               l1_->snapshot(),
+               *l2_,
+               *lsq_,
+               {},
+               dtlb_,
+               bankPred_,
+               critPred_,
+               rob_,
+               renameTable_,
+               archValues_,
+               cycle_,
+               activeClusters_,
+               pendingTarget_,
+               dispatchStallUntil_,
+               pendingLoads_,
+               armedPending_,
+               lastDispatchStall_,
+               lastStepIdle_,
+               iqEvents_,
+               stats_,
+               trace_->position(),
+               std::move(ctrl)};
+    s.clusters.reserve(clusters_.size());
+    for (const auto &c : clusters_)
+        s.clusters.push_back(*c);
+    return s;
+}
+
+void
+Processor::restore(const Snapshot &s)
+{
+    CSIM_ASSERT(trace_->seekable(),
+                "restore requires a seekable trace source");
+    CSIM_ASSERT(s.clusters.size() == clusters_.size(),
+                "snapshot from a different cluster count");
+
+    // Sequence numbers rewind with the state; an attached invariant
+    // checker must not read that as an ordering violation.
+    CSIM_CHECK_PROBE(onStreamRebase());
+
+    fetch_->restore(s.fetch);
+    network_->restore(s.network);
+    l1_->restore(s.l1);
+    *l2_ = s.l2;
+    *lsq_ = s.lsq;
+    for (std::size_t i = 0; i < clusters_.size(); ++i)
+        *clusters_[i] = s.clusters[i];
+    dtlb_ = s.dtlb;
+    bankPred_ = s.bankPred;
+    critPred_ = s.critPred;
+    rob_ = s.rob;
+    renameTable_ = s.renameTable;
+    archValues_ = s.archValues;
+    cycle_ = s.cycle;
+    activeClusters_ = s.activeClusters;
+    pendingTarget_ = s.pendingTarget;
+    dispatchStallUntil_ = s.dispatchStallUntil;
+    pendingLoads_ = s.pendingLoads;
+    pendingLoads_.reserve(static_cast<std::size_t>(cfg_.robSize));
+    armedPending_ = s.armedPending;
+    lastDispatchStall_ = s.lastDispatchStall;
+    lastStepIdle_ = s.lastStepIdle;
+    iqEvents_ = s.iqEvents;
+    stats_ = s.stats;
+    trace_->seek(s.tracePosition);
+
+    // Re-instate the controller's captured runtime state. attach() is
+    // deliberately NOT called: it would reset the controller, while the
+    // clone already carries its post-capture (e.g. post-warmup) state.
+    if (s.controller) {
+        ownedController_ = s.controller->clone();
+        controller_ = ownedController_.get();
+    } else {
+        ownedController_.reset();
+        controller_ = nullptr;
+    }
+}
+
+// simlint: cold-end
 
 // ---------------------------------------------------------------------------
 // Rename / value plumbing
@@ -281,12 +397,12 @@ Processor::availIn(ValueInfo &v, int cluster)
 }
 
 void
-Processor::resolveSource(DynInst &inst, int idx, RegIndex reg)
+Processor::resolveSource(DynInst &inst, int idx, ValueInfo &v,
+                         DynInst *prod)
 {
-    InstSeqNum pseq = renameTable_[static_cast<std::size_t>(reg)];
-    DynInst *prod = pseq ? rob_.find(pseq) : nullptr;
-    ValueInfo &v = prod ? prod->value
-                        : archValues_[static_cast<std::size_t>(reg)];
+    // v/prod were looked up by the dispatch affinity pass (valueOf
+    // semantics); both stay valid across the intervening ROB allocate,
+    // which only recycles retired slots.
     inst.srcProducerPc[static_cast<std::size_t>(idx)] = v.producerPc;
     if (v.completeAt == neverCycle) {
         // Producer still unscheduled: wait for its wakeup.
@@ -737,20 +853,30 @@ Processor::doDispatch()
             break;
         }
 
-        // Operand affinity inputs.
-        int nsrc = 0;
+        // Operand affinity inputs. The producer lookup (valueOf
+        // semantics, with the producing DynInst kept alongside) is
+        // shared with the rename pass below: the intervening ROB
+        // allocate only recycles retired slots, so the pointers stay
+        // valid and the second lookup would be pure repetition.
         RegIndex srcs[2] = {op.src1, op.src2};
+        ValueInfo *srcVal[2] = {nullptr, nullptr};
+        DynInst *srcProd[2] = {nullptr, nullptr};
         for (int s = 0; s < 2; s++) {
             if (srcs[s] == invalidReg)
                 continue;
-            nsrc++;
-            ValueInfo &v = valueOf(srcs[s]);
+            InstSeqNum pseq =
+                renameTable_[static_cast<std::size_t>(srcs[s])];
+            DynInst *prod = pseq ? rob_.find(pseq) : nullptr;
+            srcProd[s] = prod;
+            ValueInfo &v = prod
+                ? prod->value
+                : archValues_[static_cast<std::size_t>(srcs[s])];
+            srcVal[s] = &v;
             if (v.producer != 0) {
                 ctx.srcCluster[s] = v.cluster;
                 ctx.srcCritical[s] = critPred_.isCritical(v.producerPc);
             }
         }
-        (void)nsrc;
 
         if (is_mem && cfg_.l1.decentralized) {
             ctx.predictedBank = cfg_.perfectBankPred
@@ -789,7 +915,7 @@ Processor::doDispatch()
         // --- rename ---------------------------------------------------------
         for (int s = 0; s < 2; s++) {
             if (srcs[s] != invalidReg)
-                resolveSource(inst, s, srcs[s]);
+                resolveSource(inst, s, *srcVal[s], srcProd[s]);
             else
                 inst.srcReady[static_cast<std::size_t>(s)] = 0;
         }

@@ -121,6 +121,32 @@ class Processor
      */
     Cycle nextBusyCycle() const;
 
+    // --- checkpoint / restore ----------------------------------------------
+    /**
+     * Complete copy of the processor's dynamic state at one instant,
+     * including the trace-source position and a clone of the attached
+     * controller's runtime state. Defined after the class (it names
+     * private nested types); move-only.
+     */
+    struct Snapshot;
+
+    /**
+     * Capture the current dynamic state. Requires a seekable trace
+     * source (the snapshot records its position); the attached
+     * controller, if any, must be clonable.
+     */
+    Snapshot snapshot() const;
+
+    /**
+     * Restore a snapshot previously taken from a processor with an
+     * equal configuration and the same (or an identically generated)
+     * trace stream. The trace source is seek()-ed to the recorded
+     * position; the controller state is re-instated from the
+     * snapshot's clone *without* re-attaching (attach() would reset
+     * it). A snapshot may be restored any number of times.
+     */
+    void restore(const Snapshot &s);
+
     const ProcessorStats &stats() const { return stats_; }
     const ProcessorConfig &config() const { return cfg_; }
     const Network &network() const { return *network_; }
@@ -154,7 +180,8 @@ class Processor
     /** Arrival time of a value in a cluster (schedules the transfer). */
     Cycle availIn(ValueInfo &v, int cluster);
     /** Resolve one source operand at dispatch. */
-    void resolveSource(DynInst &inst, int idx, RegIndex reg);
+    void resolveSource(DynInst &inst, int idx, ValueInfo &v,
+                       DynInst *prod);
     /** A source's ready time just became known. */
     void onSourceKnown(DynInst &inst, int idx);
     /** All compute inputs known: reserve FU and complete eagerly. */
@@ -179,6 +206,8 @@ class Processor
     ProcessorConfig cfg_;
     TraceSource *trace_;
     ReconfigController *controller_;
+    /** Controller clone installed by restore(); controller_ aliases it. */
+    std::unique_ptr<ReconfigController> ownedController_;
 
     std::unique_ptr<Network> network_;
     std::unique_ptr<L2Cache> l2_;
@@ -235,6 +264,43 @@ class Processor
     CalendarQueue<IqEvent> iqEvents_;
 
     ProcessorStats stats_;
+};
+
+/**
+ * See Processor::snapshot(). Construction-time wiring (config,
+ * topology, trace/L2 pointers) is excluded: a snapshot is only
+ * restorable into a processor built from an equal configuration, which
+ * reproduces that wiring. Everything that changes while stepping is
+ * here, so restore() + run(k) is bit-identical to having continued the
+ * original run for k instructions.
+ */
+struct Processor::Snapshot {
+    FetchUnit::Snapshot fetch;
+    Network::Snapshot network;
+    L1Cache::Snapshot l1;
+    L2Cache l2;
+    LoadStoreQueue lsq;
+    std::vector<Cluster> clusters;
+    Tlb dtlb;
+    BankPredictor bankPred;
+    CriticalityPredictor critPred;
+    ReorderBuffer rob;
+    std::array<InstSeqNum, numLogicalRegs> renameTable;
+    std::array<ValueInfo, numLogicalRegs> archValues;
+    Cycle cycle = 0;
+    int activeClusters = 0;
+    int pendingTarget = 0;
+    Cycle dispatchStallUntil = 0;
+    std::vector<InstSeqNum> pendingLoads;
+    int armedPending = 0;
+    StallCause lastDispatchStall = StallCause::None;
+    bool lastStepIdle = false;
+    CalendarQueue<IqEvent> iqEvents;
+    ProcessorStats stats;
+    /** TraceSource::position() at capture time. */
+    std::uint64_t tracePosition = 0;
+    /** Clone of the attached controller's state; null when detached. */
+    std::unique_ptr<ReconfigController> controller;
 };
 
 } // namespace clustersim

@@ -12,8 +12,21 @@ Network::Network(std::unique_ptr<Topology> topology, Cycle hop_latency)
     CSIM_ASSERT(topology_, "network needs a topology");
     CSIM_ASSERT(hop_latency >= 1);
     maxHops_ = topology_->maxHops();
+    nodes_ = topology_->numNodes();
     occupancy_.assign(static_cast<std::size_t>(topology_->numLinks()),
                       std::vector<Cycle>(windowSize, neverCycle));
+
+    std::size_t n = static_cast<std::size_t>(nodes_);
+    routes_.resize(n * n);
+    hopsTable_.resize(n * n);
+    for (int s = 0; s < nodes_; s++) {
+        for (int d = 0; d < nodes_; d++) {
+            std::size_t idx = static_cast<std::size_t>(s) * n +
+                              static_cast<std::size_t>(d);
+            routes_[idx] = topology_->route(s, d);
+            hopsTable_[idx] = topology_->hops(s, d);
+        }
+    }
 }
 
 Cycle
@@ -39,7 +52,10 @@ Network::schedule(int src, int dst, Cycle ready)
     if (src == dst)
         return ready;
 
-    std::vector<int> links = topology_->route(src, dst);
+    const std::vector<int> &links =
+        routes_[static_cast<std::size_t>(src) *
+                    static_cast<std::size_t>(nodes_) +
+                static_cast<std::size_t>(dst)];
     Cycle depart = ready;
     Cycle arrive = ready;
     for (int link : links) {
@@ -63,6 +79,23 @@ Network::resetStats()
     transfers_.reset();
     totalHops_.reset();
     totalLatency_.reset();
+}
+
+Network::Snapshot
+Network::snapshot() const
+{
+    return Snapshot{occupancy_, transfers_, totalHops_, totalLatency_};
+}
+
+void
+Network::restore(const Snapshot &s)
+{
+    CSIM_ASSERT(s.occupancy.size() == occupancy_.size(),
+                "network snapshot from a different topology");
+    occupancy_ = s.occupancy;
+    transfers_ = s.transfers;
+    totalHops_ = s.totalHops;
+    totalLatency_ = s.totalLatency;
 }
 
 } // namespace clustersim

@@ -44,14 +44,24 @@ class Network
      */
     Cycle schedule(int src, int dst, Cycle ready);
 
-    /** Hop distance helper (no scheduling). */
-    int hops(int src, int dst) const { return topology_->hops(src, dst); }
+    /**
+     * Hop distance helper (no scheduling). Served from a table built at
+     * construction: this runs for every dispatched instruction and
+     * every redirect, where a virtual call per query is measurable.
+     */
+    int
+    hops(int src, int dst) const
+    {
+        return hopsTable_[static_cast<std::size_t>(src) *
+                              static_cast<std::size_t>(nodes_) +
+                          static_cast<std::size_t>(dst)];
+    }
 
     /** Uncontended latency between two nodes. */
     Cycle
     latency(int src, int dst) const
     {
-        return static_cast<Cycle>(topology_->hops(src, dst)) * hopLatency_;
+        return static_cast<Cycle>(hops(src, dst)) * hopLatency_;
     }
 
     const Topology &topology() const { return *topology_; }
@@ -76,6 +86,22 @@ class Network
 
     void resetStats();
 
+    // --- checkpoint support -------------------------------------------------
+    /**
+     * Copy of the mutable network state. The topology itself is
+     * immutable after construction and identified by the processor
+     * configuration, so it is not part of the snapshot.
+     */
+    struct Snapshot {
+        std::vector<std::vector<Cycle>> occupancy;
+        Counter transfers;
+        Counter totalHops;
+        Counter totalLatency;
+    };
+
+    Snapshot snapshot() const;
+    void restore(const Snapshot &s);
+
   private:
     /** Reserve the first free slot of link at or after cycle want. */
     Cycle reserveLink(int link, Cycle want);
@@ -83,6 +109,16 @@ class Network
     std::unique_ptr<Topology> topology_;
     Cycle hopLatency_;
     int maxHops_;
+    int nodes_;
+
+    /**
+     * Routes and hop counts for every (src, dst) pair, precomputed at
+     * construction. Topology::route() builds a fresh vector per call;
+     * schedule() runs several times per simulated instruction, so it
+     * walks these cached routes instead of allocating.
+     */
+    std::vector<std::vector<int>> routes_;
+    std::vector<int> hopsTable_;
 
     /** Per-link occupancy window: slot s holds the cycle that owns it. */
     static constexpr std::size_t windowSize = 1024;

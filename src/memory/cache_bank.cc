@@ -54,6 +54,19 @@ CacheBank::access(Addr addr, bool write)
 
     CacheAccessResult res;
     Addr tag = addr >> lineShift_;
+
+    // Same-line fast path. The tag embeds the set index, so a tag match
+    // at the remembered slot is exactly the line the way scan would
+    // find, and the LRU/dirty updates are identical to the slow path.
+    // Sequential fetch streams hit the same line many times in a row.
+    Line &last = lines_[lastIdx_];
+    if (last.valid && last.tag == tag) {
+        last.lastUse = useClock_;
+        last.dirty = last.dirty || write;
+        res.hit = true;
+        return res;
+    }
+
     std::size_t base = setIndex(addr) * static_cast<std::size_t>(ways_);
 
     Line *victim = nullptr;
@@ -62,6 +75,7 @@ CacheBank::access(Addr addr, bool write)
         if (line.valid && line.tag == tag) {
             line.lastUse = useClock_;
             line.dirty = line.dirty || write;
+            lastIdx_ = base + static_cast<std::size_t>(w);
             res.hit = true;
             return res;
         }
@@ -84,6 +98,7 @@ CacheBank::access(Addr addr, bool write)
     victim->dirty = write;
     victim->tag = tag;
     victim->lastUse = useClock_;
+    lastIdx_ = static_cast<std::size_t>(victim - lines_.data());
     return res;
 }
 

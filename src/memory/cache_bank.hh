@@ -81,6 +81,13 @@ class CacheBank
     int lineShift_;
     std::vector<Line> lines_;
     std::uint64_t useClock_ = 0;
+    /**
+     * Slot of the most recently touched line: a pure lookup hint for
+     * the same-line fast path in access(). Always a valid index (the
+     * tag check rejects stale hints), and index-based so value copies
+     * of the bank — snapshots restore them wholesale — stay correct.
+     */
+    std::size_t lastIdx_ = 0;
 
     Counter accesses_;
     Counter misses_;

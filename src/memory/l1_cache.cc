@@ -112,4 +112,26 @@ L1Cache::resetStats()
         array->resetStats();
 }
 
+L1Cache::Snapshot
+L1Cache::snapshot() const
+{
+    Snapshot s;
+    s.arrays.reserve(arrays_.size());
+    for (const auto &array : arrays_)
+        s.arrays.push_back(*array);
+    s.ports = ports_;
+    return s;
+}
+
+void
+L1Cache::restore(const Snapshot &s)
+{
+    CSIM_ASSERT(s.arrays.size() == arrays_.size() &&
+                    s.ports.size() == ports_.size(),
+                "L1 snapshot from a different organization");
+    for (std::size_t i = 0; i < arrays_.size(); ++i)
+        *arrays_[i] = s.arrays[i];
+    ports_ = s.ports;
+}
+
 } // namespace clustersim

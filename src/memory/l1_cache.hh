@@ -93,6 +93,20 @@ class L1Cache
     const L1Params &params() const { return params_; }
     int numBanks() const { return static_cast<int>(arrays_.size()); }
 
+    // --- checkpoint support -------------------------------------------------
+    /**
+     * Copy of the mutable L1 state: bank array contents (tags, dirty
+     * bits, stats) and port reservations. Params and the L2 pointer
+     * are construction-time wiring and excluded.
+     */
+    struct Snapshot {
+        std::vector<CacheBank> arrays;
+        std::vector<SlotReserver> ports;
+    };
+
+    Snapshot snapshot() const;
+    void restore(const Snapshot &s);
+
   private:
     L1Params params_;
     L2Cache *l2_;

@@ -22,6 +22,7 @@ LoadStoreQueue::LoadStoreQueue(bool distributed, int num_clusters,
     slots_.resize(static_cast<std::size_t>(num_clusters) *
                   static_cast<std::size_t>(per_cluster));
     storeRing_.resize(slots_.size());
+    seqMap_.assign(seqMapSize, 0);
     // A woken load is a live LSQ entry, so the wake list is bounded by
     // the entry count; reserving keeps wakeWaiters() allocation-free.
     woken_.reserve(slots_.size());
@@ -54,10 +55,13 @@ LoadStoreQueue::allocate(InstSeqNum seq, bool is_store, int cluster,
     CSIM_ASSERT(size_ == 0 || at(size_ - 1).seq < seq,
                 "LSQ allocation out of program order");
     CSIM_ASSERT(size_ < slots_.size(), "LSQ ring overflow");
+    CSIM_ASSERT(size_ == 0 || seq - at(0).seq < seqMapSize,
+                "LSQ live seq span exceeds the find() map window");
     // Reset the recycled slot in place (waiter list keeps capacity).
     std::size_t idx = slot(size_);
     LsqEntry &e = slots_[idx];
     ++size_;
+    seqMap_[seq & (seqMapSize - 1)] = static_cast<std::uint32_t>(idx);
     if (is_store) {
         storeRing_[storeSlot(storeCount_)] =
             static_cast<std::uint32_t>(idx);
@@ -91,21 +95,18 @@ LoadStoreQueue::allocate(InstSeqNum seq, bool is_store, int cluster,
 LsqEntry *
 LoadStoreQueue::find(InstSeqNum seq)
 {
-    // Binary search over ring offsets (seq ascending from the head).
-    std::size_t lo = 0, hi = size_;
-    while (lo < hi) {
-        std::size_t mid = lo + (hi - lo) / 2;
-        if (at(mid).seq < seq)
-            lo = mid + 1;
-        else
-            hi = mid;
-    }
-    if (lo < size_) {
-        LsqEntry &e = at(lo);
-        if (e.seq == seq)
-            return &e;
-    }
-    return nullptr;
+    // O(1) via the seq map; the seq and liveness checks reject stale
+    // map entries, so this returns exactly what a search of the live
+    // ring would (an entry iff seq is currently in the queue).
+    std::size_t idx = seqMap_[seq & (seqMapSize - 1)];
+    LsqEntry &e = slots_[idx];
+    if (e.seq != seq)
+        return nullptr;
+    std::size_t off = idx >= head_ ? idx - head_
+                                   : idx + slots_.size() - head_;
+    if (off >= size_)
+        return nullptr;
+    return &e;
 }
 
 const LsqEntry *

@@ -221,6 +221,19 @@ class LoadStoreQueue
     std::size_t size_ = 0;
 
     /**
+     * Direct seq -> slot map for O(1) find(). Indexed by
+     * `seq & (seqMapSize - 1)` and written at allocate; entries are
+     * never cleared. A lookup is verified against the slot's stored
+     * seq and its liveness (ring offset < size_), so stale map entries
+     * for retired instructions are harmlessly rejected. Two live
+     * entries can never collide because allocate() asserts the live
+     * seq span stays below seqMapSize (the span is bounded by the ROB
+     * window, far below 2048 for every paper machine).
+     */
+    static constexpr std::size_t seqMapSize = 2048;
+    std::vector<std::uint32_t> seqMap_;
+
+    /**
      * Slot indices of the live stores, a ring in program order. The
      * stores form a FIFO subsequence of the entry FIFO and slot indices
      * are stable for an entry's lifetime, so checkLoad can walk just

@@ -36,6 +36,17 @@ Tlb::translate(Addr addr)
     useClock_++;
 
     Addr vpn = addr >> pageShift_;
+
+    // Same-page fast path: the vpn embeds the set index, so a vpn match
+    // at the remembered slot is exactly the entry the way scan would
+    // find, with an identical LRU update. Spatial locality makes
+    // back-to-back translations of one page the common case.
+    Entry &last = entries_[lastIdx_];
+    if (last.valid && last.vpn == vpn) {
+        last.lastUse = useClock_;
+        return 0;
+    }
+
     std::size_t base =
         (vpn & (sets_ - 1)) * static_cast<std::size_t>(ways_);
 
@@ -44,6 +55,7 @@ Tlb::translate(Addr addr)
         Entry &e = entries_[base + static_cast<std::size_t>(w)];
         if (e.valid && e.vpn == vpn) {
             e.lastUse = useClock_;
+            lastIdx_ = base + static_cast<std::size_t>(w);
             return 0;
         }
         if (!e.valid) {
@@ -59,6 +71,7 @@ Tlb::translate(Addr addr)
     victim->valid = true;
     victim->vpn = vpn;
     victim->lastUse = useClock_;
+    lastIdx_ = static_cast<std::size_t>(victim - entries_.data());
     return missPenalty_;
 }
 

@@ -51,6 +51,12 @@ class Tlb
     Cycle missPenalty_;
     std::vector<Entry> entries_;
     std::uint64_t useClock_ = 0;
+    /**
+     * Slot of the most recently used entry: a lookup hint for the
+     * same-page fast path in translate(). The vpn check rejects stale
+     * hints, and the index survives value copies (snapshot restore).
+     */
+    std::size_t lastIdx_ = 0;
 
     Counter accesses_;
     Counter misses_;

@@ -45,6 +45,19 @@ class BankPredictor
     /** Record a lookup outcome (caller decides modulo-active-banks). */
     void recordOutcome(bool was_correct);
 
+    /**
+     * Zero the lookup/correct counters, keeping the learned history and
+     * bank tables. Called at the warmup/measure boundary so accuracy
+     * reflects only the measurement window (the tables themselves are
+     * warm state and must survive, like the branch predictor's).
+     */
+    void
+    resetStats()
+    {
+        lookups_.reset();
+        correct_.reset();
+    }
+
     int maxBanks() const { return maxBanks_; }
 
   private:

@@ -12,6 +12,7 @@
 #ifndef CLUSTERSIM_RECONFIG_CONTROLLER_HH
 #define CLUSTERSIM_RECONFIG_CONTROLLER_HH
 
+#include <memory>
 #include <string>
 
 #include "common/types.hh"
@@ -49,6 +50,19 @@ class ReconfigController
     /** Controller name for reports. */
     virtual std::string name() const = 0;
 
+    /**
+     * Deep-copy this controller, *including* its accumulated runtime
+     * state (interval counters, exploration phase, history tables).
+     * Used by Processor snapshots: a restore re-instates the cloned
+     * post-warmup controller state rather than re-attaching a fresh
+     * one. Returns nullptr when the controller is not clonable, which
+     * makes the owning processor non-snapshotable.
+     */
+    virtual std::unique_ptr<ReconfigController> clone() const
+    {
+        return nullptr;
+    }
+
   protected:
     int hwClusters_ = 16;
 };
@@ -65,6 +79,12 @@ class StaticController : public ReconfigController
     name() const override
     {
         return "static-" + std::to_string(clusters_);
+    }
+
+    std::unique_ptr<ReconfigController>
+    clone() const override
+    {
+        return std::make_unique<StaticController>(*this);
     }
 
   private:

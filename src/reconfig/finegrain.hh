@@ -61,6 +61,12 @@ class FinegrainController : public ReconfigController
                                       : "finegrain-branch";
     }
 
+    std::unique_ptr<ReconfigController>
+    clone() const override
+    {
+        return std::make_unique<FinegrainController>(*this);
+    }
+
     std::uint64_t reconfigPoints() const { return reconfigPoints_; }
     std::uint64_t tableFlushes() const { return tableFlushes_; }
     /** Learning samples dropped because a different branch owned the

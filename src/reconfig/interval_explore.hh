@@ -50,6 +50,12 @@ class IntervalExploreController : public ReconfigController
     int targetClusters() const override { return target_; }
     std::string name() const override { return "interval-explore"; }
 
+    std::unique_ptr<ReconfigController>
+    clone() const override
+    {
+        return std::make_unique<IntervalExploreController>(*this);
+    }
+
     // --- observability for tests and reports -------------------------------
     std::uint64_t intervalLength() const { return intervalLength_; }
     bool discontinued() const { return discontinued_; }

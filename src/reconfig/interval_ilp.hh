@@ -52,6 +52,12 @@ class IntervalIlpController : public ReconfigController
         return "interval-ilp-" + std::to_string(params_.intervalLength);
     }
 
+    std::unique_ptr<ReconfigController>
+    clone() const override
+    {
+        return std::make_unique<IntervalIlpController>(*this);
+    }
+
     bool measuring() const { return measuring_; }
     std::uint64_t phaseChanges() const { return phaseChanges_; }
 

@@ -30,6 +30,15 @@ runSimulation(const ProcessorConfig &cfg, const WorkloadSpec &workload,
         proc.resetStats();
     }
 
+    SimResult res = measureWindow(proc, measure);
+    res.benchmark = workload.name;
+    res.config = cfg.name;
+    return res;
+}
+
+SimResult
+measureWindow(Processor &proc, std::uint64_t measure)
+{
     // Observation only: the sink calls below never feed back into the
     // simulation, so results are bit-identical with or without a sink
     // in scope. This is cold, always-compiled code (runtime-gated on
@@ -42,8 +51,6 @@ runSimulation(const ProcessorConfig &cfg, const WorkloadSpec &workload,
     }
 
     SimResult res;
-    res.benchmark = workload.name;
-    res.config = cfg.name;
 
     // An empty measurement window yields all-zero metrics; without this
     // early return, rate stats whose zero-denominator guards return 1.0

@@ -66,6 +66,17 @@ SimResult runSimulation(const ProcessorConfig &cfg,
                         std::uint64_t warmup = defaultWarmup,
                         std::uint64_t measure = defaultMeasure);
 
+/**
+ * Run the measurement window on an already-prepared processor and
+ * extract metrics. The caller must have completed warmup and called
+ * proc.resetStats() (or restored a post-warmup, post-reset snapshot).
+ * Fills every SimResult field except benchmark/config, which describe
+ * the run point and are set by the caller. runSimulation() and the
+ * batched sweep driver both delegate here, so a restored run is
+ * metric-extracted identically to a straight-line one.
+ */
+SimResult measureWindow(Processor &proc, std::uint64_t measure);
+
 } // namespace clustersim
 
 #endif // CLUSTERSIM_SIM_SIMULATION_HH

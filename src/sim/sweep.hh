@@ -40,6 +40,15 @@ struct RunPoint {
     std::function<std::unique_ptr<ReconfigController>()> makeController;
     std::uint64_t warmup = defaultWarmup;
     std::uint64_t measure = defaultMeasure;
+    /**
+     * Identity key of makeController's output, used by the batched
+     * driver to decide warmup sharing: two points may share one warmup
+     * (and its snapshot) only when their controller keys are equal and
+     * non-empty, or when neither has a controller. std::function is
+     * opaque, so points with a controller but an empty key are never
+     * grouped (always correct, just slower). Ignored by runSweep().
+     */
+    std::string controllerKey;
 };
 
 /** Sweep execution options. */
@@ -91,6 +100,29 @@ std::uint64_t sweepSeed(std::uint64_t base, const std::string &benchmark,
  */
 SweepResult runSweep(const std::vector<RunPoint> &points,
                      const SweepOptions &opts = {});
+
+/**
+ * Batched sweep: same contract and bit-identical results as
+ * runSweep(), but amortizes shared work across points instead of
+ * running each in isolation.
+ *
+ *  - Points whose (workload spec, derived seed) match replay one
+ *    pre-generated instruction stream (a ReplayBuffer) instead of
+ *    re-generating it per point.
+ *  - Points that additionally match in (config, warmup, controller
+ *    key) run warmup once: the post-warmup processor state is
+ *    snapshotted and restored per point, so only the measurement
+ *    windows are simulated separately. Instances of a batch are
+ *    stepped round-robin in instruction slices for cache locality.
+ *
+ * Grouping is purely an execution strategy: per-point seeding, result
+ * order, and the JSON report are byte-for-byte those of runSweep().
+ * Sweeps whose points share nothing (e.g. derived seeds make every
+ * stream unique) degrade gracefully to near-runSweep behaviour.
+ * Batches run on the same worker pool, one batch per task.
+ */
+SweepResult runSweepBatched(const std::vector<RunPoint> &points,
+                            const SweepOptions &opts = {});
 
 /** Serialize one SimResult as a JSON object. */
 void toJson(JsonWriter &w, const SimResult &r);

@@ -1,0 +1,47 @@
+#include "workload/replay.hh"
+
+#include "common/logging.hh"
+#include "core/params.hh"
+
+namespace clustersim {
+
+ReplayBuffer::ReplayBuffer(const WorkloadSpec &spec, std::uint64_t count)
+    : spec_(spec)
+{
+    SyntheticWorkload gen(spec_);
+    ops_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        ops_.push_back(gen.next());
+}
+
+ReplaySource::ReplaySource(std::shared_ptr<const ReplayBuffer> buffer)
+    : buffer_(std::move(buffer))
+{
+    CSIM_ASSERT(buffer_ != nullptr);
+}
+
+MicroOp
+ReplaySource::next()
+{
+    if (pos_ >= buffer_->size())
+        CSIM_PANIC("ReplayBuffer exhausted: ", buffer_->spec().name,
+                   " sized for ", buffer_->size(), " instructions");
+    return buffer_->at(pos_++);
+}
+
+void
+ReplaySource::seek(std::uint64_t pos)
+{
+    CSIM_ASSERT(pos <= buffer_->size(), "seek past end of ReplayBuffer");
+    pos_ = pos;
+}
+
+std::uint64_t
+replayMargin(const ProcessorConfig &cfg)
+{
+    return static_cast<std::uint64_t>(cfg.robSize) +
+           static_cast<std::uint64_t>(cfg.fetchQueueSize) +
+           static_cast<std::uint64_t>(cfg.fetchWidth) + 64;
+}
+
+} // namespace clustersim

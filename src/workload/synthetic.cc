@@ -298,6 +298,15 @@ SyntheticWorkload::reset()
 }
 
 void
+SyntheticWorkload::seek(std::uint64_t pos)
+{
+    if (pos < generated_)
+        reset();
+    while (generated_ < pos)
+        (void)next();
+}
+
+void
 SyntheticWorkload::startNextSegment()
 {
     curSegment_ = (curSegment_ + 1) %

@@ -66,6 +66,14 @@ class SyntheticWorkload : public TraceSource
     MicroOp next() override;
     void reset() override;
 
+    // Checkpoint support: generation is deterministic, so any position
+    // can be reproduced by resetting and regenerating. Seeking backward
+    // therefore costs a full regeneration up to pos; ReplaySource is
+    // the O(1) alternative when many seeks are expected.
+    bool seekable() const override { return true; }
+    std::uint64_t position() const override { return generated_; }
+    void seek(std::uint64_t pos) override;
+
     const WorkloadSpec &spec() const { return spec_; }
 
     /** Index of the phase currently generating instructions. */

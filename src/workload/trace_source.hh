@@ -26,6 +26,27 @@ class TraceSource
 
     /** Reset the stream to its initial state (deterministic replay). */
     virtual void reset() = 0;
+
+    // --- checkpoint support -------------------------------------------------
+    // A source is *seekable* when it can report how many instructions
+    // it has produced and later rewind/fast-forward to that exact
+    // point, so a Processor::Snapshot can be restored against it. Both
+    // SyntheticWorkload (reset + regenerate) and ReplaySource (cursor
+    // move) are seekable; a source that is not must keep the defaults,
+    // and snapshotting a processor fed by it is rejected.
+
+    /** Can position()/seek() restore this stream exactly? */
+    virtual bool seekable() const { return false; }
+
+    /** Instructions produced since construction/reset. */
+    virtual std::uint64_t position() const { return 0; }
+
+    /**
+     * Move the stream so the next() call returns the (pos+1)-th
+     * instruction of the stream, exactly as if pos calls to next() had
+     * been made after a reset(). Only valid on seekable sources.
+     */
+    virtual void seek(std::uint64_t pos) { (void)pos; }
 };
 
 } // namespace clustersim

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/resource.hh"
@@ -247,6 +249,20 @@ TEST(Stats, GeomeanAndAmean)
     EXPECT_DOUBLE_EQ(geomean({}), 0.0);
     EXPECT_DOUBLE_EQ(amean({}), 0.0);
     EXPECT_DOUBLE_EQ(geomean({1.0, 0.0}), 0.0); // non-positive guard
+}
+
+TEST(Stats, SafeRateClampsVanishingDenominator)
+{
+    // Ordinary denominators divide normally.
+    EXPECT_DOUBLE_EQ(safeRate(100.0, 2.0), 50.0);
+    EXPECT_DOUBLE_EQ(safeRate(5.0, 1e-6), 5.0e6);
+    // A ~0 wall time must give a huge-but-finite rate, never inf: the
+    // JSON writer spells inf as null, which poisons any later read of
+    // the value (the perfbench --quick baseline regression).
+    EXPECT_TRUE(std::isfinite(safeRate(1e6, 0.0)));
+    EXPECT_DOUBLE_EQ(safeRate(1e6, 0.0), 1e6 / 1e-9);
+    EXPECT_DOUBLE_EQ(safeRate(1e6, -1.0), 1e6 / 1e-9);
+    EXPECT_DOUBLE_EQ(safeRate(0.0, 0.0), 0.0);
 }
 
 // ---------------------------------------------------------------------------

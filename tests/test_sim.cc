@@ -14,6 +14,7 @@
 #include "sim/phase_stats.hh"
 #include "sim/presets.hh"
 #include "sim/simulation.hh"
+#include "sim/sweep.hh"
 
 using namespace clustersim;
 
@@ -99,6 +100,20 @@ TEST(Simulation, ZeroMeasureWindowReturnsZeroedStats)
     EXPECT_DOUBLE_EQ(r.avgRegCommLatency, 0.0);
     EXPECT_DOUBLE_EQ(r.distantFraction, 0.0);
     EXPECT_DOUBLE_EQ(r.bankPredAccuracy, 0.0);
+}
+
+TEST(Simulation, WarmupThenZeroMeasureBitEqualsNoWarmup)
+{
+    // Directed regression for the warmup > 0 && measure == 0 path:
+    // warmup must leave no residue in the (empty) measured result, so
+    // the full serialized SimResult is bit-identical whether or not a
+    // warmup ran first.
+    WorkloadSpec w = makeBenchmark("gzip");
+    SimResult warmed = runSimulation(staticSubsetConfig(4), w, nullptr,
+                                     /*warmup=*/5000, /*measure=*/0);
+    SimResult cold = runSimulation(staticSubsetConfig(4), w, nullptr,
+                                   /*warmup=*/0, /*measure=*/0);
+    EXPECT_EQ(toJson(warmed), toJson(cold));
 }
 
 TEST(Simulation, DeterministicResults)

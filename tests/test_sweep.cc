@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
+#include <string>
 
 #include "common/json.hh"
 #include "reconfig/interval_explore.hh"
@@ -82,6 +84,33 @@ TEST(SweepSeed, DeterministicAndDecorrelated)
     // Concatenation ambiguity must not collide.
     EXPECT_NE(sweepSeed(1, "ab", "c"), sweepSeed(1, "a", "bc"));
     EXPECT_NE(sweepSeed(0, "", ""), 0u);
+}
+
+TEST(SweepSeed, PresetGridSeedsUniqueNonzeroAndStable)
+{
+    // Across every run point of every named preset, distinct
+    // (base seed, benchmark, label) identities must map to distinct
+    // seeds, the same identity (benchmarks recur across presets) must
+    // map to the same seed, and no derived seed may be zero — a zero
+    // would collapse to the workload RNG's degenerate stream (the
+    // `h ? h : 1` fixup in sweepSeed exists for exactly this).
+    std::map<std::uint64_t, std::string> seen;
+    for (const std::string &name : sweepPresetNames()) {
+        for (const RunPoint &p : makeSweepPreset(name)) {
+            std::string label = !p.label.empty() ? p.label : p.cfg.name;
+            std::uint64_t s =
+                sweepSeed(p.workload.seed, p.workload.name, label);
+            EXPECT_NE(s, 0u) << name << "/" << label;
+            std::string id = std::to_string(p.workload.seed) + "|" +
+                             p.workload.name + "|" + label;
+            auto [it, inserted] = seen.emplace(s, id);
+            EXPECT_TRUE(inserted || it->second == id)
+                << "seed collision between " << id << " and "
+                << it->second;
+        }
+    }
+    // Sanity: the grid really is large enough to make this meaningful.
+    EXPECT_GT(seen.size(), 100u);
 }
 
 // ---------------------------------------------------------------------------

@@ -9,14 +9,24 @@
  * (BENCH_kernel.json) is the artifact CI uploads; docs/PERF.md
  * documents the schema.
  *
- *   perfbench [--quick] [--out FILE] [--repeat N]
+ *   perfbench [--quick] [--batched] [--out FILE] [--repeat N]
  *             [--baseline FILE] [--max-regress FRAC]
  *
  * --quick runs one benchmark (gzip) across all variants: the CI smoke
  * configuration. --baseline reads a previously written report (or the
  * checked-in bench/perf_baseline.json) and exits non-zero when the
  * aggregate MIPS regresses by more than --max-regress (default 0.25)
- * against it.
+ * against it. In --batched mode the baseline's "aggregate_batched"
+ * object is compared instead of "aggregate" (the two modes have very
+ * different throughput and must not gate each other).
+ *
+ * --batched times each point with the checkpoint/restore machinery:
+ * the instruction stream is pre-generated into a ReplayBuffer, the
+ * first repeat runs warmup and snapshots the post-warmup state, and
+ * every later repeat restores the snapshot and re-runs only the
+ * measurement window. Since the reported wall time is the best of
+ * --repeat runs, the steady-state (restore + measure) cost is what is
+ * measured; use --repeat >= 2 or the warmup repeat is all there is.
  */
 
 #include <chrono>
@@ -29,12 +39,18 @@
 #include <thread>
 #include <vector>
 
+#include <cmath>
+#include <memory>
+#include <optional>
+
 #include "check/golden.hh"
 #include "common/json.hh"
 #include "common/json_reader.hh"
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "core/processor.hh"
 #include "sim/sweep.hh"
+#include "workload/replay.hh"
 #include "workload/synthetic.hh"
 
 using namespace clustersim;
@@ -97,6 +113,55 @@ runPoint(const RunPoint &p, int repeat)
     return out;
 }
 
+/**
+ * Execute one grid point in batched mode: pre-generate the stream,
+ * warm up once, snapshot, and time (restore + measure) on the later
+ * repeats. The simulated outcome is bit-identical to runPoint()'s;
+ * only where the time goes differs.
+ */
+PointResult
+runPointBatched(const RunPoint &p, int repeat)
+{
+    PointResult out;
+    std::string label = !p.label.empty() ? p.label : p.cfg.name;
+    out.benchmark = p.workload.name;
+    out.config = label;
+
+    WorkloadSpec w = p.workload;
+    w.seed = sweepSeed(w.seed, w.name, label);
+
+    auto buffer = std::make_shared<const ReplayBuffer>(
+        w, p.warmup + p.measure + replayMargin(p.cfg));
+    ReplaySource trace(buffer);
+    std::unique_ptr<ReconfigController> ctrl;
+    if (p.makeController)
+        ctrl = p.makeController();
+    Processor proc(p.cfg, &trace, ctrl.get());
+    std::optional<Processor::Snapshot> snap;
+
+    for (int r = 0; r < repeat; r++) {
+        // simlint-ignore(D002): wall-clock start stamp for the MIPS
+        // measurement; does not influence the simulation.
+        Clock::time_point start = Clock::now();
+        if (r == 0) {
+            proc.run(p.warmup);
+            proc.resetStats();
+            snap.emplace(proc.snapshot());
+            proc.run(p.measure);
+        } else {
+            proc.restore(*snap);
+            proc.run(p.measure);
+        }
+        double wall = secondsSince(start);
+
+        out.instructions = proc.committed() + p.warmup;
+        out.simCycles = proc.cycle();
+        if (r == 0 || wall < out.wallSeconds)
+            out.wallSeconds = wall;
+    }
+    return out;
+}
+
 int
 usage(const char *prog, int code)
 {
@@ -106,6 +171,8 @@ usage(const char *prog, int code)
                  "options:\n"
                  "  --quick            run the gzip slice of the grid "
                  "only (CI smoke)\n"
+                 "  --batched          time restore+measure repeats "
+                 "against a warmup snapshot (see docs/PERF.md)\n"
                  "  --out FILE         output JSON path (default: "
                  "BENCH_kernel.json)\n"
                  "  --repeat N         timed runs per point, best "
@@ -120,17 +187,33 @@ usage(const char *prog, int code)
     return code;
 }
 
-/** Aggregate MIPS from a perfbench or baseline JSON document. */
+/**
+ * Aggregate MIPS from a perfbench or baseline JSON document. In
+ * batched mode the dedicated "aggregate_batched" object is required:
+ * batched and unbatched throughput differ by design, so comparing a
+ * batched run against an unbatched baseline (or vice versa) would
+ * always pass or always fail.
+ */
 double
-baselineMips(const std::string &text)
+baselineMips(const std::string &text, bool batched)
 {
+    const char *key = batched ? "aggregate_batched" : "aggregate";
     JsonValue doc = parseJson(text);
-    if (!doc.has("aggregate"))
-        fatal("baseline JSON has no \"aggregate\" object");
-    const JsonValue &agg = doc.at("aggregate");
+    if (!doc.has(key))
+        fatal("baseline JSON has no \"", key, "\" object",
+              batched ? " (regenerate it with perfbench --batched)" : "");
+    const JsonValue &agg = doc.at(key);
     if (!agg.has("mips"))
-        fatal("baseline JSON has no aggregate.mips");
-    return agg.at("mips").asDouble();
+        fatal("baseline JSON has no ", key, ".mips");
+    const JsonValue &mips = agg.at("mips");
+    // JSON spells inf/NaN as null (asDouble then reads back NaN, and a
+    // NaN baseline silently disables the regression gate), so insist
+    // on a real, positive number.
+    if (!mips.isNumber() || !std::isfinite(mips.asDouble()) ||
+        mips.asDouble() <= 0.0)
+        fatal("baseline ", key, ".mips is not a positive number "
+              "(was the baseline written by a run with ~0 wall time?)");
+    return mips.asDouble();
 }
 
 } // namespace
@@ -140,6 +223,7 @@ main(int argc, char **argv)
 {
     bool quick = false;
     bool quiet = false;
+    bool batched = false;
     int repeat = 3;
     std::string out_path = "BENCH_kernel.json";
     std::string baseline_path;
@@ -156,6 +240,8 @@ main(int argc, char **argv)
         };
         if (arg == "--quick") {
             quick = true;
+        } else if (arg == "--batched") {
+            batched = true;
         } else if (arg == "--out") {
             out_path = need("--out");
         } else if (arg == "--repeat") {
@@ -191,14 +277,16 @@ main(int argc, char **argv)
     std::uint64_t total_cycles = 0;
     double total_wall = 0.0;
     for (std::size_t i = 0; i < points.size(); i++) {
-        PointResult r = runPoint(points[i], repeat);
+        PointResult r = batched ? runPointBatched(points[i], repeat)
+                                : runPoint(points[i], repeat);
         if (!quiet) {
             std::fprintf(stderr,
                          "[%zu/%zu] %s/%s: %.3fs (%.2f MIPS)\n", i + 1,
                          points.size(), r.benchmark.c_str(),
                          r.config.c_str(), r.wallSeconds,
-                         static_cast<double>(r.instructions) / 1e6 /
-                             r.wallSeconds);
+                         safeRate(static_cast<double>(r.instructions),
+                                  r.wallSeconds) /
+                             1e6);
         }
         total_insts += r.instructions;
         total_cycles += r.simCycles;
@@ -206,15 +294,19 @@ main(int argc, char **argv)
         results.push_back(std::move(r));
     }
 
+    // safeRate: a fast --quick run can complete in ~0 wall seconds; a
+    // raw division would emit inf, which JSON spells as null and which
+    // a later --baseline read would then misparse.
     double agg_mips =
-        static_cast<double>(total_insts) / 1e6 / total_wall;
+        safeRate(static_cast<double>(total_insts), total_wall) / 1e6;
     double agg_cps =
-        static_cast<double>(total_cycles) / total_wall;
+        safeRate(static_cast<double>(total_cycles), total_wall);
 
     JsonWriter wr;
     wr.beginObject();
     wr.field("schema", "clustersim-perfbench-v1");
     wr.field("quick", quick);
+    wr.field("batched", batched);
     wr.field("repeat", repeat);
 
     wr.key("host").beginObject();
@@ -243,10 +335,12 @@ main(int argc, char **argv)
         wr.field("instructions", r.instructions);
         wr.field("sim_cycles", r.simCycles);
         wr.field("wall_seconds", r.wallSeconds);
-        wr.field("mips", static_cast<double>(r.instructions) / 1e6 /
-                             r.wallSeconds);
+        wr.field("mips", safeRate(static_cast<double>(r.instructions),
+                                  r.wallSeconds) /
+                             1e6);
         wr.field("sim_cycles_per_sec",
-                 static_cast<double>(r.simCycles) / r.wallSeconds);
+                 safeRate(static_cast<double>(r.simCycles),
+                          r.wallSeconds));
         wr.endObject();
     }
     wr.endArray();
@@ -271,7 +365,7 @@ main(int argc, char **argv)
         }
         std::ostringstream ss;
         ss << f.rdbuf();
-        base_mips = baselineMips(ss.str());
+        base_mips = baselineMips(ss.str(), batched);
         regressed = agg_mips < base_mips * (1.0 - max_regress);
         wr.key("baseline").beginObject();
         wr.field("path", baseline_path);

@@ -4,7 +4,8 @@
  * the worker-pool sweep engine and emit a structured JSON report.
  *
  *   sweep --preset table3 [--threads N] [--out report.json]
- *         [--warmup N] [--measure N] [--no-timing] [--quiet]
+ *         [--warmup N] [--measure N] [--batched] [--no-timing]
+ *         [--quiet]
  *   sweep --list
  *
  * Per-run metrics are bit-identical for every --threads value: each
@@ -12,7 +13,8 @@
  * pair, independent of scheduling order. The report logs total wall
  * clock, the serial-equivalent cpu time, and the observed speedup;
  * --no-timing drops those fields so the whole report file is
- * byte-identical across thread counts.
+ * byte-identical across thread counts — and, with --batched, across
+ * the batched and unbatched execution strategies (CI diffs the two).
  */
 
 #include <cstdio>
@@ -46,6 +48,9 @@ usage(const char *prog, int code)
                  "(default: preset)\n"
                  "  --measure N     measured instructions per run "
                  "(default: preset)\n"
+                 "  --batched       run via the batched driver "
+                 "(shared streams + warmup snapshots; identical "
+                 "results)\n"
                  "  --no-timing     omit wall-clock fields from the "
                  "report (byte-identical across thread counts)\n"
                  "  --quiet         no per-run progress on stderr\n",
@@ -65,6 +70,7 @@ main(int argc, char **argv)
     std::uint64_t measure = 0;
     bool include_timing = true;
     bool quiet = false;
+    bool batched = false;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -92,6 +98,8 @@ main(int argc, char **argv)
             warmup = std::strtoull(need("--warmup"), nullptr, 10);
         } else if (arg == "--measure") {
             measure = std::strtoull(need("--measure"), nullptr, 10);
+        } else if (arg == "--batched") {
+            batched = true;
         } else if (arg == "--no-timing") {
             include_timing = false;
         } else if (arg == "--quiet") {
@@ -133,7 +141,8 @@ main(int argc, char **argv)
         };
     }
 
-    SweepResult res = runSweep(points, opts);
+    SweepResult res =
+        batched ? runSweepBatched(points, opts) : runSweep(points, opts);
     std::string report = sweepReportJson(preset, points, res,
                                          include_timing);
 
