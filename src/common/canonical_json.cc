@@ -1,0 +1,66 @@
+#include "common/canonical_json.hh"
+
+#include <limits>
+
+#include "common/json.hh"
+#include "common/json_reader.hh"
+
+namespace clustersim {
+
+void
+canonicalJson(JsonWriter &w, const JsonValue &v)
+{
+    switch (v.kind()) {
+    case JsonValue::Kind::Null:
+        // JsonWriter has no explicit null; reuse its non-finite-double
+        // spelling so null round-trips through numberOrNaN() either way.
+        w.value(std::numeric_limits<double>::quiet_NaN());
+        break;
+    case JsonValue::Kind::Bool:
+        w.value(v.asBool());
+        break;
+    case JsonValue::Kind::Number:
+        // Preserve the integer/double distinction the reader lexed:
+        // 3 and 3.5 keep their natural forms, and every finite double
+        // re-emits through the %.17g round-trip format.
+        if (v.isIntegral())
+            w.value(v.asInt());
+        else
+            w.value(v.asDouble());
+        break;
+    case JsonValue::Kind::String:
+        w.value(v.asString());
+        break;
+    case JsonValue::Kind::Array:
+        w.beginArray();
+        for (const JsonValue &e : v.asArray())
+            canonicalJson(w, e);
+        w.endArray();
+        break;
+    case JsonValue::Kind::Object:
+        // std::map iterates in key order: member sorting is free.
+        w.beginObject();
+        for (const auto &[key, member] : v.asObject()) {
+            w.key(key);
+            canonicalJson(w, member);
+        }
+        w.endObject();
+        break;
+    }
+}
+
+std::string
+canonicalJson(const JsonValue &v)
+{
+    JsonWriter w;
+    canonicalJson(w, v);
+    return w.str();
+}
+
+std::string
+canonicalJson(const std::string &text)
+{
+    return canonicalJson(parseJson(text));
+}
+
+} // namespace clustersim

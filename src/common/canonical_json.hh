@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Canonical JSON re-serialization.
+ *
+ * Two JSON documents that differ only cosmetically -- member order,
+ * whitespace, escape spelling -- canonicalize to the same byte string:
+ * object members sorted by key, no insignificant whitespace, strings
+ * escaped exactly as JsonWriter escapes them, numbers re-emitted
+ * through the writer's round-trip formats. Content-addressed hashing
+ * (cache keys, request fingerprints) goes through here so cosmetic
+ * request differences can never cause a cache miss.
+ */
+
+#ifndef CLUSTERSIM_COMMON_CANONICAL_JSON_HH
+#define CLUSTERSIM_COMMON_CANONICAL_JSON_HH
+
+#include <string>
+
+namespace clustersim {
+
+class JsonValue;
+class JsonWriter;
+
+/** Append the canonical serialization of `v` to an open writer. */
+void canonicalJson(JsonWriter &w, const JsonValue &v);
+
+/** Canonical serialization of a parsed document. */
+std::string canonicalJson(const JsonValue &v);
+
+/** Parse + canonicalize; fatal() (SimError) on malformed input. */
+std::string canonicalJson(const std::string &text);
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_COMMON_CANONICAL_JSON_HH

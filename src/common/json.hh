@@ -145,6 +145,29 @@ class JsonWriter
         return *this;
     }
 
+    /**
+     * Splice the members of a pre-serialized JSON *object* into the
+     * currently open object. Appends the bytes between the braces of
+     * `obj` verbatim (with a separator when needed), so a cached
+     * fragment produced by this writer re-emits byte-identically. The
+     * caller guarantees `obj` is a complete, well-formed object
+     * document; only the outer braces are checked here.
+     */
+    JsonWriter &
+    spliceFields(const std::string &obj)
+    {
+        CSIM_ASSERT(frames_.back().kind == Frame::Object,
+                    "spliceFields() needs an open object");
+        CSIM_ASSERT(obj.size() >= 2 && obj.front() == '{' &&
+                        obj.back() == '}',
+                    "spliceFields() takes an object document");
+        if (obj.size() > 2) {
+            separator();
+            out_.append(obj, 1, obj.size() - 2);
+        }
+        return *this;
+    }
+
     /** key + value in one call. */
     template <typename T>
     JsonWriter &

@@ -4,12 +4,34 @@
 #include <cstdlib>
 
 namespace clustersim {
+
+namespace {
+
+/** Depth of live ScopedPanicRethrow scopes on this thread. */
+thread_local int panicRethrowDepth = 0;
+
+} // namespace
+
+ScopedPanicRethrow::ScopedPanicRethrow()
+{
+    panicRethrowDepth++;
+}
+
+ScopedPanicRethrow::~ScopedPanicRethrow()
+{
+    panicRethrowDepth--;
+}
+
 namespace detail {
 
 [[noreturn]] void
 panicImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+#if defined(__cpp_exceptions) || defined(__EXCEPTIONS)
+    if (panicRethrowDepth > 0)
+        throw SimError(msg);
+#endif
     std::abort();
 }
 

@@ -62,6 +62,26 @@ fatal(Args &&...args)
 #endif
 }
 
+/**
+ * While alive, CSIM_PANIC / panicImpl on *this thread* throws SimError
+ * instead of aborting the process.
+ *
+ * A panic is still a bug, but a resident server must not let one wedged
+ * simulation point take down every other client's jobs: the sweep
+ * scheduler wraps each point in this scope, catches the SimError, and
+ * reports the point as failed in-stream. Scopes nest; the default
+ * (abort) behaviour is restored when the outermost scope dies. In
+ * -fno-exceptions builds the scope is inert and panics abort as always.
+ */
+class ScopedPanicRethrow
+{
+  public:
+    ScopedPanicRethrow();
+    ~ScopedPanicRethrow();
+    ScopedPanicRethrow(const ScopedPanicRethrow &) = delete;
+    ScopedPanicRethrow &operator=(const ScopedPanicRethrow &) = delete;
+};
+
 /** Print a warning to stderr; simulation continues. */
 template <typename... Args>
 void

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Dependency-free SHA-256.
+ *
+ * Used for content-addressing: cache keys of finished sweep points and
+ * fingerprints of canonicalized job requests. A cryptographic digest is
+ * deliberate overkill for a local result cache -- what matters is that
+ * two distinct (config, workload, seed) identities can never collide in
+ * practice, so a cache hit is always byte-correct.
+ */
+
+#ifndef CLUSTERSIM_COMMON_SHA256_HH
+#define CLUSTERSIM_COMMON_SHA256_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace clustersim {
+
+/** Incremental SHA-256 (FIPS 180-4). */
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    void reset();
+    void update(const void *data, std::size_t len);
+    void update(const std::string &s) { update(s.data(), s.size()); }
+
+    /** Finalize and return the 32-byte digest; the object is spent. */
+    std::array<std::uint8_t, 32> digest();
+
+  private:
+    void compress(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> state_;
+    std::array<std::uint8_t, 64> buf_;
+    std::size_t bufLen_ = 0;
+    std::uint64_t totalBytes_ = 0;
+};
+
+/** One-shot digest, lowercase hex (64 characters). */
+std::string sha256Hex(const std::string &data);
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_COMMON_SHA256_HH

@@ -1,0 +1,517 @@
+#include "serve/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/json_reader.hh"
+#include "common/logging.hh"
+#include "sim/presets.hh"
+
+namespace clustersim {
+namespace serve {
+
+/** One registered job; lives in jobs_ until its terminal callback. */
+struct PointScheduler::Job {
+    enum State : std::uint8_t { Pending, Done, Failed, Cancelled };
+
+    std::uint64_t id = 0;
+    std::string name;                 ///< preset (names the report)
+    JobEvents events;
+    std::vector<RunPoint> points;
+    SweepPlan plan;
+    std::vector<std::string> cacheKeys; ///< "" = not cacheable
+    std::vector<std::string> ikeys;     ///< in-flight dedup key
+    std::vector<ReportEntry> entries;
+    std::vector<std::uint8_t> state;
+    std::size_t done = 0;
+    std::size_t failed = 0;
+    std::size_t cancelled = 0;
+    std::size_t cacheHits = 0;
+    std::size_t computed = 0;
+    std::size_t merged = 0;
+    bool cancelRequested = false;
+
+    std::size_t resolved() const { return done + failed + cancelled; }
+    std::size_t total() const { return points.size(); }
+};
+
+/** One cold point inside a task: where to compute and how to file it. */
+struct TaskMember {
+    std::string ikey;
+    bool persist = false;             ///< store into the cache
+    RunPoint point;
+};
+
+/** One unit of worker work: the cold members of one plan group, so
+ *  points that could share a warmup still do (runSweepBatched). */
+struct PointScheduler::Task {
+    std::vector<TaskMember> members;
+};
+
+/** Shared state of one cold point being computed (or queued). */
+struct PointScheduler::Inflight {
+    std::uint64_t origin = 0;         ///< job that triggered compute
+    bool running = false;             ///< a worker claimed it
+    /** (job, point index) pairs to deliver to; the origin job's pair
+     *  is first until cancelled. */
+    std::vector<std::pair<std::uint64_t, std::size_t>> waiters;
+};
+
+namespace {
+
+/** Dedup key of a point that cannot be content-addressed: unique per
+ *  (job, index), so the in-flight machinery applies uniformly but such
+ *  points never alias anything. The '!' prefix cannot collide with a
+ *  64-hex cache key. */
+std::string
+pseudoKey(std::uint64_t job, std::size_t index)
+{
+    return "!" + std::to_string(job) + ":" + std::to_string(index);
+}
+
+/** Pull the point-frame fields back out of a stored payload. */
+void
+payloadMetrics(const std::string &payload, std::string &benchmark,
+               std::string &config, double &ipc, double &avg_active)
+{
+    JsonValue doc = parseJson(payload);
+    benchmark = doc.at("benchmark").asString();
+    config = doc.at("config").asString();
+    const JsonValue &m = doc.at("metrics");
+    ipc = m.at("ipc").numberOrNaN();
+    avg_active = m.at("avg_active_clusters").numberOrNaN();
+}
+
+} // namespace
+
+PointScheduler::PointScheduler(CacheStore &cache, Config cfg)
+    : cache_(cache), cfg_(cfg)
+{
+    int workers = std::max(cfg_.workers, 1);
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; i++)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+PointScheduler::~PointScheduler()
+{
+    drain();
+}
+
+SubmitResult
+PointScheduler::submit(const SubmitRequest &req, JobEvents events)
+{
+    SubmitResult out;
+
+    bool known = false;
+    for (const std::string &n : sweepPresetNames())
+        known = known || n == req.preset;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!known) {
+        stats_.jobsRejected++;
+        out.errorCode = "unknown_preset";
+        out.errorMessage = "unknown preset '" + req.preset + "'";
+        return out;
+    }
+    if (draining_ || stop_) {
+        stats_.jobsRejected++;
+        out.errorCode = "shutting_down";
+        out.errorMessage = "server is draining";
+        return out;
+    }
+    if (jobs_.size() >= cfg_.maxActiveJobs) {
+        stats_.jobsRejected++;
+        out.errorCode = "busy";
+        out.errorMessage =
+            "job queue full (" + std::to_string(jobs_.size()) + " of " +
+            std::to_string(cfg_.maxActiveJobs) + " active jobs)";
+        return out;
+    }
+
+    auto job = std::make_unique<Job>();
+    job->id = nextJob_++;
+    job->name = req.preset;
+    job->events = std::move(events);
+    job->points = makeSweepPreset(req.preset, req.warmup, req.measure);
+    if (req.activeClusters != 0)
+        for (RunPoint &p : job->points)
+            p.cfg.activeClustersAtReset = req.activeClusters;
+    job->plan = planSweep(job->points, /*derive_seeds=*/true);
+
+    std::size_t n = job->points.size();
+    job->entries.resize(n);
+    job->state.assign(n, Job::Pending);
+    job->cacheKeys.reserve(n);
+    job->ikeys.reserve(n);
+    std::size_t cached = 0;
+    for (std::size_t i = 0; i < n; i++) {
+        std::string key = cache_.keyFor(job->points[i],
+                                        job->plan.points[i].label,
+                                        job->plan.points[i].seed);
+        if (cache_.contains(key))
+            cached++;
+        job->ikeys.push_back(key.empty() ? pseudoKey(job->id, i) : key);
+        job->cacheKeys.push_back(std::move(key));
+    }
+
+    out.ok = true;
+    out.job = job->id;
+    out.points = n;
+    out.cached = cached;
+    stats_.jobsAccepted++;
+    jobs_[job->id] = std::move(job);
+    return out;
+}
+
+void
+PointScheduler::start(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto jit = jobs_.find(id);
+    if (jit == jobs_.end())
+        return;
+    Job &job = *jit->second;
+
+    // Replay every cached point first, in submission order: warm
+    // resubmissions stream their whole result from here without
+    // touching the worker pool.
+    for (std::size_t i = 0; i < job.total(); i++) {
+        if (job.cacheKeys[i].empty())
+            continue;
+        std::optional<std::string> payload =
+            cache_.load(job.cacheKeys[i]);
+        if (payload)
+            deliverPayload(job, i, *payload, PointSource::Cache);
+    }
+    maybeFinishLocked(id);
+    if (jobs_.find(id) == jobs_.end())
+        return; // everything was cached; the job is already done
+
+    // Shard the cold points along plan groups. A key another job is
+    // already computing (or queueing) is joined as a waiter instead of
+    // recomputed -- concurrent submissions compute each point once.
+    std::size_t tasks = 0;
+    for (const SweepPlan::Batch &b : job.plan.batches) {
+        for (const SweepPlan::Group &g : b.groups) {
+            Task task;
+            for (std::size_t idx : g.members) {
+                if (job.state[idx] != Job::Pending)
+                    continue;
+                const std::string &ikey = job.ikeys[idx];
+                auto it = inflight_.find(ikey);
+                if (it != inflight_.end()) {
+                    it->second.waiters.emplace_back(id, idx);
+                    continue;
+                }
+                Inflight entry;
+                entry.origin = id;
+                entry.waiters.emplace_back(id, idx);
+                inflight_[ikey] = std::move(entry);
+                TaskMember m;
+                m.ikey = ikey;
+                m.persist = !job.cacheKeys[idx].empty();
+                m.point = job.points[idx];
+                task.members.push_back(std::move(m));
+            }
+            if (!task.members.empty()) {
+                queue_.push_back(std::move(task));
+                tasks++;
+            }
+        }
+    }
+    for (std::size_t i = 0; i < tasks; i++)
+        workCv_.notify_one();
+}
+
+bool
+PointScheduler::cancel(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto jit = jobs_.find(id);
+    if (jit == jobs_.end())
+        return false;
+    jit->second->cancelRequested = true;
+    cancelPendingLocked(*jit->second);
+    maybeFinishLocked(id);
+    return true;
+}
+
+void
+PointScheduler::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!draining_) {
+        draining_ = true;
+        // Drop everything not yet claimed by a worker: queued tasks
+        // plus every pending point whose in-flight entry is not
+        // running. Points a worker is computing right now finish and
+        // deliver (and land in the cache) before shutdown.
+        queue_.clear();
+        std::vector<std::uint64_t> ids;
+        ids.reserve(jobs_.size());
+        for (const auto &kv : jobs_)
+            ids.push_back(kv.first);
+        for (std::uint64_t id : ids) {
+            auto jit = jobs_.find(id);
+            if (jit == jobs_.end())
+                continue;
+            Job &job = *jit->second;
+            for (std::size_t i = 0; i < job.total(); i++) {
+                if (job.state[i] != Job::Pending)
+                    continue;
+                auto it = inflight_.find(job.ikeys[i]);
+                if (it != inflight_.end() && it->second.running)
+                    continue; // will deliver before we stop
+                detachWaiter(job.ikeys[i], id, i);
+                job.state[i] = Job::Cancelled;
+                job.cancelled++;
+                stats_.pointsCancelled++;
+            }
+            maybeFinishLocked(id);
+        }
+    }
+    idleCv_.wait(lock,
+                 [this] { return runningTasks_ == 0 && queue_.empty(); });
+    if (!stop_) {
+        stop_ = true;
+        workCv_.notify_all();
+    }
+    lock.unlock();
+    for (std::thread &t : workers_)
+        if (t.joinable())
+            t.join();
+}
+
+ServeStats
+PointScheduler::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+PointScheduler::workerLoop()
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workCv_.wait(lock,
+                         [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stop_)
+                    return;
+                continue;
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            runningTasks_++;
+        }
+        executeTask(std::move(task));
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            runningTasks_--;
+            if (runningTasks_ == 0 && queue_.empty())
+                idleCv_.notify_all();
+        }
+    }
+}
+
+void
+PointScheduler::executeTask(Task task)
+{
+    // Claim: keep only members somebody still wants. An entry whose
+    // waiters all cancelled is dropped here without simulating.
+    std::vector<TaskMember> live;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (TaskMember &m : task.members) {
+            auto it = inflight_.find(m.ikey);
+            if (it == inflight_.end())
+                continue;
+            if (it->second.waiters.empty()) {
+                inflight_.erase(it);
+                continue;
+            }
+            it->second.running = true;
+            live.push_back(std::move(m));
+        }
+    }
+    if (live.empty())
+        return;
+
+    std::vector<RunPoint> pts;
+    pts.reserve(live.size());
+    for (const TaskMember &m : live)
+        pts.push_back(m.point);
+
+    // The members are one plan group, so the batched engine still
+    // shares their stream and warmup; results are byte-identical to
+    // runSweep() either way. ScopedPanicRethrow turns a panic inside
+    // one point (livelock guard, construction assert) into a SimError
+    // that fails just this task's points.
+    SweepOptions opts;
+    opts.threads = 1;
+    opts.deriveSeeds = true;
+    SweepResult res;
+    bool run_failed = false;
+    std::string error;
+#if defined(__cpp_exceptions) || defined(__EXCEPTIONS)
+    try {
+        ScopedPanicRethrow rethrow;
+        res = runSweepBatched(pts, opts);
+    } catch (const SimError &e) {
+        run_failed = true;
+        error = e.what();
+    }
+#else
+    res = runSweepBatched(pts, opts);
+#endif
+
+    std::vector<std::string> payloads(live.size());
+    if (!run_failed) {
+        for (std::size_t i = 0; i < live.size(); i++) {
+            payloads[i] = pointPayloadJson(res.runs[i].result,
+                                           res.runs[i].seed,
+                                           pts[i].warmup,
+                                           pts[i].measure);
+            if (live[i].persist)
+                cache_.store(live[i].ikey, payloads[i]);
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < live.size(); i++) {
+        auto it = inflight_.find(live[i].ikey);
+        if (it == inflight_.end())
+            continue;
+        std::uint64_t origin = it->second.origin;
+        std::vector<std::pair<std::uint64_t, std::size_t>> waiters =
+            std::move(it->second.waiters);
+        inflight_.erase(it);
+        for (const auto &w : waiters) {
+            auto jit = jobs_.find(w.first);
+            if (jit == jobs_.end())
+                continue;
+            Job &job = *jit->second;
+            if (job.state[w.second] != Job::Pending)
+                continue;
+            if (run_failed) {
+                deliverFailure(job, w.second, error);
+            } else {
+                deliverPayload(job, w.second, payloads[i],
+                               w.first == origin ? PointSource::Computed
+                                                 : PointSource::Merged);
+            }
+            maybeFinishLocked(w.first);
+        }
+    }
+}
+
+void
+PointScheduler::deliverPayload(Job &job, std::size_t index,
+                               const std::string &payload,
+                               PointSource source)
+{
+    std::string benchmark, config;
+    double ipc = 0.0, avg_active = 0.0;
+    payloadMetrics(payload, benchmark, config, ipc, avg_active);
+
+    job.entries[index] = ReportEntry{payload, ipc, avg_active};
+    job.state[index] = Job::Done;
+    job.done++;
+    switch (source) {
+    case PointSource::Cache:
+        job.cacheHits++;
+        stats_.pointsFromCache++;
+        break;
+    case PointSource::Computed:
+        job.computed++;
+        stats_.pointsComputed++;
+        break;
+    case PointSource::Merged:
+        job.merged++;
+        stats_.pointsMerged++;
+        break;
+    }
+    if (job.events.onPoint)
+        job.events.onPoint(index, source, benchmark, config, ipc,
+                           job.resolved(), job.total());
+    // Callers run maybeFinishLocked() themselves: finishing erases the
+    // job, which would dangle the reference they are iterating with.
+}
+
+void
+PointScheduler::deliverFailure(Job &job, std::size_t index,
+                               const std::string &message)
+{
+    job.state[index] = Job::Failed;
+    job.failed++;
+    stats_.pointsFailed++;
+    if (job.events.onPointError)
+        job.events.onPointError(index, message, job.resolved(),
+                                job.total());
+}
+
+void
+PointScheduler::detachWaiter(const std::string &key, std::uint64_t job,
+                             std::size_t index)
+{
+    auto it = inflight_.find(key);
+    if (it == inflight_.end())
+        return;
+    auto &waiters = it->second.waiters;
+    waiters.erase(std::remove(waiters.begin(), waiters.end(),
+                              std::make_pair(job, index)),
+                  waiters.end());
+    if (waiters.empty() && !it->second.running)
+        inflight_.erase(it);
+}
+
+void
+PointScheduler::cancelPendingLocked(Job &job)
+{
+    for (std::size_t i = 0; i < job.total(); i++) {
+        if (job.state[i] != Job::Pending)
+            continue;
+        detachWaiter(job.ikeys[i], job.id, i);
+        job.state[i] = Job::Cancelled;
+        job.cancelled++;
+        stats_.pointsCancelled++;
+    }
+}
+
+void
+PointScheduler::maybeFinishLocked(std::uint64_t id)
+{
+    auto jit = jobs_.find(id);
+    if (jit == jobs_.end())
+        return;
+    Job &job = *jit->second;
+    if (job.resolved() < job.total())
+        return;
+
+    std::string status = "ok";
+    if (job.cancelled > 0)
+        status = "cancelled";
+    else if (job.failed > 0)
+        status = "failed";
+
+    std::string report;
+    if (status == "ok")
+        report = assembleSweepReport(job.name, job.entries);
+    if (job.cancelRequested)
+        stats_.jobsCancelled++;
+
+    // Move the job out before the terminal callback so a reentrant
+    // lookup can never observe a half-dead job.
+    std::unique_ptr<Job> owned = std::move(jit->second);
+    jobs_.erase(jit);
+    if (owned->events.onDone)
+        owned->events.onDone(status, report, owned->cacheHits,
+                             owned->computed, owned->merged,
+                             owned->failed, owned->cancelled);
+}
+
+} // namespace serve
+} // namespace clustersim

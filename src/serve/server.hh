@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Resident sweep server: the socket front end of the scheduler.
+ *
+ * Listens on a loopback TCP port (0 = ephemeral, optionally announced
+ * through a port file) and speaks the newline-delimited-JSON protocol
+ * of serve/protocol.hh: each accepted connection gets a reader thread
+ * that parses request lines and a write mutex that serializes the
+ * streamed response frames. Malformed, oversized, or unknown frames are
+ * answered with structured errors on the same connection -- a client
+ * can never crash the server or another client's jobs.
+ *
+ * Lifecycle: run() blocks until requestStop() (self-pipe, safe to call
+ * from a signal handler), then drains the scheduler -- points being
+ * computed finish and reach the cache and their streams; everything
+ * else is cancelled with terminal frames -- and joins every connection.
+ * A client disconnect cancels exactly that connection's jobs.
+ */
+
+#ifndef CLUSTERSIM_SERVE_SERVER_HH
+#define CLUSTERSIM_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.hh"
+#include "serve/scheduler.hh"
+
+namespace clustersim {
+namespace serve {
+
+class SweepServer
+{
+  public:
+    struct Config {
+        int port = 0;             ///< 0 = kernel-assigned ephemeral
+        std::string portFile;     ///< written as "<port>\n" when set
+        int workers = 1;          ///< scheduler worker threads
+        std::size_t maxActiveJobs = 8;
+    };
+
+    /** Binds and listens on 127.0.0.1; fatal() when that fails. */
+    SweepServer(CacheStore &cache, Config cfg);
+    ~SweepServer();
+    SweepServer(const SweepServer &) = delete;
+    SweepServer &operator=(const SweepServer &) = delete;
+
+    /** The bound port (resolved when Config::port was 0). */
+    int port() const { return port_; }
+
+    /** Accept and serve until requestStop(); blocking. */
+    void run();
+
+    /**
+     * Make run() return after a graceful drain. Only writes one byte
+     * to a pipe, so it is safe from a signal handler or any thread.
+     */
+    void requestStop();
+
+  private:
+    struct Connection;
+
+    void handleConnection(const std::shared_ptr<Connection> &conn);
+    void dispatchLine(const std::shared_ptr<Connection> &conn,
+                      const std::string &line);
+
+    CacheStore &cache_;
+    Config cfg_;
+    PointScheduler scheduler_;
+    int listenFd_ = -1;
+    int stopPipe_[2] = {-1, -1};
+    int port_ = 0;
+
+    std::mutex connsMutex_;
+    std::vector<std::shared_ptr<Connection>> conns_;
+    std::vector<std::thread> readers_;
+};
+
+} // namespace serve
+} // namespace clustersim
+
+#endif // CLUSTERSIM_SERVE_SERVER_HH

@@ -1,25 +1,24 @@
 /**
  * @file
- * Batched sweep execution (runSweepBatched): groups compatible
- * RunPoints so the instruction stream is generated once per distinct
- * workload and warmup is simulated once per distinct (workload, config,
- * warmup, controller) combination, with the post-warmup state
- * snapshotted and restored per point. See the runSweepBatched() doc
- * comment in sweep.hh for the grouping rules and the byte-identity
- * contract with runSweep().
+ * Batched sweep execution (runSweepBatched): executes the canonical
+ * SweepPlan (sim/plan.hh) so the instruction stream is generated once
+ * per distinct workload and warmup is simulated once per distinct
+ * (workload, config, warmup, controller) combination, with the
+ * post-warmup state snapshotted and restored per point. See the
+ * runSweepBatched() doc comment in sweep.hh for the grouping rules and
+ * the byte-identity contract with runSweep().
  */
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cstring>
-#include <map>
 #include <mutex>
 #include <optional>
 #include <thread>
 
 #include "check/invariant.hh"
 #include "common/logging.hh"
+#include "sim/plan.hh"
 #include "sim/sweep.hh"
 #include "workload/replay.hh"
 
@@ -38,201 +37,9 @@ secondsSince(Clock::time_point t0)
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-// --- grouping keys ----------------------------------------------------------
-// Keys are byte strings built from every field that influences the
-// simulated outcome. Two points may share work only when the relevant
-// key bytes are equal, so a missed field could silently group points
-// that should differ; each serializer below therefore lists its struct
-// exhaustively, field-declaration order, with a separator between
-// fields (doubles go in as their bit patterns — grouping wants exact
-// identity, not numeric closeness).
-
-void
-keyU(std::string &k, std::uint64_t v)
-{
-    for (int i = 0; i < 8; i++)
-        k.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    k.push_back('\x1f');
-}
-
-void
-keyI(std::string &k, std::int64_t v)
-{
-    keyU(k, static_cast<std::uint64_t>(v));
-}
-
-void
-keyD(std::string &k, double v)
-{
-    std::uint64_t bits = 0;
-    static_assert(sizeof(bits) == sizeof(v));
-    std::memcpy(&bits, &v, sizeof(bits));
-    keyU(k, bits);
-}
-
-void
-keyS(std::string &k, const std::string &s)
-{
-    keyU(k, s.size()); // length prefix: ("ab","c") != ("a","bc")
-    k += s;
-    k.push_back('\x1f');
-}
-
-void
-keyPhase(std::string &k, const PhaseSpec &p)
-{
-    keyS(k, p.name);
-    keyD(k, p.avgBlockLen);
-    keyI(k, p.codeBlocks);
-    keyD(k, p.fracCallBlocks);
-    keyI(k, p.numFunctions);
-    keyD(k, p.fracLoad);
-    keyD(k, p.fracStore);
-    keyD(k, p.fracFp);
-    keyD(k, p.fracLongLat);
-    keyI(k, p.chainCount);
-    keyD(k, p.pChainDep);
-    keyD(k, p.pSecondSrc);
-    keyD(k, p.pAddrChainDep);
-    keyD(k, p.fracBiased);
-    keyD(k, p.fracPattern);
-    keyD(k, p.biasedTakenProb);
-    keyD(k, p.fracStreamMem);
-    keyI(k, p.streamCount);
-    keyI(k, p.streamStride);
-    keyD(k, p.fracPointerChase);
-    keyI(k, p.footprintKB);
-    keyI(k, p.streamSpanKB);
-    keyD(k, p.hotFraction);
-    keyI(k, p.hotRegionKB);
-    keyI(k, p.chaseRegionKB);
-    keyU(k, p.uniformBlockMix ? 1 : 0);
-    keyU(k, p.meanPhaseLen);
-}
-
-/** Stream identity: the workload spec with its (derived) seed. */
-std::string
-streamKey(const WorkloadSpec &w)
-{
-    std::string k;
-    keyS(k, w.name);
-    keyU(k, w.seed);
-    keyU(k, w.phases.size());
-    for (const PhaseSpec &p : w.phases)
-        keyPhase(k, p);
-    keyU(k, w.schedule.size());
-    for (const Segment &s : w.schedule) {
-        keyI(k, s.phase);
-        keyU(k, s.meanLen);
-    }
-    return k;
-}
-
-void
-keyConfig(std::string &k, const ProcessorConfig &c)
-{
-    keyS(k, c.name);
-    keyI(k, c.numClusters);
-    keyI(k, c.cluster.intIssueQueue);
-    keyI(k, c.cluster.fpIssueQueue);
-    keyI(k, c.cluster.intRegs);
-    keyI(k, c.cluster.fpRegs);
-    keyI(k, c.cluster.intAlus);
-    keyI(k, c.cluster.intMultDivs);
-    keyI(k, c.cluster.fpAlus);
-    keyI(k, c.cluster.fpMultDivs);
-    keyU(k, c.cluster.fuEarliestFree ? 1 : 0);
-    keyU(k, c.fuLat.intAlu);
-    keyU(k, c.fuLat.intMult);
-    keyU(k, c.fuLat.intDiv);
-    keyU(k, c.fuLat.fpAlu);
-    keyU(k, c.fuLat.fpMult);
-    keyU(k, c.fuLat.fpDiv);
-    keyI(k, static_cast<int>(c.interconnect));
-    keyU(k, c.hopLatency);
-    keyI(k, c.fetchWidth);
-    keyI(k, c.fetchQueueSize);
-    keyI(k, c.maxFetchBlocks);
-    keyI(k, c.dispatchWidth);
-    keyI(k, c.commitWidth);
-    keyI(k, c.robSize);
-    keyU(k, c.frontEndDepth);
-    keyU(k, c.redirectPenalty);
-    keyU(k, c.branch.bimodalEntries);
-    keyU(k, c.branch.l1Entries);
-    keyU(k, c.branch.l2Entries);
-    keyI(k, c.branch.historyBits);
-    keyU(k, c.branch.chooserEntries);
-    keyU(k, c.branch.btbSets);
-    keyI(k, c.branch.btbWays);
-    keyU(k, c.branch.rasDepth);
-    keyU(k, c.l1.decentralized ? 1 : 0);
-    keyU(k, c.l1.sizeBytes);
-    keyI(k, c.l1.ways);
-    keyI(k, c.l1.lineBytes);
-    keyI(k, c.l1.banks);
-    keyU(k, c.l1.ramLatency);
-    keyU(k, c.l1.bankSizeBytes);
-    keyI(k, c.l1.bankWays);
-    keyI(k, c.l1.bankLineBytes);
-    keyU(k, c.l1.bankRamLatency);
-    keyU(k, c.l2.sizeBytes);
-    keyI(k, c.l2.ways);
-    keyI(k, c.l2.lineBytes);
-    keyU(k, c.l2.accessLatency);
-    keyU(k, c.l2.memoryLatency);
-    keyI(k, c.lsqPerCluster);
-    keyU(k, c.icacheBytes);
-    keyI(k, c.icacheWays);
-    keyI(k, c.icacheLineBytes);
-    keyI(k, c.loadBalanceThreshold);
-    keyI(k, c.distantDepth);
-    keyU(k, c.freeRegComm ? 1 : 0);
-    keyU(k, c.freeMemComm ? 1 : 0);
-    keyU(k, c.perfectBankPred ? 1 : 0);
-    keyI(k, c.activeClustersAtReset);
-    keyU(k, c.idleSkip ? 1 : 0);
-}
-
-/** Warmup-sharing identity within one stream: config + warmup +
- *  controller. A controller without a key is never shared. */
-std::string
-warmupKey(const RunPoint &p, std::size_t index)
-{
-    std::string k;
-    keyConfig(k, p.cfg);
-    keyU(k, p.warmup);
-    if (p.makeController) {
-        if (p.controllerKey.empty())
-            keyS(k, "unshared-" + std::to_string(index));
-        else
-            keyS(k, "ctrl-" + p.controllerKey);
-    } else {
-        keyS(k, "no-controller");
-    }
-    return k;
-}
-
-/** One point of a batch, after seed derivation. */
-struct PlannedPoint {
-    std::size_t index = 0;       ///< submission index
-    std::string label;
-    WorkloadSpec workload;       ///< seed already derived
-};
-
-/** Points sharing one warmup (identical config/warmup/controller). */
-struct WarmupGroup {
-    std::vector<PlannedPoint> members; ///< submission order
-};
-
-/** Points sharing one instruction stream. */
-struct StreamBatch {
-    std::vector<WarmupGroup> groups;   ///< submission order of leads
-};
-
 /** Warmup-phase execution state of one warmup group. */
 struct GroupExec {
-    const WarmupGroup *group = nullptr;
+    const SweepPlan::Group *group = nullptr;
     std::unique_ptr<ReplaySource> src;
     std::unique_ptr<ReconfigController> ctrl;
     std::unique_ptr<Processor> proc;
@@ -245,21 +52,25 @@ struct GroupExec {
 constexpr std::uint64_t warmupSlice = 8192;
 
 void
-runBatch(const StreamBatch &batch, const std::vector<RunPoint> &points,
-         SweepResult &out, std::mutex &complete_mutex,
-         const SweepOptions &opts)
+runBatch(const SweepPlan &plan, const SweepPlan::Batch &batch,
+         const std::vector<RunPoint> &points, SweepResult &out,
+         std::mutex &complete_mutex, const SweepOptions &opts)
 {
     // Size the shared buffer for the longest (warmup + measure) any
     // member runs, plus that member's fetch-ahead margin.
     std::uint64_t buf_size = 0;
-    for (const WarmupGroup &g : batch.groups) {
-        for (const PlannedPoint &m : g.members) {
-            const RunPoint &p = points[m.index];
+    for (const SweepPlan::Group &g : batch.groups) {
+        for (std::size_t idx : g.members) {
+            const RunPoint &p = points[idx];
             buf_size = std::max(buf_size, p.warmup + p.measure +
                                               replayMargin(p.cfg));
         }
     }
-    const WorkloadSpec &spec = batch.groups[0].members[0].workload;
+    // Every member of a batch shares one stream by construction; take
+    // the spec (with its planned seed) from the first member.
+    std::size_t first = batch.groups[0].members[0];
+    WorkloadSpec spec = points[first].workload;
+    spec.seed = plan.points[first].seed;
     auto buffer = std::make_shared<const ReplayBuffer>(spec, buf_size);
 
     // Build every group's lead processor, then warm them up round-robin
@@ -267,8 +78,8 @@ runBatch(const StreamBatch &batch, const std::vector<RunPoint> &points,
     // the stream stays hot in cache across instances.
     std::vector<GroupExec> execs;
     execs.reserve(batch.groups.size());
-    for (const WarmupGroup &g : batch.groups) {
-        const RunPoint &p = points[g.members[0].index];
+    for (const SweepPlan::Group &g : batch.groups) {
+        const RunPoint &p = points[g.members[0]];
         GroupExec e;
         e.group = &g;
         e.src = std::make_unique<ReplaySource>(buffer);
@@ -307,8 +118,8 @@ runBatch(const StreamBatch &batch, const std::vector<RunPoint> &points,
     // it per member, so each member's measurement window starts from
     // the identical state a dedicated warmup would have produced.
     for (GroupExec &e : execs) {
-        const WarmupGroup &g = *e.group;
-        const RunPoint &lead = points[g.members[0].index];
+        const SweepPlan::Group &g = *e.group;
+        const RunPoint &lead = points[g.members[0]];
         // The previous exec's stream (or warmup slice) was the last
         // thing the thread's checker saw; re-base before continuing
         // this one.
@@ -321,8 +132,9 @@ runBatch(const StreamBatch &batch, const std::vector<RunPoint> &points,
             snap.emplace(e.proc->snapshot());
 
         for (std::size_t mi = 0; mi < g.members.size(); mi++) {
-            const PlannedPoint &m = g.members[mi];
-            const RunPoint &p = points[m.index];
+            std::size_t idx = g.members[mi];
+            const RunPoint &p = points[idx];
+            const PlannedPoint &m = plan.points[idx];
             if (mi > 0)
                 e.proc->restore(*snap);
 
@@ -330,17 +142,17 @@ runBatch(const StreamBatch &batch, const std::vector<RunPoint> &points,
             // sim input
             Clock::time_point run_start = Clock::now();
             SimResult r = measureWindow(*e.proc, p.measure);
-            r.benchmark = m.workload.name;
+            r.benchmark = p.workload.name;
             r.config = m.label;
 
-            SweepRun &slot = out.runs[m.index];
+            SweepRun &slot = out.runs[idx];
             slot.result = std::move(r);
-            slot.seed = m.workload.seed;
+            slot.seed = m.seed;
             slot.wallSeconds = secondsSince(run_start);
 
             if (opts.onComplete) {
                 std::lock_guard<std::mutex> lock(complete_mutex);
-                opts.onComplete(m.index, slot.result);
+                opts.onComplete(idx, slot.result);
             }
         }
     }
@@ -355,41 +167,9 @@ runSweepBatched(const std::vector<RunPoint> &points,
     SweepResult out;
     out.runs.resize(points.size());
 
-    // Plan: derive each point's label and seed exactly as runSweep()
-    // does, then group by stream and, within a stream, by warmup
-    // compatibility. std::map keeps planning deterministic (D003);
-    // submission order is preserved within every group.
-    std::map<std::string, StreamBatch> batches;
-    std::map<std::string, std::pair<std::string, std::size_t>> group_of;
-    std::vector<std::string> batch_order;
-    for (std::size_t i = 0; i < points.size(); i++) {
-        const RunPoint &p = points[i];
-        PlannedPoint m;
-        m.index = i;
-        m.label = !p.label.empty() ? p.label : p.cfg.name;
-        m.workload = p.workload;
-        if (opts.deriveSeeds)
-            m.workload.seed =
-                sweepSeed(m.workload.seed, m.workload.name, m.label);
-
-        std::string skey = streamKey(m.workload);
-        auto [it, fresh] = batches.try_emplace(skey);
-        if (fresh)
-            batch_order.push_back(skey);
-        StreamBatch &batch = it->second;
-
-        std::string wkey = warmupKey(p, i);
-        auto gi = group_of.find(skey + wkey);
-        if (gi == group_of.end()) {
-            group_of.emplace(skey + wkey,
-                             std::make_pair(skey, batch.groups.size()));
-            batch.groups.emplace_back();
-            batch.groups.back().members.push_back(std::move(m));
-        } else {
-            batch.groups[gi->second.second].members.push_back(
-                std::move(m));
-        }
-    }
+    // The canonical plan (shared with runSweep's per-point seeding and
+    // the serve-layer cache) decides every grouping and ordering here.
+    SweepPlan plan = planSweep(points, opts.deriveSeeds);
 
     int threads = opts.threads;
     if (threads <= 0) {
@@ -398,7 +178,8 @@ runSweepBatched(const std::vector<RunPoint> &points,
             threads = 1;
     }
     threads = std::min<int>(threads,
-                            std::max<std::size_t>(batch_order.size(), 1));
+                            std::max<std::size_t>(plan.batches.size(),
+                                                  1));
     out.threads = threads;
 
     // simlint-ignore(D002): timing-only bookkeeping, never a sim input
@@ -417,10 +198,10 @@ runSweepBatched(const std::vector<RunPoint> &points,
         }
         for (;;) {
             std::size_t b = next.fetch_add(1);
-            if (b >= batch_order.size())
+            if (b >= plan.batches.size())
                 return;
-            runBatch(batches.at(batch_order[b]), points, out,
-                     complete_mutex, opts);
+            runBatch(plan, plan.batches[b], points, out, complete_mutex,
+                     opts);
         }
     };
 

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Canonical sweep planning: the single source of truth for how a list
+ * of RunPoints maps to per-point identities (label, derived seed) and
+ * to the deterministic grouping/ordering the batched driver executes.
+ *
+ * Three consumers share this module so they can never drift apart:
+ *
+ *  - runSweep() derives each point's label and seed from planPoints();
+ *  - runSweepBatched() executes the batches of planSweep() verbatim;
+ *  - the sweep server (src/serve/) keys its content-addressed result
+ *    cache on pointIdentityKey() and shards work along plan groups, so
+ *    a cache-replayed report is assembled in exactly the order the CLI
+ *    engines would have produced it.
+ *
+ * The byte-key serializers enumerate every field that influences a
+ * simulated outcome, in declaration order, with separators (doubles as
+ * bit patterns: identity wants exactness, not numeric closeness). A
+ * field missed here could silently group points that should differ or
+ * alias two distinct cache entries -- keep them exhaustive.
+ */
+
+#ifndef CLUSTERSIM_SIM_PLAN_HH
+#define CLUSTERSIM_SIM_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hh"
+
+namespace clustersim {
+
+/** Canonical identity of one sweep point, after planning. */
+struct PlannedPoint {
+    std::size_t index = 0;   ///< submission index
+    std::string label;       ///< p.label, defaulted to p.cfg.name
+    std::uint64_t seed = 0;  ///< workload seed actually used
+};
+
+/**
+ * Per-point planning exactly as every execution path applies it:
+ * label defaults to the config name; with derive_seeds the workload
+ * seed is replaced by sweepSeed(seed, benchmark, label).
+ */
+std::vector<PlannedPoint> planPoints(const std::vector<RunPoint> &points,
+                                     bool derive_seeds);
+
+/**
+ * The canonical execution plan of a sweep: points in submission order
+ * plus the deterministic batch/group structure. Points sharing one
+ * instruction stream (same workload spec and derived seed) form a
+ * batch, in first-appearance order; within a batch, points that also
+ * share (config, warmup, controller identity) form a warmup group, in
+ * first-appearance order, members in submission order.
+ */
+struct SweepPlan {
+    struct Group {
+        std::vector<std::size_t> members; ///< submission indices
+    };
+    struct Batch {
+        std::vector<Group> groups;
+    };
+    std::vector<PlannedPoint> points;     ///< submission order
+    std::vector<Batch> batches;           ///< first-appearance order
+};
+
+SweepPlan planSweep(const std::vector<RunPoint> &points,
+                    bool derive_seeds);
+
+/** Exhaustive byte-key of a processor configuration. */
+void appendConfigKey(std::string &k, const ProcessorConfig &c);
+
+/** Exhaustive byte-key of a workload spec, including its seed. */
+void appendWorkloadKey(std::string &k, const WorkloadSpec &w);
+
+/**
+ * Whether a point's simulated outcome is fully captured by its declared
+ * identity. False only for points with a controller factory but an
+ * empty controllerKey: std::function is opaque, so such points can
+ * neither share warmups nor be result-cached (always correct, just
+ * never memoized).
+ */
+bool pointCacheable(const RunPoint &p);
+
+/**
+ * Full identity byte string of one planned point: config + workload
+ * (with the derived seed) + warmup + measure + label + controller
+ * identity. Two points with equal keys produce byte-identical report
+ * entries; the serve-layer cache hashes this (plus a version salt)
+ * into its content address. Empty when !pointCacheable(p).
+ */
+std::string pointIdentityKey(const RunPoint &p, const std::string &label,
+                             std::uint64_t seed);
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_SIM_PLAN_HH

@@ -127,6 +127,15 @@ struct SweepVariant {
     std::string label;
     ProcessorConfig cfg;
     std::function<std::unique_ptr<ReconfigController>()> makeController;
+    /**
+     * Stable identity of makeController's output (RunPoint::
+     * controllerKey). Every preset variant with a controller declares
+     * one: it is what makes preset points content-addressable in the
+     * serve-layer result cache (a factory without a key is opaque and
+     * therefore never memoized). Distinct parameterizations must get
+     * distinct keys.
+     */
+    std::string controllerKey;
 };
 
 /** Cross every benchmark with every variant, in row-major order. */
@@ -144,6 +153,7 @@ crossGrid(const std::vector<SweepVariant> &variants,
             p.makeController = v.makeController;
             p.warmup = warmup;
             p.measure = measure;
+            p.controllerKey = v.controllerKey;
             points.push_back(std::move(p));
         }
     }
@@ -154,11 +164,12 @@ std::vector<SweepVariant>
 staticPlusExploreVariants(InterconnectKind kind, bool decentralized)
 {
     return {
-        {"static-4", staticSubsetConfig(4, kind, decentralized), nullptr},
+        {"static-4", staticSubsetConfig(4, kind, decentralized), nullptr,
+         ""},
         {"static-16", staticSubsetConfig(16, kind, decentralized),
-         nullptr},
+         nullptr, ""},
         {"ivl-explore", clusteredConfig(16, kind, decentralized),
-         makeExploreController},
+         makeExploreController, "ivl-explore-10K"},
     };
 }
 
@@ -185,7 +196,7 @@ makeSweepPreset(const std::string &name, std::uint64_t warmup,
 
     if (name == "table3") {
         std::vector<SweepVariant> variants = {
-            {"monolithic-16", monolithicConfig(16), nullptr},
+            {"monolithic-16", monolithicConfig(16), nullptr, ""},
         };
         return crossGrid(variants, warm, run(1000000));
     }
@@ -193,31 +204,34 @@ makeSweepPreset(const std::string &name, std::uint64_t warmup,
         std::vector<SweepVariant> variants;
         for (int n : {2, 4, 8, 16})
             variants.push_back({"c" + std::to_string(n),
-                                staticSubsetConfig(n), nullptr});
+                                staticSubsetConfig(n), nullptr, ""});
         return crossGrid(variants, warm, run(1000000));
     }
     if (name == "fig5") {
         std::vector<SweepVariant> variants = {
-            {"static-4", staticSubsetConfig(4), nullptr},
-            {"static-16", staticSubsetConfig(16), nullptr},
-            {"ivl-explore", clusteredConfig(16), makeExploreController},
+            {"static-4", staticSubsetConfig(4), nullptr, ""},
+            {"static-16", staticSubsetConfig(16), nullptr, ""},
+            {"ivl-explore", clusteredConfig(16), makeExploreController,
+             "ivl-explore-10K"},
             {"ivl-ilp-1K", clusteredConfig(16),
-             [] { return makeIlpController(1000); }},
+             [] { return makeIlpController(1000); }, "ivl-ilp-1K"},
             {"ivl-ilp-10K", clusteredConfig(16),
-             [] { return makeIlpController(10000); }},
+             [] { return makeIlpController(10000); }, "ivl-ilp-10K"},
             {"ivl-ilp-100K", clusteredConfig(16),
-             [] { return makeIlpController(100000); }},
+             [] { return makeIlpController(100000); }, "ivl-ilp-100K"},
         };
         return crossGrid(variants, warm, run(2000000));
     }
     if (name == "fig6") {
         std::vector<SweepVariant> variants = {
-            {"static-4", staticSubsetConfig(4), nullptr},
-            {"static-16", staticSubsetConfig(16), nullptr},
-            {"ivl-explore", clusteredConfig(16), makeExploreController},
-            {"fg-branch", clusteredConfig(16), makeFinegrainController},
+            {"static-4", staticSubsetConfig(4), nullptr, ""},
+            {"static-16", staticSubsetConfig(16), nullptr, ""},
+            {"ivl-explore", clusteredConfig(16), makeExploreController,
+             "ivl-explore-10K"},
+            {"fg-branch", clusteredConfig(16), makeFinegrainController,
+             "fg-branch"},
             {"fg-subroutine", clusteredConfig(16),
-             makeSubroutineController},
+             makeSubroutineController, "fg-subroutine-3"},
         };
         return crossGrid(variants, warm, run(2000000));
     }
@@ -227,11 +241,13 @@ makeSweepPreset(const std::string &name, std::uint64_t warmup,
         variants.push_back({"ivl-ilp-1K",
                             clusteredConfig(16, InterconnectKind::Ring,
                                             true),
-                            [] { return makeIlpController(1000); }});
+                            [] { return makeIlpController(1000); },
+                            "ivl-ilp-1K"});
         variants.push_back({"ivl-ilp-10K",
                             clusteredConfig(16, InterconnectKind::Ring,
                                             true),
-                            [] { return makeIlpController(10000); }});
+                            [] { return makeIlpController(10000); },
+                            "ivl-ilp-10K"});
         return crossGrid(variants, warm, run(2000000));
     }
     if (name == "fig8") {
@@ -259,9 +275,10 @@ makeSweepPreset(const std::string &name, std::uint64_t warmup,
             s16.activeClustersAtReset = 16;
             std::string tag(sc.label);
             std::vector<SweepVariant> variants = {
-                {tag + "/static-4", s4, nullptr},
-                {tag + "/static-16", s16, nullptr},
-                {tag + "/ivl-explore", hw, makeExploreController},
+                {tag + "/static-4", s4, nullptr, ""},
+                {tag + "/static-16", s16, nullptr, ""},
+                {tag + "/ivl-explore", hw, makeExploreController,
+                 "ivl-explore-10K"},
             };
             auto grid = crossGrid(variants, warm, run(1500000));
             points.insert(points.end(),
@@ -272,8 +289,9 @@ makeSweepPreset(const std::string &name, std::uint64_t warmup,
     }
     if (name == "smoke") {
         std::vector<SweepVariant> variants = {
-            {"static-16", staticSubsetConfig(16), nullptr},
-            {"ivl-explore", clusteredConfig(16), makeExploreController},
+            {"static-16", staticSubsetConfig(16), nullptr, ""},
+            {"ivl-explore", clusteredConfig(16), makeExploreController,
+             "ivl-explore-10K"},
         };
         return crossGrid(variants, warmup ? warmup : 30000,
                          run(120000));

@@ -9,6 +9,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "sim/plan.hh"
 #include "trace/timeseries.hh"
 
 namespace clustersim {
@@ -91,6 +92,11 @@ runSweep(const std::vector<RunPoint> &points, const SweepOptions &opts)
     std::atomic<std::size_t> next{0};
     std::mutex complete_mutex;
 
+    // Canonical per-point identities, shared with the batched driver
+    // and the serve-layer cache (sim/plan.hh).
+    std::vector<PlannedPoint> plan = planPoints(points,
+                                                opts.deriveSeeds);
+
     auto worker = [&]() {
         for (;;) {
             std::size_t i = next.fetch_add(1);
@@ -99,9 +105,8 @@ runSweep(const std::vector<RunPoint> &points, const SweepOptions &opts)
             const RunPoint &p = points[i];
 
             WorkloadSpec w = p.workload;
-            std::string label = !p.label.empty() ? p.label : p.cfg.name;
-            if (opts.deriveSeeds)
-                w.seed = sweepSeed(w.seed, w.name, label);
+            const std::string &label = plan[i].label;
+            w.seed = plan[i].seed;
 
             std::unique_ptr<ReconfigController> ctrl;
             if (p.makeController)
@@ -178,6 +183,82 @@ toJson(const SimResult &r)
     return w.str();
 }
 
+void
+pointFieldsJson(JsonWriter &w, const SimResult &r, std::uint64_t seed,
+                std::uint64_t warmup, std::uint64_t measure,
+                const double *wall_seconds)
+{
+    w.field("benchmark", r.benchmark);
+    w.field("config", r.config);
+    w.field("seed", seed);
+    if (wall_seconds)
+        w.field("wall_seconds", *wall_seconds);
+    w.field("warmup", warmup);
+    w.field("measure", measure);
+    w.key("metrics");
+    toJson(w, r);
+}
+
+std::string
+pointPayloadJson(const SimResult &r, std::uint64_t seed,
+                 std::uint64_t warmup, std::uint64_t measure)
+{
+    JsonWriter w;
+    w.beginObject();
+    pointFieldsJson(w, r, seed, warmup, measure, nullptr);
+    w.endObject();
+    return w.str();
+}
+
+namespace {
+
+void
+aggregatesJson(JsonWriter &w, const std::vector<double> &ipcs,
+               const std::vector<double> &active)
+{
+    w.key("aggregates").beginObject();
+    w.field("ipc_amean", ipcs.empty() ? 0.0 : amean(ipcs));
+    w.field("ipc_geomean", ipcs.empty() ? 0.0 : geomean(ipcs));
+    w.field("avg_active_clusters_amean",
+            active.empty() ? 0.0 : amean(active));
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+assembleSweepReport(const std::string &name,
+                    const std::vector<ReportEntry> &entries)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", "clustersim-sweep-v1");
+
+    w.key("sweep").beginObject();
+    w.field("name", name);
+    w.field("run_points", static_cast<std::uint64_t>(entries.size()));
+    w.endObject();
+
+    w.key("runs").beginArray();
+    for (std::size_t i = 0; i < entries.size(); i++) {
+        w.beginObject();
+        w.field("index", static_cast<std::uint64_t>(i));
+        w.spliceFields(entries[i].payload);
+        w.endObject();
+    }
+    w.endArray();
+
+    std::vector<double> ipcs, active;
+    for (const ReportEntry &e : entries) {
+        ipcs.push_back(e.ipc);
+        active.push_back(e.avgActiveClusters);
+    }
+    aggregatesJson(w, ipcs, active);
+
+    w.endObject();
+    return w.str();
+}
+
 std::string
 sweepReportJson(const std::string &name,
                 const std::vector<RunPoint> &points,
@@ -185,20 +266,35 @@ sweepReportJson(const std::string &name,
 {
     CSIM_ASSERT(points.size() == res.runs.size());
 
+    if (!include_timing) {
+        // The deterministic report is assembled from standalone point
+        // payloads -- the same path the sweep server replays cached
+        // points through, which makes live/cached byte-identity
+        // structural rather than coincidental.
+        std::vector<ReportEntry> entries;
+        entries.reserve(res.runs.size());
+        for (std::size_t i = 0; i < res.runs.size(); i++) {
+            const SweepRun &run = res.runs[i];
+            entries.push_back({pointPayloadJson(run.result, run.seed,
+                                                points[i].warmup,
+                                                points[i].measure),
+                               run.result.ipc,
+                               run.result.avgActiveClusters});
+        }
+        return assembleSweepReport(name, entries);
+    }
+
     JsonWriter w;
     w.beginObject();
     w.field("schema", "clustersim-sweep-v1");
 
     w.key("sweep").beginObject();
     w.field("name", name);
-    if (include_timing)
-        w.field("threads", res.threads);
+    w.field("threads", res.threads);
     w.field("run_points", static_cast<std::uint64_t>(points.size()));
-    if (include_timing) {
-        w.field("wall_seconds", res.wallSeconds);
-        w.field("cpu_seconds", res.cpuSeconds());
-        w.field("parallel_speedup", res.speedup());
-    }
+    w.field("wall_seconds", res.wallSeconds);
+    w.field("cpu_seconds", res.cpuSeconds());
+    w.field("parallel_speedup", res.speedup());
     w.endObject();
 
     w.key("runs").beginArray();
@@ -206,15 +302,8 @@ sweepReportJson(const std::string &name,
         const SweepRun &run = res.runs[i];
         w.beginObject();
         w.field("index", static_cast<std::uint64_t>(i));
-        w.field("benchmark", run.result.benchmark);
-        w.field("config", run.result.config);
-        w.field("seed", run.seed);
-        if (include_timing)
-            w.field("wall_seconds", run.wallSeconds);
-        w.field("warmup", points[i].warmup);
-        w.field("measure", points[i].measure);
-        w.key("metrics");
-        toJson(w, run.result);
+        pointFieldsJson(w, run.result, run.seed, points[i].warmup,
+                        points[i].measure, &run.wallSeconds);
         w.endObject();
     }
     w.endArray();
@@ -224,12 +313,7 @@ sweepReportJson(const std::string &name,
         ipcs.push_back(run.result.ipc);
         active.push_back(run.result.avgActiveClusters);
     }
-    w.key("aggregates").beginObject();
-    w.field("ipc_amean", ipcs.empty() ? 0.0 : amean(ipcs));
-    w.field("ipc_geomean", ipcs.empty() ? 0.0 : geomean(ipcs));
-    w.field("avg_active_clusters_amean",
-            active.empty() ? 0.0 : amean(active));
-    w.endObject();
+    aggregatesJson(w, ipcs, active);
 
     w.endObject();
     return w.str();

@@ -131,6 +131,46 @@ void toJson(JsonWriter &w, const SimResult &r);
 std::string toJson(const SimResult &r);
 
 /**
+ * Write the per-run report fields of one completed run (benchmark,
+ * config, seed, [wall_seconds,] warmup, measure, metrics) into the
+ * currently open JSON object. The single serialization point for run
+ * entries: sweepReportJson() and the serve-layer result cache both
+ * emit through here, so a cache-replayed entry is byte-identical to a
+ * freshly computed one. `wall_seconds` is written only when non-null
+ * (timing reports).
+ */
+void pointFieldsJson(JsonWriter &w, const SimResult &r,
+                     std::uint64_t seed, std::uint64_t warmup,
+                     std::uint64_t measure, const double *wall_seconds);
+
+/**
+ * Standalone payload of one finished point: exactly the run-entry
+ * fields of pointFieldsJson() (no wall clock) as an object document.
+ * This is the byte format stored in the serve-layer content-addressed
+ * cache and spliced back into replayed reports.
+ */
+std::string pointPayloadJson(const SimResult &r, std::uint64_t seed,
+                             std::uint64_t warmup, std::uint64_t measure);
+
+/** One report entry for assembleSweepReport(): the payload bytes plus
+ *  the two metrics the aggregate block needs. */
+struct ReportEntry {
+    std::string payload;          ///< pointPayloadJson() bytes
+    double ipc = 0.0;
+    double avgActiveClusters = 0.0;
+};
+
+/**
+ * Assemble a deterministic (no-timing) sweep report from per-point
+ * payloads in submission order. sweepReportJson(include_timing=false)
+ * delegates here, so a report assembled from cached payloads is
+ * byte-identical to one computed live -- the identity the sweep
+ * server's conformance rig asserts.
+ */
+std::string assembleSweepReport(const std::string &name,
+                                const std::vector<ReportEntry> &entries);
+
+/**
  * Sweep-level JSON report.
  *
  * Schema (all keys always present):
