@@ -20,24 +20,30 @@ struct GoldenVariant {
     std::string label;
     ProcessorConfig cfg;
     std::function<std::unique_ptr<ReconfigController>()> makeController;
+    /** Stable controller identity (same vocabulary as the sweep
+     *  presets) so golden points are cacheable and warm-startable;
+     *  names the factory, never affects the simulation itself. */
+    std::string controllerKey;
 };
 
 std::vector<GoldenVariant>
 goldenVariants()
 {
     return {
-        {"static-16", staticSubsetConfig(16), nullptr},
-        {"static-4", staticSubsetConfig(4), nullptr},
-        {"ivl-explore", clusteredConfig(16), makeExploreController},
+        {"static-16", staticSubsetConfig(16), nullptr, ""},
+        {"static-4", staticSubsetConfig(4), nullptr, ""},
+        {"ivl-explore", clusteredConfig(16), makeExploreController,
+         "ivl-explore-10K"},
         {"ivl-ilp-10K", clusteredConfig(16),
-         [] { return makeIlpController(10000); }},
-        {"fg-branch", clusteredConfig(16), makeFinegrainController},
+         [] { return makeIlpController(10000); }, "ivl-ilp-10K"},
+        {"fg-branch", clusteredConfig(16), makeFinegrainController,
+         "fg-branch"},
         {"static-16-grid",
-         staticSubsetConfig(16, InterconnectKind::Grid), nullptr},
+         staticSubsetConfig(16, InterconnectKind::Grid), nullptr, ""},
         {"ivl-explore-dcache",
          clusteredConfig(16, InterconnectKind::Ring, true),
-         makeExploreController},
-        {"monolithic-16", monolithicConfig(16), nullptr},
+         makeExploreController, "ivl-explore-10K"},
+        {"monolithic-16", monolithicConfig(16), nullptr, ""},
     };
 }
 
@@ -60,6 +66,7 @@ goldenRunPoints()
             p.cfg = v.cfg;
             p.workload = w;
             p.makeController = v.makeController;
+            p.controllerKey = v.controllerKey;
             p.warmup = goldenWarmup;
             p.measure = goldenMeasure;
             points.push_back(std::move(p));

@@ -24,6 +24,23 @@ class Counter
     void reset() { value_ = 0; }
     std::uint64_t value() const { return value_; }
 
+    // Checkpoint serialization (see core/snapshot_io.hh). Templated so
+    // this header stays dependency-free.
+    template <typename W>
+    void
+    save(W &w) const
+    {
+        w.u64(value_);
+    }
+
+    template <typename R>
+    bool
+    load(R &r)
+    {
+        value_ = r.u64();
+        return r.ok();
+    }
+
   private:
     std::uint64_t value_ = 0;
 };

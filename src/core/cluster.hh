@@ -15,6 +15,9 @@
 
 namespace clustersim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /**
  * A cluster's structural resources. Occupancy counters change at
  * dispatch (allocate) and at scheduled issue/commit events (release);
@@ -71,6 +74,10 @@ class Cluster
     Cycle latency(OpClass op) const;
 
     const ClusterParams &params() const { return params_; }
+
+    /** Checkpoint serialization (defined in core/snapshot_io.cc). */
+    void save(SnapshotWriter &w) const;
+    bool load(SnapshotReader &r);
 
   private:
     SlotReserver &unitFor(OpClass op);

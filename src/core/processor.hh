@@ -41,6 +41,9 @@
 
 namespace clustersim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Aggregate end-of-run statistics. */
 struct ProcessorStats {
     Cycle cycles = 0;
@@ -301,6 +304,18 @@ struct Processor::Snapshot {
     std::uint64_t tracePosition = 0;
     /** Clone of the attached controller's state; null when detached. */
     std::unique_ptr<ReconfigController> controller;
+
+    /**
+     * Serialize into a deterministic, versioned byte stream (defined in
+     * core/snapshot_io.cc). load() deserializes *into* this snapshot,
+     * which must have been captured from a processor built with the
+     * same configuration (the "donor"): config-sized containers keep
+     * their shapes and are shape-verified, dynamic state is replaced.
+     * Returns false -- leaving the snapshot unusable -- on any
+     * malformed, truncated, or version-mismatched input.
+     */
+    void save(SnapshotWriter &w) const;
+    bool load(SnapshotReader &r);
 };
 
 } // namespace clustersim

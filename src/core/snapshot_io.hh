@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Binary serialization primitives for Processor snapshots.
+ *
+ * The format is deliberately dumb: fixed-width little-endian scalars,
+ * length-prefixed containers, no alignment, no compression. Every
+ * payload starts with snapshotFormatVersion; readers reject any other
+ * value, which is the "stale checkpoint -> silent recompute" lever (bump
+ * the constant whenever the serialized layout or the simulated state it
+ * captures changes shape). Integrity (corruption, truncation) is the
+ * checkpoint store's job -- it hashes the payload -- so the reader only
+ * needs to be *safe* on bad input, returning failure instead of reading
+ * out of bounds.
+ *
+ * Determinism: writing the same Snapshot twice produces identical
+ * bytes. Nothing here consults the host (clocks, pointers, locales);
+ * iteration orders are the containers' storage orders, and the only
+ * ordered associative container serialized (interval-explore's
+ * popularity map) iterates in key order by definition.
+ */
+
+#ifndef CLUSTERSIM_CORE_SNAPSHOT_IO_HH
+#define CLUSTERSIM_CORE_SNAPSHOT_IO_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace clustersim {
+
+/**
+ * Version stamp leading every serialized snapshot payload. Bump on any
+ * layout change: old blobs then fail load() and are recomputed.
+ */
+inline constexpr std::uint32_t snapshotFormatVersion = 1;
+
+/** Append-only little-endian byte sink. */
+class SnapshotWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        char b[4];
+        for (int i = 0; i < 4; i++)
+            b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+        buf_.append(b, 4);
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        char b[8];
+        for (int i = 0; i < 8; i++)
+            b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+        buf_.append(b, 8);
+    }
+
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    /** Doubles travel as their IEEE-754 bit pattern (exact). */
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    /** Length-prefixed string. */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        buf_.append(s);
+    }
+
+    const std::string &data() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::string buf_;
+};
+
+/**
+ * Bounds-checked little-endian byte source. Any out-of-bounds read
+ * latches the fail flag and yields zeros; callers check ok() (and
+ * atEnd(), for trailing garbage) rather than every read.
+ */
+class SnapshotReader
+{
+  public:
+    explicit SnapshotReader(const std::string &data) : data_(data) {}
+
+    std::uint8_t
+    u8()
+    {
+        std::uint8_t v = 0;
+        take(&v, 1);
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        unsigned char b[4] = {};
+        if (!take(b, 4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; i++)
+            v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        unsigned char b[8] = {};
+        if (!take(b, 8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; i++)
+            v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+        return v;
+    }
+
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    /** Strict: any encoding other than 0/1 is corruption. */
+    bool
+    boolean()
+    {
+        std::uint8_t v = u8();
+        if (v > 1)
+            fail_ = true;
+        return v == 1;
+    }
+
+    double
+    f64()
+    {
+        std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str(std::uint64_t max_len = 4096)
+    {
+        std::uint64_t n = u64();
+        if (n > max_len || n > data_.size() - pos_) {
+            fail_ = true;
+            return {};
+        }
+        std::string s = data_.substr(pos_, static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return s;
+    }
+
+    bool ok() const { return !fail_; }
+    /** All bytes consumed and no read ever failed. */
+    bool atEnd() const { return !fail_ && pos_ == data_.size(); }
+    void markFailed() { fail_ = true; }
+
+  private:
+    bool
+    take(void *out, std::size_t n)
+    {
+        if (fail_ || n > data_.size() - pos_) {
+            fail_ = true;
+            return false;
+        }
+        std::memcpy(out, data_.data() + pos_, n);
+        pos_ += n;
+        return true;
+    }
+
+    const std::string &data_;
+    std::size_t pos_ = 0;
+    bool fail_ = false;
+};
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_CORE_SNAPSHOT_IO_HH

@@ -16,6 +16,9 @@
 
 namespace clustersim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Outcome of a cache array access. */
 struct CacheAccessResult {
     bool hit = false;
@@ -63,6 +66,10 @@ class CacheBank
     }
 
     void resetStats();
+
+    /** Checkpoint serialization (defined in core/snapshot_io.cc). */
+    void save(SnapshotWriter &w) const;
+    bool load(SnapshotReader &r);
 
   private:
     struct Line {

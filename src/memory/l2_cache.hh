@@ -14,6 +14,9 @@
 
 namespace clustersim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** L2 configuration. */
 struct L2Params {
     std::size_t sizeBytes = 2 * 1024 * 1024;
@@ -44,6 +47,10 @@ class L2Cache
     void resetStats() { array_.resetStats(); }
 
     const L2Params &params() const { return params_; }
+
+    /** Checkpoint serialization (defined in core/snapshot_io.cc). */
+    void save(SnapshotWriter &w) const;
+    bool load(SnapshotReader &r);
 
   private:
     L2Params params_;

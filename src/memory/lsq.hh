@@ -28,6 +28,9 @@
 
 namespace clustersim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Disambiguation verdict for a load with a known address. */
 enum class LoadCheck {
     BlockedOlderStore, ///< an older store's address is not yet computed
@@ -181,6 +184,10 @@ class LoadStoreQueue
     std::uint64_t forwards() const { return forwards_.value(); }
     std::uint64_t blockedChecks() const { return blocked_.value(); }
     void resetStats();
+
+    /** Checkpoint serialization (defined in core/snapshot_io.cc). */
+    void save(SnapshotWriter &w) const;
+    bool load(SnapshotReader &r);
 
   private:
     LsqEntry *find(InstSeqNum seq);

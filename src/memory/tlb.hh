@@ -14,6 +14,9 @@
 
 namespace clustersim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Set-associative TLB with LRU replacement and a fixed miss penalty. */
 class Tlb
 {
@@ -37,6 +40,10 @@ class Tlb
     std::uint64_t misses() const { return misses_.value(); }
     Cycle missPenalty() const { return missPenalty_; }
     void resetStats();
+
+    /** Checkpoint serialization (defined in core/snapshot_io.cc). */
+    void save(SnapshotWriter &w) const;
+    bool load(SnapshotReader &r);
 
   private:
     struct Entry {

@@ -16,6 +16,9 @@
 
 namespace clustersim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /**
  * Two-level bank predictor. The first level records, per memory
  * instruction, a short history of recently accessed banks; the second
@@ -59,6 +62,10 @@ class BankPredictor
     }
 
     int maxBanks() const { return maxBanks_; }
+
+    /** Checkpoint serialization (defined in core/snapshot_io.cc). */
+    void save(SnapshotWriter &w) const;
+    bool load(SnapshotReader &r);
 
   private:
     std::size_t l1Index(Addr pc) const;

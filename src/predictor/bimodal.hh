@@ -13,6 +13,9 @@
 
 namespace clustersim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Classic bimodal predictor: a table of 2-bit counters indexed by PC. */
 class BimodalPredictor
 {
@@ -27,6 +30,10 @@ class BimodalPredictor
     void update(Addr pc, bool taken);
 
     std::size_t entries() const { return table_.size(); }
+
+    /** Checkpoint serialization (defined in core/snapshot_io.cc). */
+    void save(SnapshotWriter &w) const;
+    bool load(SnapshotReader &r);
 
   private:
     std::size_t index(Addr pc) const;

@@ -15,6 +15,9 @@
 
 namespace clustersim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Configuration of the branch unit (paper Table 1 defaults). */
 struct BranchUnitParams {
     std::size_t bimodalEntries = 2048;
@@ -63,6 +66,10 @@ class BranchUnit
     }
 
     void resetStats();
+
+    /** Checkpoint serialization (defined in core/snapshot_io.cc). */
+    void save(SnapshotWriter &w) const;
+    bool load(SnapshotReader &r);
 
   private:
     CombiningPredictor direction_;

@@ -14,6 +14,9 @@
 
 namespace clustersim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Set-associative branch target buffer with LRU replacement. */
 class Btb
 {
@@ -28,6 +31,10 @@ class Btb
 
     std::size_t sets() const { return sets_; }
     int ways() const { return ways_; }
+
+    /** Checkpoint serialization (defined in core/snapshot_io.cc). */
+    void save(SnapshotWriter &w) const;
+    bool load(SnapshotReader &r);
 
   private:
     struct Entry {

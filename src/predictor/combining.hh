@@ -15,6 +15,9 @@
 
 namespace clustersim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** McFarling-style combining direction predictor. */
 class CombiningPredictor
 {
@@ -27,6 +30,10 @@ class CombiningPredictor
 
     bool predict(Addr pc) const;
     void update(Addr pc, bool taken);
+
+    /** Checkpoint serialization (defined in core/snapshot_io.cc). */
+    void save(SnapshotWriter &w) const;
+    bool load(SnapshotReader &r);
 
   private:
     std::size_t chooserIndex(Addr pc) const;

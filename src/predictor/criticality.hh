@@ -16,6 +16,9 @@
 
 namespace clustersim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Table-based criticality predictor. */
 class CriticalityPredictor
 {
@@ -31,6 +34,10 @@ class CriticalityPredictor
      * that arrived early (critical=false).
      */
     void train(Addr pc, bool critical);
+
+    /** Checkpoint serialization (defined in core/snapshot_io.cc). */
+    void save(SnapshotWriter &w) const;
+    bool load(SnapshotReader &r);
 
   private:
     std::size_t index(Addr pc) const;

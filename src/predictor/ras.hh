@@ -12,6 +12,9 @@
 
 namespace clustersim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /**
  * Circular return-address stack. Overflow wraps (oldest entries are
  * silently overwritten); underflow returns 0 (a guaranteed mispredict).
@@ -28,6 +31,10 @@ class ReturnAddressStack
     std::size_t size() const { return size_; }
     std::size_t depth() const { return stack_.size(); }
     void clear();
+
+    /** Checkpoint serialization (defined in core/snapshot_io.cc). */
+    void save(SnapshotWriter &w) const;
+    bool load(SnapshotReader &r);
 
   private:
     std::vector<Addr> stack_;

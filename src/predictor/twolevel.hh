@@ -16,6 +16,9 @@
 
 namespace clustersim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Two-level adaptive predictor (PAg-style). */
 class TwoLevelPredictor
 {
@@ -34,6 +37,10 @@ class TwoLevelPredictor
 
     /** Current history register value for a PC (for tests). */
     std::uint32_t history(Addr pc) const;
+
+    /** Checkpoint serialization (defined in core/snapshot_io.cc). */
+    void save(SnapshotWriter &w) const;
+    bool load(SnapshotReader &r);
 
   private:
     std::size_t l1Index(Addr pc) const;

@@ -20,6 +20,9 @@
 
 namespace clustersim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Per-committed-instruction information visible to controllers. */
 struct CommitEvent {
     Addr pc = 0;
@@ -62,6 +65,20 @@ class ReconfigController
     {
         return nullptr;
     }
+
+    /**
+     * Serialize the controller's *dynamic* state (interval counters,
+     * exploration phase, history tables) for on-disk checkpoints.
+     * Config-derived members (params, candidate lists, hwClusters_) are
+     * reproduced by constructing the controller from the run plan and
+     * attaching it, so they are deliberately not written. Stateless
+     * controllers (e.g. StaticController) need not override. Defined in
+     * core/snapshot_io.cc for the stateful controllers.
+     */
+    virtual void saveState(SnapshotWriter &) const {}
+
+    /** Inverse of saveState; returns false on malformed input. */
+    virtual bool loadState(SnapshotReader &) { return true; }
 
   protected:
     int hwClusters_ = 16;

@@ -20,6 +20,9 @@
 
 namespace clustersim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Sliding-window distant-ILP counter. */
 class DistantIlpTracker
 {
@@ -50,6 +53,10 @@ class DistantIlpTracker
     bool full() const { return size_ == ring_.size(); }
 
     void reset();
+
+    /** Checkpoint serialization (defined in core/snapshot_io.cc). */
+    void save(SnapshotWriter &w) const;
+    bool load(SnapshotReader &r);
 
   private:
     struct Slot {

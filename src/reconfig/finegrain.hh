@@ -73,6 +73,9 @@ class FinegrainController : public ReconfigController
      *  aliased table slot (the resident entry is never evicted). */
     std::uint64_t tableConflicts() const { return tableConflicts_; }
 
+    void saveState(SnapshotWriter &w) const override;
+    bool loadState(SnapshotReader &r) override;
+
   private:
     struct TableEntry {
         bool valid = false;

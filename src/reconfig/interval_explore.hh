@@ -72,6 +72,9 @@ class IntervalExploreController : public ReconfigController
     std::uint64_t changesFromMemrefs() const { return chgMem_; }
     std::uint64_t changesFromIpc() const { return chgIpc_; }
 
+    void saveState(SnapshotWriter &w) const override;
+    bool loadState(SnapshotReader &r) override;
+
   private:
     void endInterval(Cycle now);
     void phaseChange();

@@ -61,6 +61,9 @@ class IntervalIlpController : public ReconfigController
     bool measuring() const { return measuring_; }
     std::uint64_t phaseChanges() const { return phaseChanges_; }
 
+    void saveState(SnapshotWriter &w) const override;
+    bool loadState(SnapshotReader &r) override;
+
   private:
     void endInterval(Cycle now);
 

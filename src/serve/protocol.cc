@@ -5,6 +5,7 @@
 #include "common/json_reader.hh"
 #include "common/logging.hh"
 #include "common/sha256.hh"
+#include "sim/checkpoint.hh"
 
 namespace clustersim {
 namespace serve {
@@ -222,8 +223,8 @@ pointErrorFrame(std::uint64_t job, std::size_t index,
 std::string
 doneFrame(std::uint64_t job, const std::string &status,
           const std::string &report, std::size_t cacheHits,
-          std::size_t computed, std::size_t merged, std::size_t failed,
-          std::size_t cancelled)
+          std::size_t computed, std::size_t warmHits,
+          std::size_t merged, std::size_t failed, std::size_t cancelled)
 {
     JsonWriter w;
     w.beginObject();
@@ -232,6 +233,7 @@ doneFrame(std::uint64_t job, const std::string &status,
     w.field("status", status);
     w.field("cache_hits", static_cast<std::uint64_t>(cacheHits));
     w.field("computed", static_cast<std::uint64_t>(computed));
+    w.field("warm_hits", static_cast<std::uint64_t>(warmHits));
     w.field("merged", static_cast<std::uint64_t>(merged));
     w.field("failed", static_cast<std::uint64_t>(failed));
     w.field("cancelled", static_cast<std::uint64_t>(cancelled));
@@ -254,7 +256,9 @@ cancelledFrame(std::uint64_t job)
 
 std::string
 statsFrame(const CacheStats &cache, std::uint64_t entries,
-           std::uint64_t bytes, const ServeStats &sched)
+           std::uint64_t bytes, const ServeStats &sched,
+           const CheckpointStats *ckpt, std::uint64_t ckptEntries,
+           std::uint64_t ckptBytes)
 {
     JsonWriter w;
     w.beginObject();
@@ -267,6 +271,18 @@ statsFrame(const CacheStats &cache, std::uint64_t entries,
     w.field("corrupt", cache.corrupt);
     w.field("entries", entries);
     w.field("bytes", bytes);
+    w.endObject();
+    CheckpointStats none;
+    const CheckpointStats &c = ckpt ? *ckpt : none;
+    w.key("checkpoints").beginObject();
+    w.field("enabled", ckpt != nullptr);
+    w.field("hits", c.hits);
+    w.field("misses", c.misses);
+    w.field("stores", c.stores);
+    w.field("store_failures", c.storeFailures);
+    w.field("corrupt", c.corrupt);
+    w.field("entries", ckptEntries);
+    w.field("bytes", ckptBytes);
     w.endObject();
     w.key("scheduler").beginObject();
     w.field("jobs_accepted", sched.jobsAccepted);

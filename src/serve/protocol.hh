@@ -20,6 +20,9 @@
 #include "serve/cache.hh"
 
 namespace clustersim {
+
+struct CheckpointStats;
+
 namespace serve {
 
 /** Protocol identifier, echoed in hello/pong frames. */
@@ -95,11 +98,14 @@ std::string pointErrorFrame(std::uint64_t job, std::size_t index,
                             const std::string &message,
                             std::size_t done, std::size_t total);
 
-/** Terminal job frame; `report` is empty unless status == "ok". */
+/** Terminal job frame; `report` is empty unless status == "ok".
+ *  `warmHits` counts this job's computed/merged points whose warmup was
+ *  restored from the checkpoint store instead of simulated. */
 std::string doneFrame(std::uint64_t job, const std::string &status,
                       const std::string &report, std::size_t cacheHits,
-                      std::size_t computed, std::size_t merged,
-                      std::size_t failed, std::size_t cancelled);
+                      std::size_t computed, std::size_t warmHits,
+                      std::size_t merged, std::size_t failed,
+                      std::size_t cancelled);
 
 std::string cancelledFrame(std::uint64_t job);
 
@@ -115,8 +121,17 @@ struct ServeStats {
     std::uint64_t pointsCancelled = 0;
 };
 
+/**
+ * Stats frame. The checkpoint block describes the warmup-checkpoint
+ * store; pass ckpt = nullptr when the daemon runs without one (the
+ * block is then emitted with all-zero counters so the frame shape is
+ * stable for clients).
+ */
 std::string statsFrame(const CacheStats &cache, std::uint64_t entries,
-                       std::uint64_t bytes, const ServeStats &sched);
+                       std::uint64_t bytes, const ServeStats &sched,
+                       const CheckpointStats *ckpt = nullptr,
+                       std::uint64_t ckptEntries = 0,
+                       std::uint64_t ckptBytes = 0);
 
 } // namespace serve
 } // namespace clustersim

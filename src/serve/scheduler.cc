@@ -27,6 +27,7 @@ struct PointScheduler::Job {
     std::size_t cancelled = 0;
     std::size_t cacheHits = 0;
     std::size_t computed = 0;
+    std::size_t warmHits = 0;
     std::size_t merged = 0;
     bool cancelRequested = false;
 
@@ -353,6 +354,7 @@ PointScheduler::executeTask(Task task)
     SweepOptions opts;
     opts.threads = 1;
     opts.deriveSeeds = true;
+    opts.checkpoints = cfg_.checkpoints;
     SweepResult res;
     bool run_failed = false;
     std::string error;
@@ -402,6 +404,11 @@ PointScheduler::executeTask(Task task)
                 deliverPayload(job, w.second, payloads[i],
                                w.first == origin ? PointSource::Computed
                                                  : PointSource::Merged);
+                // A warm start benefits every waiter equally: each
+                // received this point without its warmup being
+                // re-simulated.
+                if (res.runs[i].warmStart)
+                    job.warmHits++;
             }
             maybeFinishLocked(w.first);
         }
@@ -509,8 +516,9 @@ PointScheduler::maybeFinishLocked(std::uint64_t id)
     jobs_.erase(jit);
     if (owned->events.onDone)
         owned->events.onDone(status, report, owned->cacheHits,
-                             owned->computed, owned->merged,
-                             owned->failed, owned->cancelled);
+                             owned->computed, owned->warmHits,
+                             owned->merged, owned->failed,
+                             owned->cancelled);
 }
 
 } // namespace serve

@@ -61,11 +61,13 @@ struct JobEvents {
                        std::size_t done, std::size_t total)>
         onPointError;
     /** Job finished: status is "ok" | "failed" | "cancelled"; report
-     *  is non-empty only for "ok". */
+     *  is non-empty only for "ok". warmHits counts computed/merged
+     *  points whose warmup was restored from the checkpoint store. */
     std::function<void(const std::string &status,
                        const std::string &report, std::size_t cacheHits,
-                       std::size_t computed, std::size_t merged,
-                       std::size_t failed, std::size_t cancelled)>
+                       std::size_t computed, std::size_t warmHits,
+                       std::size_t merged, std::size_t failed,
+                       std::size_t cancelled)>
         onDone;
 };
 
@@ -87,6 +89,14 @@ class PointScheduler
         /** Unfinished-job bound: submissions beyond it are rejected
          *  with a `busy` error (the backpressure contract). */
         std::size_t maxActiveJobs = 8;
+        /**
+         * Optional warmup-checkpoint store (sim/checkpoint.hh; not
+         * owned, shared with concurrent users). Worker tasks then
+         * restore persisted warmups instead of re-simulating them, and
+         * concurrent cold jobs needing the same warmup compute it once
+         * through the store's in-flight lease. Null disables.
+         */
+        WarmupCheckpointStore *checkpoints = nullptr;
     };
 
     PointScheduler(CacheStore &cache, Config cfg);

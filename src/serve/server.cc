@@ -13,6 +13,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "serve/protocol.hh"
+#include "sim/checkpoint.hh"
 
 namespace clustersim {
 namespace serve {
@@ -83,7 +84,8 @@ struct SweepServer::Connection {
 SweepServer::SweepServer(CacheStore &cache, Config cfg)
     : cache_(cache), cfg_(cfg),
       scheduler_(cache, PointScheduler::Config{
-                            cfg.workers, cfg.maxActiveJobs})
+                            cfg.workers, cfg.maxActiveJobs,
+                            cfg.checkpoints})
 {
     if (::pipe(stopPipe_) != 0)
         fatal("serve: pipe: ", std::strerror(errno));
@@ -254,8 +256,17 @@ SweepServer::dispatchLine(const std::shared_ptr<Connection> &conn,
     case Request::Kind::Stats: {
         std::uint64_t entries = 0, bytes = 0;
         cache_.diskUsage(entries, bytes);
-        conn->sendLine(statsFrame(cache_.stats(), entries, bytes,
-                                  scheduler_.stats()));
+        if (cfg_.checkpoints) {
+            CheckpointStats cs = cfg_.checkpoints->stats();
+            std::uint64_t centries = 0, cbytes = 0;
+            cfg_.checkpoints->diskUsage(centries, cbytes);
+            conn->sendLine(statsFrame(cache_.stats(), entries, bytes,
+                                      scheduler_.stats(), &cs, centries,
+                                      cbytes));
+        } else {
+            conn->sendLine(statsFrame(cache_.stats(), entries, bytes,
+                                      scheduler_.stats()));
+        }
         return;
     }
 
@@ -303,10 +314,11 @@ SweepServer::dispatchLine(const std::shared_ptr<Connection> &conn,
                                   const std::string &report,
                                   std::size_t cacheHits,
                                   std::size_t computed,
+                                  std::size_t warmHits,
                                   std::size_t merged, std::size_t failed,
                                   std::size_t cancelled) {
             conn->sendLine(doneFrame(*jobId, status, report, cacheHits,
-                                     computed, merged, failed,
+                                     computed, warmHits, merged, failed,
                                      cancelled));
         };
 

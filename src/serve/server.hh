@@ -41,6 +41,9 @@ class SweepServer
         std::string portFile;     ///< written as "<port>\n" when set
         int workers = 1;          ///< scheduler worker threads
         std::size_t maxActiveJobs = 8;
+        /** Optional warmup-checkpoint store, forwarded to the
+         *  scheduler and reported in stats frames. Not owned. */
+        WarmupCheckpointStore *checkpoints = nullptr;
     };
 
     /** Binds and listens on 127.0.0.1; fatal() when that fails. */

@@ -18,6 +18,7 @@
 
 #include "check/invariant.hh"
 #include "common/logging.hh"
+#include "sim/checkpoint.hh"
 #include "sim/plan.hh"
 #include "sim/sweep.hh"
 #include "workload/replay.hh"
@@ -44,6 +45,8 @@ struct GroupExec {
     std::unique_ptr<ReconfigController> ctrl;
     std::unique_ptr<Processor> proc;
     std::uint64_t warmupGoal = 0; ///< absolute committed-count target
+    std::string ckptKey;          ///< checkpoint key ("" = not keyed)
+    bool restored = false;        ///< warmup came from the store
 };
 
 /** Instructions per round-robin warmup slice. Small enough that the
@@ -91,6 +94,51 @@ runBatch(const SweepPlan &plan, const SweepPlan::Batch &batch,
         execs.push_back(std::move(e));
     }
 
+    // Warm starts: restore each keyed group's post-warmup state from
+    // the checkpoint store when a valid blob exists. A restored lead
+    // reports committed() >= warmupGoal, so the warming loop below
+    // skips it naturally. The lease lives until runBatch returns: cold
+    // groups store under it, and concurrent batches needing the same
+    // warmups wait on beginCompute() instead of recomputing.
+    WarmupCheckpointStore *ckpt =
+        opts.checkpoints && opts.checkpoints->enabled()
+            ? opts.checkpoints
+            : nullptr;
+    WarmupCheckpointStore::ComputeLease lease;
+    if (ckpt) {
+        auto try_restore = [&](GroupExec &e) {
+            std::optional<std::string> payload = ckpt->load(e.ckptKey);
+            if (!payload)
+                return;
+            // The donor snapshot gives deserialization a shape-correct
+            // target; a failed load leaves the processor untouched.
+            CSIM_CHECK_PROBE(onStreamRebase());
+            Processor::Snapshot donor = e.proc->snapshot();
+            if (deserializeSnapshot(*payload, donor)) {
+                e.proc->restore(donor);
+                e.restored = true;
+            }
+        };
+        std::vector<std::string> missing;
+        for (GroupExec &e : execs) {
+            std::size_t idx = e.group->members[0];
+            e.ckptKey = ckpt->keyFor(points[idx],
+                                     plan.points[idx].seed);
+            if (e.ckptKey.empty())
+                continue;
+            try_restore(e);
+            if (!e.restored)
+                missing.push_back(e.ckptKey);
+        }
+        if (!missing.empty()) {
+            lease = ckpt->beginCompute(std::move(missing));
+            // A concurrent holder may have stored while we waited.
+            for (GroupExec &e : execs)
+                if (!e.ckptKey.empty() && !e.restored)
+                    try_restore(e);
+        }
+    }
+
     // Slices aim at the absolute committed-count goal, not a per-slice
     // amount: run() can overshoot its target by up to a commit group,
     // and letting that overshoot accumulate across slices would warm up
@@ -110,6 +158,17 @@ runBatch(const SweepPlan &plan, const SweepPlan::Batch &batch,
             CSIM_CHECK_PROBE(onStreamRebase());
             e.proc->run(std::min(e.warmupGoal - done, warmupSlice));
             warming = warming || e.proc->committed() < e.warmupGoal;
+        }
+    }
+
+    // Persist the warmups just computed (pre-resetStats, the exact
+    // state a cold run reaches) so later sweeps restore instead.
+    if (ckpt) {
+        for (GroupExec &e : execs) {
+            if (e.ckptKey.empty() || e.restored)
+                continue;
+            CSIM_CHECK_PROBE(onStreamRebase());
+            ckpt->store(e.ckptKey, serializeSnapshot(e.proc->snapshot()));
         }
     }
 
@@ -149,6 +208,7 @@ runBatch(const SweepPlan &plan, const SweepPlan::Batch &batch,
             slot.result = std::move(r);
             slot.seed = m.seed;
             slot.wallSeconds = secondsSince(run_start);
+            slot.warmStart = e.restored;
 
             if (opts.onComplete) {
                 std::lock_guard<std::mutex> lock(complete_mutex);

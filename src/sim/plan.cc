@@ -260,4 +260,22 @@ pointIdentityKey(const RunPoint &p, const std::string &label,
     return k;
 }
 
+std::string
+warmupIdentityKey(const RunPoint &p, std::uint64_t seed)
+{
+    if (!pointCacheable(p) || p.warmup == 0)
+        return {};
+    std::string k;
+    appendConfigKey(k, p.cfg);
+    WorkloadSpec w = p.workload;
+    w.seed = seed;
+    appendWorkloadKey(k, w);
+    keyU(k, p.warmup);
+    if (p.makeController)
+        keyS(k, "ctrl-" + p.controllerKey);
+    else
+        keyS(k, "no-controller");
+    return k;
+}
+
 } // namespace clustersim

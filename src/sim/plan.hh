@@ -93,6 +93,16 @@ bool pointCacheable(const RunPoint &p);
 std::string pointIdentityKey(const RunPoint &p, const std::string &label,
                              std::uint64_t seed);
 
+/**
+ * Identity byte string of a point's *warmup* only: config + workload
+ * (with the derived seed) + warmup instruction count + controller
+ * identity. Deliberately excludes measure and label -- any two points
+ * with equal keys reach bit-identical post-warmup machine state, so a
+ * persisted checkpoint under this key serves them all. Empty when the
+ * point is not cacheable (opaque controller) or has no warmup.
+ */
+std::string warmupIdentityKey(const RunPoint &p, std::uint64_t seed);
+
 } // namespace clustersim
 
 #endif // CLUSTERSIM_SIM_PLAN_HH

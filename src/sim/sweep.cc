@@ -6,11 +6,14 @@
 #include <mutex>
 #include <thread>
 
+#include "check/invariant.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "sim/checkpoint.hh"
 #include "sim/plan.hh"
 #include "trace/timeseries.hh"
+#include "workload/replay.hh"
 
 namespace clustersim {
 
@@ -25,6 +28,65 @@ secondsSince(Clock::time_point t0)
     // cpu_seconds report fields, which --no-timing strips from every
     // deterministic (golden, byte-identity) report
     return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/**
+ * Checkpoint-aware variant of runSimulation(): replay-sourced (the
+ * snapshot contract needs a seekable trace), restoring the post-warmup
+ * state from the store when a valid blob exists and persisting it when
+ * not. The replayed stream is the same instruction sequence the
+ * synthetic generator feeds runSimulation(), so results stay
+ * bit-identical to the cold path (the batched/unbatched byte-identity
+ * contract). Returns whether the warmup was restored rather than run.
+ */
+bool
+runCheckpointed(WarmupCheckpointStore &store, const std::string &key,
+                const ProcessorConfig &cfg, const WorkloadSpec &workload,
+                ReconfigController *controller, std::uint64_t warmup,
+                std::uint64_t measure, SimResult &res)
+{
+    // Mirror runSimulation(): in a check build, validate by default.
+    std::optional<InvariantChecker> own_checker;
+    std::optional<CheckScope> own_scope;
+    if (CLUSTERSIM_CHECK_ENABLED && !currentChecker()) {
+        own_checker.emplace(/*fail_fast=*/true);
+        own_scope.emplace(*own_checker);
+    }
+
+    auto buffer = std::make_shared<const ReplayBuffer>(
+        workload, warmup + measure + replayMargin(cfg));
+    ReplaySource src(buffer);
+    Processor proc(cfg, &src, controller);
+
+    // load -> miss -> lease -> load again (the prior holder may have
+    // stored while we waited) -> on a second miss, compute and store.
+    bool restored = false;
+    auto try_restore = [&]() {
+        std::optional<std::string> payload = store.load(key);
+        if (!payload)
+            return;
+        Processor::Snapshot donor = proc.snapshot();
+        if (deserializeSnapshot(*payload, donor)) {
+            proc.restore(donor);
+            restored = true;
+        }
+    };
+    WarmupCheckpointStore::ComputeLease lease;
+    try_restore();
+    if (!restored) {
+        lease = store.beginCompute({key});
+        try_restore();
+    }
+    if (!restored) {
+        proc.run(warmup);
+        store.store(key, serializeSnapshot(proc.snapshot()));
+    }
+    proc.resetStats();
+
+    res = measureWindow(proc, measure);
+    res.benchmark = workload.name;
+    res.config = cfg.name;
+    return restored;
 }
 
 } // namespace
@@ -112,14 +174,31 @@ runSweep(const std::vector<RunPoint> &points, const SweepOptions &opts)
             if (p.makeController)
                 ctrl = p.makeController();
 
+            // Points with a declared warmup identity route through the
+            // replay-based checkpoint path; everything else (store
+            // disabled, opaque controller, warmup == 0) runs the
+            // classic synthetic-source path. Both produce identical
+            // bytes -- replay feeds the same instruction stream the
+            // generator would.
+            std::string ckpt_key;
+            if (opts.checkpoints && opts.checkpoints->enabled())
+                ckpt_key = opts.checkpoints->keyFor(p, w.seed);
+
             // simlint-ignore(D002): timing-only bookkeeping, never a
             // sim input
             Clock::time_point run_start = Clock::now();
-            SimResult r = runSimulation(p.cfg, w, ctrl.get(), p.warmup,
-                                        p.measure);
+            SweepRun &slot = out.runs[i];
+            SimResult r;
+            if (!ckpt_key.empty()) {
+                slot.warmStart = runCheckpointed(
+                    *opts.checkpoints, ckpt_key, p.cfg, w, ctrl.get(),
+                    p.warmup, p.measure, r);
+            } else {
+                r = runSimulation(p.cfg, w, ctrl.get(), p.warmup,
+                                  p.measure);
+            }
             r.config = label;
 
-            SweepRun &slot = out.runs[i];
             slot.result = std::move(r);
             slot.seed = w.seed;
             slot.wallSeconds = secondsSince(run_start);

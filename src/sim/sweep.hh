@@ -29,6 +29,7 @@
 namespace clustersim {
 
 class JsonWriter;
+class WarmupCheckpointStore;
 
 /** One independent unit of sweep work. */
 struct RunPoint {
@@ -67,6 +68,15 @@ struct SweepOptions {
      * internally); for progress reporting.
      */
     std::function<void(std::size_t index, const SimResult &)> onComplete;
+    /**
+     * Optional persistent warmup-checkpoint store (sim/checkpoint.hh;
+     * not owned, shared across concurrent sweeps). When set, points
+     * with a declared warmup identity restore the post-warmup machine
+     * state from disk instead of re-simulating it, and cold points
+     * persist theirs after warming. Results are bit-identical either
+     * way; the store only changes wall time. Null disables warm starts.
+     */
+    WarmupCheckpointStore *checkpoints = nullptr;
 };
 
 /** One completed run: the result plus execution bookkeeping. */
@@ -74,6 +84,8 @@ struct SweepRun {
     SimResult result;
     std::uint64_t seed = 0;      ///< workload seed actually used
     double wallSeconds = 0.0;    ///< this run alone
+    /** Warmup was restored from the checkpoint store, not simulated. */
+    bool warmStart = false;
 };
 
 /** All results of a sweep, in submission order. */

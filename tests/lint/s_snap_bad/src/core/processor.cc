@@ -1,0 +1,10 @@
+#include "core/processor.hh"
+
+void
+Processor::restore(const Snapshot &s)
+{
+    cycle_ = s.cycle;
+    orphanCounter_ = s.orphanCounter;
+    shadowDepth_ = s.shadowDepth;
+    // ghostPending is never applied: restored runs diverge.
+}

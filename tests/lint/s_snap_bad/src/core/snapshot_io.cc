@@ -1,0 +1,19 @@
+#include "core/processor.hh"
+
+void
+Processor::Snapshot::save(SnapshotWriter &w) const
+{
+    w.u32(cycle);
+    w.u32(ghostPending);
+    w.u32(orphanCounter);
+    // shadowDepth is never written: checkpoints drop it.
+}
+
+bool
+Processor::Snapshot::load(SnapshotReader &r)
+{
+    cycle = r.u32();
+    ghostPending = r.u32();
+    // orphanCounter is never read back.
+    return r.atEnd();
+}

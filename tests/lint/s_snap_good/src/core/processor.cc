@@ -1,0 +1,8 @@
+#include "core/processor.hh"
+
+void
+Processor::restore(const Snapshot &s)
+{
+    cycle_ = s.cycle;
+    pendingTarget_ = s.pendingTarget;
+}

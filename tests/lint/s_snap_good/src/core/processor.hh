@@ -1,0 +1,22 @@
+// Fully covered miniature snapshot pipeline: every field flows
+// through restore(), save(), and load(), and the one intentionally
+// transient field carries a written S004 suppression.
+class SnapshotWriter;
+class SnapshotReader;
+
+struct Processor {
+    struct Snapshot;
+    void restore(const Snapshot &s);
+    int cycle_ = 0;
+    int pendingTarget_ = 0;
+};
+
+struct Processor::Snapshot {
+    int cycle = 0;
+    int pendingTarget = 0;
+    // simlint-ignore(S004): derived debug scratch, recomputed on
+    // restore; deliberately outside the serialized state.
+    int debugScratch = 0;
+    void save(SnapshotWriter &w) const;
+    bool load(SnapshotReader &r);
+};

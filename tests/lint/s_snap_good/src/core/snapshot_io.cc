@@ -1,0 +1,16 @@
+#include "core/processor.hh"
+
+void
+Processor::Snapshot::save(SnapshotWriter &w) const
+{
+    w.u32(cycle);
+    w.u32(pendingTarget);
+}
+
+bool
+Processor::Snapshot::load(SnapshotReader &r)
+{
+    cycle = r.u32();
+    pendingTarget = r.u32();
+    return r.atEnd();
+}

@@ -1,0 +1,552 @@
+/**
+ * @file
+ * Persistent warmup-checkpoint tests (sim/checkpoint.hh).
+ *
+ * Layers, each depending on the previous one:
+ *  - a serialized snapshot deserialized into a *fresh* processor image
+ *    (new Processor, new controller, new replay source) continues
+ *    bit-identically to the uninterrupted run, across every controller
+ *    family and both interconnects -- the property that makes on-disk
+ *    checkpoints reusable across processes;
+ *  - the store's content addressing is sensitive to exactly the warmup
+ *    identity (stream, config, warmup count, controller, salt) and
+ *    inert for unkeyed points;
+ *  - corrupted, truncated, and stale-version blobs degrade to a miss
+ *    and a recompute, never a wrong report;
+ *  - cold-then-warm runSweep and runSweepBatched produce byte-identical
+ *    deterministic reports, with warm starts actually taken (and the
+ *    in-flight dedup lease serializing concurrent cold computes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "core/processor.hh"
+#include "core/snapshot_io.hh"
+#include "sim/checkpoint.hh"
+#include "sim/plan.hh"
+#include "sim/presets.hh"
+#include "sim/sweep.hh"
+#include "workload/replay.hh"
+#include "workload/synthetic.hh"
+
+using namespace clustersim;
+
+namespace {
+
+constexpr std::uint64_t kWarmup = 5000;
+constexpr std::uint64_t kMeasure = 15000;
+
+/** Self-cleaning scratch directory. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        char tmpl[] = "/tmp/clustersim-ckpt-XXXXXX";
+        char *p = mkdtemp(tmpl);
+        EXPECT_NE(p, nullptr);
+        path_ = p != nullptr ? p : "";
+    }
+
+    ~TempDir()
+    {
+        if (path_.empty())
+            return;
+        DIR *d = opendir(path_.c_str());
+        if (d != nullptr) {
+            while (struct dirent *e = readdir(d)) {
+                std::string name = e->d_name;
+                if (name != "." && name != "..")
+                    std::remove((path_ + "/" + name).c_str());
+            }
+            closedir(d);
+        }
+        rmdir(path_.c_str());
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::shared_ptr<const ReplayBuffer>
+makeBuffer(const WorkloadSpec &w, const ProcessorConfig &cfg,
+           std::uint64_t insts)
+{
+    return std::make_shared<const ReplayBuffer>(w,
+                                                insts + replayMargin(cfg));
+}
+
+/** Uninterrupted warmup + measurement on a fresh processor. */
+SimResult
+straightLine(const ProcessorConfig &cfg,
+             std::shared_ptr<const ReplayBuffer> buf,
+             std::unique_ptr<ReconfigController> ctrl,
+             std::uint64_t warmup, std::uint64_t measure)
+{
+    ReplaySource src(std::move(buf));
+    Processor proc(cfg, &src, ctrl.get());
+    proc.run(warmup);
+    proc.resetStats();
+    return measureWindow(proc, measure);
+}
+
+/** A small grid whose points all share one stream (deriveSeeds=false),
+ *  so the batched driver forms real warmup groups. */
+std::vector<RunPoint>
+sharedStreamPoints()
+{
+    ProcessorConfig cfg = staticSubsetConfig(4);
+    WorkloadSpec w = makeBenchmark("gzip");
+    std::vector<RunPoint> points;
+    auto add = [&](const std::string &label, std::uint64_t warmup,
+                   std::uint64_t measure, bool controller,
+                   const std::string &key) {
+        RunPoint p;
+        p.label = label;
+        p.cfg = cfg;
+        p.workload = w;
+        p.warmup = warmup;
+        p.measure = measure;
+        if (controller)
+            p.makeController = [] { return makeExploreController(); };
+        p.controllerKey = key;
+        points.push_back(std::move(p));
+    };
+    add("shared-a", 4000, 12000, false, "");
+    add("shared-b", 4000, 16000, false, "");
+    add("ctrl-a", 4000, 12000, true, "explore-default");
+    add("ctrl-unkeyed", 4000, 8000, true, "");  // never checkpointed
+    add("no-warmup", 0, 12000, false, "");      // never checkpointed
+    add("other-warmup", 2000, 12000, false, "");
+    return points;
+}
+
+/** Flip one byte inside the payload region of every blob in dir. */
+std::size_t
+corruptAllBlobs(const std::string &dir)
+{
+    std::size_t corrupted = 0;
+    DIR *d = opendir(dir.c_str());
+    if (!d)
+        return 0;
+    while (struct dirent *e = readdir(d)) {
+        std::string name = e->d_name;
+        if (name.size() < 4 ||
+            name.compare(name.size() - 4, 4, ".ckp") != 0)
+            continue;
+        std::string path = dir + "/" + name;
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::string file = buf.str();
+        in.close();
+        std::size_t nl = file.find('\n');
+        EXPECT_NE(nl, std::string::npos);
+        EXPECT_GT(file.size(), nl + 64);
+        if (nl == std::string::npos || file.size() <= nl + 64)
+            continue;
+        file[nl + 32] ^= 0x01; // somewhere inside the payload
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << file;
+        corrupted++;
+    }
+    closedir(d);
+    return corrupted;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Serialization round trip
+// ---------------------------------------------------------------------------
+
+TEST(Checkpoint, SerializedRoundTripMatchesStraightLine)
+{
+    // save -> serialize -> deserialize into a *fresh* processor's donor
+    // snapshot -> restore -> run must be bit-identical to the
+    // uninterrupted run. The fresh image is the point: nothing may leak
+    // through shared in-process state, which is what cross-process
+    // reuse of on-disk blobs relies on.
+    struct Case {
+        const char *name;
+        std::function<std::unique_ptr<ReconfigController>()> make;
+    };
+    const Case cases[] = {
+        {"static", nullptr},
+        {"explore", [] { return makeExploreController(); }},
+        {"ilp", [] { return makeIlpController(10000); }},
+        {"finegrain", [] { return makeFinegrainController(); }},
+    };
+    const std::pair<const char *, InterconnectKind> kinds[] = {
+        {"ring", InterconnectKind::Ring},
+        {"grid", InterconnectKind::Grid},
+    };
+
+    WorkloadSpec w = makeBenchmark("gzip");
+    for (const auto &[kind_name, kind] : kinds) {
+        ProcessorConfig cfg = clusteredConfig(16, kind);
+        auto buf = makeBuffer(w, cfg, kWarmup + kMeasure);
+        for (const Case &c : cases) {
+            SCOPED_TRACE(std::string(kind_name) + "/" + c.name);
+
+            SimResult straight = straightLine(
+                cfg, buf, c.make ? c.make() : nullptr, kWarmup,
+                kMeasure);
+
+            // Producer: warm up, serialize the post-warmup snapshot.
+            std::string payload;
+            {
+                ReplaySource src(buf);
+                std::unique_ptr<ReconfigController> ctrl;
+                if (c.make)
+                    ctrl = c.make();
+                Processor proc(cfg, &src, ctrl.get());
+                proc.run(kWarmup);
+                payload = serializeSnapshot(proc.snapshot());
+            }
+            EXPECT_FALSE(payload.empty());
+
+            // Consumer: a fresh image restores the blob and measures.
+            ReplaySource src(buf);
+            std::unique_ptr<ReconfigController> ctrl;
+            if (c.make)
+                ctrl = c.make();
+            Processor proc(cfg, &src, ctrl.get());
+            Processor::Snapshot donor = proc.snapshot();
+            ASSERT_TRUE(deserializeSnapshot(payload, donor));
+            proc.restore(donor);
+            proc.resetStats();
+            SimResult restored = measureWindow(proc, kMeasure);
+
+            EXPECT_EQ(toJson(straight), toJson(restored));
+        }
+    }
+}
+
+TEST(Checkpoint, MalformedPayloadsRejected)
+{
+    WorkloadSpec w = makeBenchmark("parser");
+    ProcessorConfig cfg = clusteredConfig(16);
+    auto buf = makeBuffer(w, cfg, kWarmup);
+    ReplaySource src(buf);
+    Processor proc(cfg, &src, nullptr);
+    proc.run(kWarmup);
+    std::string payload = serializeSnapshot(proc.snapshot());
+    ASSERT_GT(payload.size(), 16u);
+
+    auto rejects = [&](std::string p) {
+        ReplaySource s2(buf);
+        Processor fresh(cfg, &s2, nullptr);
+        Processor::Snapshot donor = fresh.snapshot();
+        return !deserializeSnapshot(p, donor);
+    };
+
+    // Stale format version (the first little-endian u32).
+    std::string stale = payload;
+    stale[0] = static_cast<char>(stale[0] ^ 0x01);
+    EXPECT_TRUE(rejects(stale));
+
+    // Truncation anywhere, including mid-field.
+    EXPECT_TRUE(rejects(payload.substr(0, payload.size() / 2)));
+    EXPECT_TRUE(rejects(payload.substr(0, payload.size() - 1)));
+    EXPECT_TRUE(rejects(std::string()));
+
+    // Trailing garbage: a full parse must also consume every byte.
+    EXPECT_TRUE(rejects(payload + '\0'));
+
+    // A controller blob cannot restore into a controller-less image.
+    {
+        ReplaySource s3(buf);
+        auto ctrl = makeExploreController();
+        Processor other(cfg, &s3, ctrl.get());
+        other.run(kWarmup);
+        EXPECT_TRUE(rejects(serializeSnapshot(other.snapshot())));
+    }
+
+    // The intact payload still loads (the donor above was untouched by
+    // all the failures -- each rejects() used its own).
+    EXPECT_FALSE(rejects(payload));
+}
+
+// ---------------------------------------------------------------------------
+// Store addressing and integrity
+// ---------------------------------------------------------------------------
+
+TEST(Checkpoint, KeyCoversExactlyTheWarmupIdentity)
+{
+    std::vector<RunPoint> points = sharedStreamPoints();
+    TempDir dir;
+    WarmupCheckpointStore store(dir.path());
+
+    RunPoint base = points[0];
+    std::string k = store.keyFor(base, 42);
+    ASSERT_EQ(k.size(), 64u);
+
+    // Same identity -> same key.
+    EXPECT_EQ(k, store.keyFor(base, 42));
+
+    // Measure length and label are deliberately outside the identity.
+    RunPoint measure = base;
+    measure.measure += 1;
+    measure.label = "renamed";
+    EXPECT_EQ(k, store.keyFor(measure, 42));
+
+    // Stream seed, config, warmup count, controller: all inside.
+    EXPECT_NE(k, store.keyFor(base, 43));
+    RunPoint warm = base;
+    warm.warmup += 1;
+    EXPECT_NE(k, store.keyFor(warm, 42));
+    RunPoint cfg = base;
+    cfg.cfg.robSize += 16;
+    EXPECT_NE(k, store.keyFor(cfg, 42));
+    RunPoint ctrl = base;
+    ctrl.makeController = [] { return makeExploreController(); };
+    ctrl.controllerKey = "explore-default";
+    EXPECT_NE(k, store.keyFor(ctrl, 42));
+
+    // Salt is a version lever: a bump changes every address.
+    WarmupCheckpointStore salted(dir.path(), "test-salt-v2");
+    EXPECT_NE(k, salted.keyFor(base, 42));
+
+    // No declared identity -> no key.
+    RunPoint none = base;
+    none.warmup = 0;
+    EXPECT_TRUE(store.keyFor(none, 42).empty());
+    RunPoint opaque = base;
+    opaque.makeController = [] { return makeExploreController(); };
+    opaque.controllerKey = ""; // opaque: never checkpointed
+    EXPECT_TRUE(store.keyFor(opaque, 42).empty());
+}
+
+TEST(Checkpoint, StoreDetectsTamperedBlobs)
+{
+    TempDir dir;
+    WarmupCheckpointStore store(dir.path());
+    std::string key(64, 'a');
+    std::string payload(128, '\x5a'); // opaque bytes as far as the
+    payload += "store cares";         // store is concerned
+    store.store(key, payload);
+
+    auto got = store.load(key);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payload);
+
+    std::uint64_t entries = 0, bytes = 0;
+    store.diskUsage(entries, bytes);
+    EXPECT_EQ(entries, 1u);
+    EXPECT_GT(bytes, payload.size());
+
+    ASSERT_EQ(corruptAllBlobs(dir.path()), 1u);
+    EXPECT_FALSE(store.load(key).has_value());
+
+    CheckpointStats s = store.stats();
+    EXPECT_EQ(s.stores, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.corrupt, 1u);
+}
+
+TEST(Checkpoint, InflightLeaseSerializesConcurrentComputes)
+{
+    TempDir dir;
+    WarmupCheckpointStore store(dir.path());
+    std::string key(64, 'b');
+
+    std::atomic<int> inside{0};
+    std::atomic<int> max_inside{0};
+    auto contend = [&]() {
+        for (int i = 0; i < 50; i++) {
+            auto lease = store.beginCompute({key});
+            int now = ++inside;
+            int prev = max_inside.load();
+            while (now > prev && !max_inside.compare_exchange_weak(prev,
+                                                                   now))
+                ;
+            --inside;
+        }
+    };
+    std::thread a(contend), b(contend), c(contend);
+    a.join();
+    b.join();
+    c.join();
+    EXPECT_EQ(max_inside.load(), 1);
+
+    // Empty keys claim nothing and never block.
+    auto l1 = store.beginCompute({std::string()});
+    auto l2 = store.beginCompute({});
+    auto l3 = store.beginCompute({key});
+}
+
+// ---------------------------------------------------------------------------
+// Cold-then-warm byte identity
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Count warm-started runs in a sweep result. */
+std::size_t
+warmCount(const SweepResult &res)
+{
+    std::size_t n = 0;
+    for (const SweepRun &r : res.runs)
+        n += r.warmStart ? 1 : 0;
+    return n;
+}
+
+} // namespace
+
+TEST(Checkpoint, ColdThenWarmSweepByteIdentical)
+{
+    std::vector<RunPoint> points = sharedStreamPoints();
+    SweepOptions plain;
+    plain.threads = 1;
+    plain.deriveSeeds = false;
+    std::string baseline = sweepReportJson(
+        "ckpt", points, runSweep(points, plain), false);
+
+    TempDir dir;
+    WarmupCheckpointStore store(dir.path());
+    SweepOptions opts = plain;
+    opts.checkpoints = &store;
+
+    // Cold: four of the six points are keyed ("ctrl-unkeyed" and
+    // "no-warmup" are not), and the two 4000-warmup static points share
+    // one identity -- so three distinct blobs land on disk, and the
+    // second sharer already warm-starts from the first one's store
+    // (cross-point dedup working within a single cold sweep).
+    SweepResult cold = runSweep(points, opts);
+    EXPECT_EQ(warmCount(cold), 1u);
+    EXPECT_EQ(baseline, sweepReportJson("ckpt", points, cold, false));
+    std::uint64_t entries = 0, bytes = 0;
+    store.diskUsage(entries, bytes);
+    EXPECT_EQ(entries, 3u);
+    EXPECT_EQ(store.stats().stores, 3u);
+
+    // Warm: every keyed point restores; the report must not move.
+    SweepResult warm = runSweep(points, opts);
+    EXPECT_EQ(warmCount(warm), 4u);
+    EXPECT_EQ(baseline, sweepReportJson("ckpt", points, warm, false));
+    EXPECT_GE(store.stats().hits, 4u);
+
+    // Warm, multi-threaded: same bytes.
+    SweepOptions threaded = opts;
+    threaded.threads = 4;
+    EXPECT_EQ(baseline,
+              sweepReportJson("ckpt", points,
+                              runSweep(points, threaded), false));
+}
+
+TEST(Checkpoint, ColdThenWarmBatchedByteIdentical)
+{
+    std::vector<RunPoint> points = sharedStreamPoints();
+    SweepOptions plain;
+    plain.threads = 1;
+    plain.deriveSeeds = false;
+    std::string baseline = sweepReportJson(
+        "ckpt", points, runSweepBatched(points, plain), false);
+
+    TempDir dir;
+    WarmupCheckpointStore store(dir.path());
+    SweepOptions opts = plain;
+    opts.checkpoints = &store;
+
+    SweepResult cold = runSweepBatched(points, opts);
+    EXPECT_EQ(warmCount(cold), 0u);
+    EXPECT_EQ(baseline, sweepReportJson("ckpt", points, cold, false));
+    EXPECT_GT(store.stats().stores, 0u);
+
+    SweepResult warm = runSweepBatched(points, opts);
+    EXPECT_EQ(warmCount(warm), 4u);
+    EXPECT_EQ(baseline, sweepReportJson("ckpt", points, warm, false));
+
+    // Checkpoints written by the unbatched engine warm the batched one
+    // and vice versa -- the key is the identity, not the driver.
+    TempDir dir2;
+    WarmupCheckpointStore cross(dir2.path());
+    SweepOptions copts = plain;
+    copts.checkpoints = &cross;
+    runSweep(points, copts);
+    SweepResult crossed = runSweepBatched(points, copts);
+    EXPECT_EQ(warmCount(crossed), 4u);
+    EXPECT_EQ(baseline,
+              sweepReportJson("ckpt", points, crossed, false));
+
+    // And batched parallel stays byte-identical warm.
+    SweepOptions threaded = opts;
+    threaded.threads = 4;
+    EXPECT_EQ(baseline,
+              sweepReportJson("ckpt", points,
+                              runSweepBatched(points, threaded), false));
+}
+
+TEST(Checkpoint, CorruptStaleAndSaltedBlobsRecompute)
+{
+    std::vector<RunPoint> points = sharedStreamPoints();
+    SweepOptions plain;
+    plain.threads = 1;
+    plain.deriveSeeds = false;
+    std::string baseline = sweepReportJson(
+        "ckpt", points, runSweep(points, plain), false);
+
+    TempDir dir;
+    WarmupCheckpointStore store(dir.path());
+    SweepOptions opts = plain;
+    opts.checkpoints = &store;
+    runSweep(points, opts);
+
+    // Corrupt every blob on disk: the sha mismatch degrades each load
+    // to a miss, the sweep recomputes, and the report must not change.
+    // (The one warm start is the shared-identity point restoring the
+    // blob its sibling just re-stored, not a corrupt one.)
+    ASSERT_EQ(corruptAllBlobs(dir.path()), 3u);
+    SweepResult after = runSweep(points, opts);
+    EXPECT_EQ(warmCount(after), 1u);
+    EXPECT_EQ(baseline, sweepReportJson("ckpt", points, after, false));
+    EXPECT_GE(store.stats().corrupt, 3u);
+
+    // The recompute re-stored good blobs; now plant a stale-version
+    // payload under a key the sweep will ask for. The store-level hash
+    // is valid, so only the in-payload version stamp can reject it.
+    std::string key = store.keyFor(points[0], points[0].workload.seed);
+    ASSERT_FALSE(key.empty());
+    auto good = store.load(key);
+    ASSERT_TRUE(good.has_value());
+    std::string stale = *good;
+    stale[0] = static_cast<char>(stale[0] ^ 0x01);
+    store.store(key, stale);
+    SweepResult versioned = runSweep(points, opts);
+    EXPECT_EQ(baseline,
+              sweepReportJson("ckpt", points, versioned, false));
+    // Point 0 rejects the stale blob and recomputes (overwriting it
+    // with a good one, which its identity-sharing sibling then warms
+    // from); the other two keyed points warm-start normally.
+    EXPECT_EQ(warmCount(versioned), 3u);
+
+    // A salt bump re-addresses everything: full recompute, same bytes.
+    // (Again the sharer warms from its sibling's fresh store.)
+    WarmupCheckpointStore salted(dir.path(), "bumped-salt-v2");
+    SweepOptions sopts = plain;
+    sopts.checkpoints = &salted;
+    SweepResult resalted = runSweep(points, sopts);
+    EXPECT_EQ(warmCount(resalted), 1u);
+    EXPECT_EQ(baseline,
+              sweepReportJson("ckpt", points, resalted, false));
+}

@@ -136,6 +136,38 @@ TEST(SimlintSelfTest, StatsRulesPassOnCoveredTree)
     EXPECT_EQ(r.exitCode, 0) << r.output;
 }
 
+TEST(SimlintSelfTest, SnapshotRuleCatchesEscapedFields)
+{
+    std::string tree = fixture("s_snap_bad");
+    LintRun r = runSimlint("--quiet --project-root " + tree + " " +
+                           tree + "/src");
+    EXPECT_NE(r.exitCode, 0);
+    // Each fixture field escapes a different leg of the checkpoint
+    // path: ghostPending is never applied by restore(), orphanCounter
+    // is saved but never loaded, shadowDepth is never serialized.
+    EXPECT_NE(r.output.find("S004"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("ghostPending"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("orphanCounter"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("shadowDepth"), std::string::npos)
+        << r.output;
+    // The fully covered field stays silent.
+    EXPECT_EQ(r.output.find("Snapshot::cycle"), std::string::npos)
+        << r.output;
+}
+
+TEST(SimlintSelfTest, SnapshotRulePassesOnCoveredTree)
+{
+    // Full restore/save/load coverage plus one deliberately transient
+    // field behind a written S004 suppression: clean.
+    std::string tree = fixture("s_snap_good");
+    LintRun r = runSimlint("--quiet --project-root " + tree + " " +
+                           tree + "/src");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
 TEST(SimlintSelfTest, FixListSummarizesByRule)
 {
     LintRun r = runSimlint("--no-stats --quiet --fix-list " +

@@ -41,6 +41,7 @@
 #include "serve/cache.hh"
 #include "serve/protocol.hh"
 #include "serve/scheduler.hh"
+#include "sim/checkpoint.hh"
 #include "sim/plan.hh"
 #include "sim/presets.hh"
 #include "sim/sweep.hh"
@@ -509,8 +510,8 @@ struct JobRecorder {
     bool finished = false;
     std::string status;
     std::string report;
-    std::size_t cacheHits = 0, computed = 0, merged = 0, failed = 0,
-                cancelled = 0;
+    std::size_t cacheHits = 0, computed = 0, warmHits = 0, merged = 0,
+                failed = 0, cancelled = 0;
     std::vector<std::string> pointSources;
     std::vector<std::string> pointErrors;
 
@@ -531,13 +532,14 @@ struct JobRecorder {
         };
         ev.onDone = [this](const std::string &st, const std::string &rep,
                            std::size_t hits, std::size_t comp,
-                           std::size_t merg, std::size_t fail,
-                           std::size_t canc) {
+                           std::size_t warm, std::size_t merg,
+                           std::size_t fail, std::size_t canc) {
             std::lock_guard<std::mutex> lock(mutex);
             status = st;
             report = rep;
             cacheHits = hits;
             computed = comp;
+            warmHits = warm;
             merged = merg;
             failed = fail;
             cancelled = canc;
@@ -626,6 +628,51 @@ TEST(Serve, SchedulerColdThenWarmByteIdenticalToCli)
     EXPECT_EQ(warm.report, cold.report);
     for (const std::string &src : warm.pointSources)
         EXPECT_EQ(src, "cache");
+}
+
+TEST(Serve, SchedulerWarmStartsFromCheckpointStore)
+{
+    TempDir dir;
+    CacheStore cache(dir.path() + "/cache");
+    WarmupCheckpointStore ckpt(dir.path() + "/ckpt");
+    PointScheduler sched(cache, {2, 8, &ckpt});
+    SubmitRequest req = tinySmoke();
+
+    JobRecorder cold;
+    SubmitResult r1 = sched.submit(req, cold.events());
+    ASSERT_TRUE(r1.ok);
+    sched.start(r1.job);
+    cold.wait();
+    ASSERT_EQ(cold.status, "ok");
+    EXPECT_EQ(cold.warmHits, 0u);
+    EXPECT_GT(ckpt.stats().stores, 0u);
+
+    // Wipe the result cache but keep the checkpoints: every point
+    // recomputes its measurement, but every warmup is restored -- and
+    // the report must not move a byte.
+    {
+        std::string cdir = dir.path() + "/cache";
+        DIR *d = opendir(cdir.c_str());
+        ASSERT_NE(d, nullptr);
+        while (struct dirent *e = readdir(d)) {
+            std::string name = e->d_name;
+            if (name != "." && name != "..")
+                std::remove((cdir + "/" + name).c_str());
+        }
+        closedir(d);
+    }
+
+    JobRecorder warm;
+    SubmitResult r2 = sched.submit(req, warm.events());
+    ASSERT_TRUE(r2.ok);
+    EXPECT_EQ(r2.cached, 0u);
+    sched.start(r2.job);
+    warm.wait();
+    ASSERT_EQ(warm.status, "ok");
+    EXPECT_EQ(warm.computed, r2.points);
+    EXPECT_EQ(warm.warmHits, r2.points);
+    EXPECT_EQ(warm.report, cold.report);
+    EXPECT_GE(ckpt.stats().hits, r2.points);
 }
 
 TEST(Serve, SchedulerConcurrentJobsComputeEachPointOnce)

@@ -10,7 +10,8 @@
  * documents the schema.
  *
  *   perfbench [--quick] [--batched] [--out FILE] [--repeat N]
- *             [--baseline FILE] [--max-regress FRAC]
+ *             [--jobs N] [--baseline FILE] [--max-regress FRAC]
+ *   perfbench --warmheavy --checkpoints DIR [--min-warm-speedup F]
  *
  * --quick runs one benchmark (gzip) across all variants: the CI smoke
  * configuration. --baseline reads a previously written report (or the
@@ -27,8 +28,24 @@
  * measurement window. Since the reported wall time is the best of
  * --repeat runs, the steady-state (restore + measure) cost is what is
  * measured; use --repeat >= 2 or the warmup repeat is all there is.
+ *
+ * Every point reports its warmup/measure wall-time split, and the JSON
+ * carries the actual worker parallelism ("jobs") plus the host's true
+ * hardware thread count, so warm-start wins stay attributable when
+ * comparing reports from different runs or machines.
+ *
+ * --warmheavy is the warm-start demonstration preset: the gzip slice
+ * of the golden grid with a warmup-dominated instruction budget, run
+ * twice through the sweep engine against the persistent
+ * warmup-checkpoint store named by --checkpoints. The first pass is
+ * cold (it populates the store), the second restores every keyed
+ * point's warmup from disk. The report records both wall times, the
+ * cold/warm speedup, and whether the two timing-free sweep reports
+ * were byte-identical; the run exits non-zero unless the speedup
+ * clears --min-warm-speedup (default 2.0) and the reports match.
  */
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -43,12 +60,17 @@
 #include <memory>
 #include <optional>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "check/golden.hh"
 #include "common/json.hh"
 #include "common/json_reader.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "core/processor.hh"
+#include "sim/checkpoint.hh"
 #include "sim/sweep.hh"
 #include "workload/replay.hh"
 #include "workload/synthetic.hh"
@@ -73,7 +95,31 @@ struct PointResult {
     std::uint64_t instructions = 0; ///< committed, warmup + measure
     std::uint64_t simCycles = 0;    ///< simulated, warmup + measure
     double wallSeconds = 0.0;       ///< best of --repeat runs
+    /** Split of the best repeat: time spent reaching the post-warmup
+     *  state (simulated warmup, or snapshot restore in --batched
+     *  steady state) vs time inside the measurement window. */
+    double warmupWallSeconds = 0.0;
+    double measureWallSeconds = 0.0;
 };
+
+/**
+ * The host's real hardware thread count. hardware_concurrency() is
+ * allowed to return 0 when it cannot tell; fall back to the kernel's
+ * online-CPU count so the report never claims a 0-thread machine.
+ */
+std::uint64_t
+hardwareThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+#if defined(_SC_NPROCESSORS_ONLN)
+    if (hw == 0) {
+        long n = ::sysconf(_SC_NPROCESSORS_ONLN);
+        if (n > 0)
+            hw = static_cast<unsigned>(n);
+    }
+#endif
+    return hw;
+}
 
 /**
  * Execute one golden grid point (the same simulation tools/golden
@@ -102,13 +148,21 @@ runPoint(const RunPoint &p, int repeat)
         Clock::time_point start = Clock::now();
         proc.run(p.warmup);
         proc.resetStats();
+        double warm_wall = secondsSince(start);
+        // simlint-ignore(D002): phase boundary stamp for the
+        // warmup/measure wall split; never feeds the simulation.
+        Clock::time_point mstart = Clock::now();
         proc.run(p.measure);
-        double wall = secondsSince(start);
+        double meas_wall = secondsSince(mstart);
+        double wall = warm_wall + meas_wall;
 
         out.instructions = proc.committed() + p.warmup;
         out.simCycles = proc.cycle();
-        if (r == 0 || wall < out.wallSeconds)
+        if (r == 0 || wall < out.wallSeconds) {
             out.wallSeconds = wall;
+            out.warmupWallSeconds = warm_wall;
+            out.measureWallSeconds = meas_wall;
+        }
     }
     return out;
 }
@@ -147,17 +201,24 @@ runPointBatched(const RunPoint &p, int repeat)
             proc.run(p.warmup);
             proc.resetStats();
             snap.emplace(proc.snapshot());
-            proc.run(p.measure);
         } else {
             proc.restore(*snap);
-            proc.run(p.measure);
         }
-        double wall = secondsSince(start);
+        double warm_wall = secondsSince(start);
+        // simlint-ignore(D002): phase boundary stamp for the
+        // warmup/measure wall split; never feeds the simulation.
+        Clock::time_point mstart = Clock::now();
+        proc.run(p.measure);
+        double meas_wall = secondsSince(mstart);
+        double wall = warm_wall + meas_wall;
 
         out.instructions = proc.committed() + p.warmup;
         out.simCycles = proc.cycle();
-        if (r == 0 || wall < out.wallSeconds)
+        if (r == 0 || wall < out.wallSeconds) {
             out.wallSeconds = wall;
+            out.warmupWallSeconds = warm_wall;
+            out.measureWallSeconds = meas_wall;
+        }
     }
     return out;
 }
@@ -177,10 +238,20 @@ usage(const char *prog, int code)
                  "BENCH_kernel.json)\n"
                  "  --repeat N         timed runs per point, best "
                  "kept (default: 3)\n"
+                 "  --jobs N           worker threads timing points "
+                 "in parallel (default: 1)\n"
                  "  --baseline FILE    compare aggregate MIPS against "
                  "a previous report\n"
                  "  --max-regress F    failure threshold vs baseline "
                  "(default: 0.25)\n"
+                 "  --warmheavy        warm-start preset: run a "
+                 "warmup-dominated grid cold then warm against "
+                 "--checkpoints and gate the speedup\n"
+                 "  --checkpoints DIR  warmup-checkpoint store for "
+                 "--warmheavy\n"
+                 "  --min-warm-speedup F\n"
+                 "                     cold/warm wall-time ratio the "
+                 "--warmheavy run must reach (default: 2.0)\n"
                  "  --quiet            no per-point progress on "
                  "stderr\n",
                  prog);
@@ -216,6 +287,153 @@ baselineMips(const std::string &text, bool batched)
     return mips.asDouble();
 }
 
+void
+writeHost(JsonWriter &wr)
+{
+    wr.key("host").beginObject();
+#if defined(__linux__)
+    wr.field("os", "linux");
+#elif defined(__APPLE__)
+    wr.field("os", "darwin");
+#else
+    wr.field("os", "other");
+#endif
+    wr.field("hardware_threads", hardwareThreads());
+#if defined(__VERSION__)
+    wr.field("compiler", __VERSION__);
+#else
+    wr.field("compiler", "unknown");
+#endif
+    wr.endObject();
+}
+
+/** Warmup-dominated windows for --warmheavy: restoring this warmup
+ *  from the checkpoint store instead of simulating it is where the
+ *  cold/warm wall-time ratio comes from. */
+constexpr std::uint64_t warmHeavyWarmup = 150000;
+constexpr std::uint64_t warmHeavyMeasure = 10000;
+
+/**
+ * The --warmheavy mode: run the gzip slice of the golden grid twice
+ * through the real sweep engine against a persistent checkpoint
+ * store — first cold (populating the store), then warm — and gate on
+ * the wall-time ratio plus byte-identity of the timing-free reports.
+ * Expects a fresh store directory; a pre-populated one makes the
+ * "cold" pass warm and the ratio meaningless (the report records the
+ * cold pass's warm-start count so that is visible).
+ */
+int
+runWarmHeavy(const std::string &ckpt_dir, int jobs, double min_speedup,
+             const std::string &out_path, bool quiet)
+{
+    if (ckpt_dir.empty()) {
+        std::fprintf(stderr,
+                     "perfbench: --warmheavy requires --checkpoints "
+                     "DIR\n");
+        return 2;
+    }
+
+    std::vector<RunPoint> points;
+    for (RunPoint &p : goldenRunPoints()) {
+        if (p.workload.name != "gzip")
+            continue;
+        p.warmup = warmHeavyWarmup;
+        p.measure = warmHeavyMeasure;
+        points.push_back(std::move(p));
+    }
+
+    WarmupCheckpointStore store(ckpt_dir, defaultCheckpointSalt);
+    SweepOptions opts;
+    opts.threads = jobs;
+    opts.checkpoints = &store;
+
+    if (!quiet)
+        std::fprintf(stderr, "perfbench: warmheavy cold pass (%zu "
+                     "points, warmup %llu, measure %llu)...\n",
+                     points.size(),
+                     static_cast<unsigned long long>(warmHeavyWarmup),
+                     static_cast<unsigned long long>(warmHeavyMeasure));
+    SweepResult cold = runSweep(points, opts);
+    if (!quiet)
+        std::fprintf(stderr, "perfbench: warmheavy warm pass...\n");
+    SweepResult warm = runSweep(points, opts);
+
+    auto warmCount = [](const SweepResult &r) {
+        std::size_t n = 0;
+        for (const SweepRun &run : r.runs)
+            n += run.warmStart ? 1 : 0;
+        return n;
+    };
+    std::string cold_report =
+        sweepReportJson("warmheavy", points, cold, false);
+    std::string warm_report =
+        sweepReportJson("warmheavy", points, warm, false);
+    bool identical = cold_report == warm_report;
+    double speedup = warm.wallSeconds > 0.0
+                         ? cold.wallSeconds / warm.wallSeconds
+                         : 0.0;
+    bool passed = identical && speedup >= min_speedup;
+
+    CheckpointStats ks = store.stats();
+    std::uint64_t entries = 0, bytes = 0;
+    store.diskUsage(entries, bytes);
+
+    JsonWriter wr;
+    wr.beginObject();
+    wr.field("schema", "clustersim-perfbench-v1");
+    wr.field("mode", "warmheavy");
+    wr.field("jobs", static_cast<std::uint64_t>(
+                         std::max(1, std::min(jobs == 0 ? 1 : jobs,
+                                              static_cast<int>(
+                                                  points.size())))));
+    writeHost(wr);
+    wr.key("warmheavy").beginObject();
+    wr.field("points", static_cast<std::uint64_t>(points.size()));
+    wr.field("warmup", warmHeavyWarmup);
+    wr.field("measure", warmHeavyMeasure);
+    wr.key("cold").beginObject();
+    wr.field("wall_seconds", cold.wallSeconds);
+    wr.field("warm_starts",
+             static_cast<std::uint64_t>(warmCount(cold)));
+    wr.endObject();
+    wr.key("warm").beginObject();
+    wr.field("wall_seconds", warm.wallSeconds);
+    wr.field("warm_starts",
+             static_cast<std::uint64_t>(warmCount(warm)));
+    wr.endObject();
+    wr.field("speedup", speedup);
+    wr.field("min_speedup", min_speedup);
+    wr.field("reports_identical", identical);
+    wr.field("passed", passed);
+    wr.endObject();
+    wr.key("checkpoints").beginObject();
+    wr.field("hits", ks.hits);
+    wr.field("misses", ks.misses);
+    wr.field("stores", ks.stores);
+    wr.field("store_failures", ks.storeFailures);
+    wr.field("corrupt", ks.corrupt);
+    wr.field("entries", entries);
+    wr.field("bytes", bytes);
+    wr.endObject();
+    wr.endObject();
+
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "perfbench: cannot write %s\n",
+                     out_path.c_str());
+        return 2;
+    }
+    out << wr.str() << "\n";
+
+    std::printf("perfbench: warmheavy cold %.3fs (%zu warm starts), "
+                "warm %.3fs (%zu warm starts), speedup %.2fx "
+                "(gate %.2fx), reports %s -> %s\n",
+                cold.wallSeconds, warmCount(cold), warm.wallSeconds,
+                warmCount(warm), speedup, min_speedup,
+                identical ? "identical" : "DIFFER", out_path.c_str());
+    return passed ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -224,10 +442,14 @@ main(int argc, char **argv)
     bool quick = false;
     bool quiet = false;
     bool batched = false;
+    bool warmheavy = false;
     int repeat = 3;
-    std::string out_path = "BENCH_kernel.json";
+    int jobs = 1;
+    std::string out_path;
     std::string baseline_path;
+    std::string ckpt_dir;
     double max_regress = 0.25;
+    double min_warm_speedup = 2.0;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -248,6 +470,16 @@ main(int argc, char **argv)
             repeat = std::atoi(need("--repeat"));
             if (repeat < 1)
                 repeat = 1;
+        } else if (arg == "--jobs") {
+            jobs = std::atoi(need("--jobs"));
+            if (jobs < 1)
+                jobs = 1;
+        } else if (arg == "--warmheavy") {
+            warmheavy = true;
+        } else if (arg == "--checkpoints") {
+            ckpt_dir = need("--checkpoints");
+        } else if (arg == "--min-warm-speedup") {
+            min_warm_speedup = std::atof(need("--min-warm-speedup"));
         } else if (arg == "--baseline") {
             baseline_path = need("--baseline");
         } else if (arg == "--max-regress") {
@@ -262,6 +494,13 @@ main(int argc, char **argv)
         }
     }
 
+    if (out_path.empty())
+        out_path = warmheavy ? "BENCH_warmheavy.json"
+                             : "BENCH_kernel.json";
+    if (warmheavy)
+        return runWarmHeavy(ckpt_dir, jobs, min_warm_speedup, out_path,
+                            quiet);
+
     std::vector<RunPoint> points = goldenRunPoints();
     if (quick) {
         std::vector<RunPoint> slice;
@@ -272,26 +511,55 @@ main(int argc, char **argv)
         points = std::move(slice);
     }
 
-    std::vector<PointResult> results;
+    // Points are independent; --jobs N times them on N worker threads
+    // (per-point walls stay per-thread, so aggregate wall remains the
+    // serial-equivalent sum and MIPS stays comparable across jobs).
+    int jobs_actual =
+        std::max(1, std::min(jobs, static_cast<int>(points.size())));
+    std::vector<PointResult> results(points.size());
+    std::atomic<std::size_t> next_point{0};
+    std::atomic<std::size_t> points_done{0};
+    auto work = [&]() {
+        for (;;) {
+            std::size_t i = next_point.fetch_add(1);
+            if (i >= points.size())
+                return;
+            PointResult r = batched ? runPointBatched(points[i], repeat)
+                                    : runPoint(points[i], repeat);
+            std::size_t done = points_done.fetch_add(1) + 1;
+            if (!quiet) {
+                std::fprintf(
+                    stderr, "[%zu/%zu] %s/%s: %.3fs (%.2f MIPS)\n",
+                    done, points.size(), r.benchmark.c_str(),
+                    r.config.c_str(), r.wallSeconds,
+                    safeRate(static_cast<double>(r.instructions),
+                             r.wallSeconds) /
+                        1e6);
+            }
+            results[i] = std::move(r);
+        }
+    };
+    if (jobs_actual == 1) {
+        work();
+    } else {
+        std::vector<std::thread> workers;
+        for (int t = 0; t < jobs_actual; t++)
+            workers.emplace_back(work);
+        for (std::thread &t : workers)
+            t.join();
+    }
+
     std::uint64_t total_insts = 0;
     std::uint64_t total_cycles = 0;
     double total_wall = 0.0;
-    for (std::size_t i = 0; i < points.size(); i++) {
-        PointResult r = batched ? runPointBatched(points[i], repeat)
-                                : runPoint(points[i], repeat);
-        if (!quiet) {
-            std::fprintf(stderr,
-                         "[%zu/%zu] %s/%s: %.3fs (%.2f MIPS)\n", i + 1,
-                         points.size(), r.benchmark.c_str(),
-                         r.config.c_str(), r.wallSeconds,
-                         safeRate(static_cast<double>(r.instructions),
-                                  r.wallSeconds) /
-                             1e6);
-        }
+    double total_warm_wall = 0.0;
+    double total_meas_wall = 0.0;
+    for (const PointResult &r : results) {
         total_insts += r.instructions;
         total_cycles += r.simCycles;
         total_wall += r.wallSeconds;
-        results.push_back(std::move(r));
+        total_warm_wall += r.warmupWallSeconds;
+        total_meas_wall += r.measureWallSeconds;
     }
 
     // safeRate: a fast --quick run can complete in ~0 wall seconds; a
@@ -308,24 +576,8 @@ main(int argc, char **argv)
     wr.field("quick", quick);
     wr.field("batched", batched);
     wr.field("repeat", repeat);
-
-    wr.key("host").beginObject();
-#if defined(__linux__)
-    wr.field("os", "linux");
-#elif defined(__APPLE__)
-    wr.field("os", "darwin");
-#else
-    wr.field("os", "other");
-#endif
-    wr.field("hardware_threads",
-             static_cast<std::uint64_t>(
-                 std::thread::hardware_concurrency()));
-#if defined(__VERSION__)
-    wr.field("compiler", __VERSION__);
-#else
-    wr.field("compiler", "unknown");
-#endif
-    wr.endObject();
+    wr.field("jobs", static_cast<std::uint64_t>(jobs_actual));
+    writeHost(wr);
 
     wr.key("points").beginArray();
     for (const PointResult &r : results) {
@@ -335,6 +587,8 @@ main(int argc, char **argv)
         wr.field("instructions", r.instructions);
         wr.field("sim_cycles", r.simCycles);
         wr.field("wall_seconds", r.wallSeconds);
+        wr.field("warmup_wall_seconds", r.warmupWallSeconds);
+        wr.field("measure_wall_seconds", r.measureWallSeconds);
         wr.field("mips", safeRate(static_cast<double>(r.instructions),
                                   r.wallSeconds) /
                              1e6);
@@ -350,6 +604,8 @@ main(int argc, char **argv)
     wr.field("instructions", total_insts);
     wr.field("sim_cycles", total_cycles);
     wr.field("wall_seconds", total_wall);
+    wr.field("warmup_wall_seconds", total_warm_wall);
+    wr.field("measure_wall_seconds", total_meas_wall);
     wr.field("mips", agg_mips);
     wr.field("sim_cycles_per_sec", agg_cps);
     wr.endObject();

@@ -93,6 +93,11 @@ const RuleInfo ruleTable[] = {
     {"S003", "stat missing from reset path",
      "Processor::resetStats() must reset the whole ProcessorStats "
      "aggregate or touch every field"},
+    {"S004", "snapshot field missing from restore/serialize path",
+     "every Processor::Snapshot member must be applied by "
+     "Processor::restore() and serialized by Snapshot::save()/load() "
+     "in src/core/snapshot_io.cc, or warmup checkpoints silently "
+     "drop it"},
     {"T001", "ungated trace-sink access in hot path",
      "route the hook through CSIM_TRACE so a default build compiles "
      "it out; raw TraceSink/currentTraceSink use belongs in cold code"},
@@ -505,28 +510,19 @@ struct FieldDef {
 };
 
 /**
- * Data members of `struct name { ... }` in a lexed file. A member
- * statement is one with no `(` at struct depth (functions and
+ * Data members of a struct body whose opening `{` is at braceIdx. A
+ * member statement is one with no `(` at struct depth (functions and
  * constructors all carry parens).
  */
 std::vector<FieldDef>
-structFields(const LexedFile &lx, const std::string &name)
+fieldsInStructBody(const std::vector<Tok> &t, std::size_t braceIdx)
 {
-    const std::vector<Tok> &t = lx.toks;
     std::vector<FieldDef> out;
-    std::size_t i = 0;
-    for (; i + 2 < t.size(); i++) {
-        if ((t[i].text == "struct" || t[i].text == "class") &&
-            t[i + 1].text == name && t[i + 2].text == "{")
-            break;
-    }
-    if (i + 2 >= t.size())
-        return out;
     int depth = 0;
     bool sawParen = false;
     std::string lastIdent, nameCandidate;
     int candLine = 0;
-    for (std::size_t j = i + 2; j < t.size(); j++) {
+    for (std::size_t j = braceIdx; j < t.size(); j++) {
         const std::string &s = t[j].text;
         if (s == "{") {
             depth++;
@@ -562,6 +558,39 @@ structFields(const LexedFile &lx, const std::string &name)
         }
     }
     return out;
+}
+
+/** Data members of `struct name { ... }` in a lexed file. */
+std::vector<FieldDef>
+structFields(const LexedFile &lx, const std::string &name)
+{
+    const std::vector<Tok> &t = lx.toks;
+    for (std::size_t i = 0; i + 2 < t.size(); i++) {
+        if ((t[i].text == "struct" || t[i].text == "class") &&
+            t[i + 1].text == name && t[i + 2].text == "{")
+            return fieldsInStructBody(t, i + 2);
+    }
+    return {};
+}
+
+/**
+ * Data members of an out-of-line nested definition
+ * `struct outer::name { ... }` (e.g. `struct Processor::Snapshot`),
+ * which the unqualified finder cannot see.
+ */
+std::vector<FieldDef>
+qualifiedStructFields(const LexedFile &lx, const std::string &outer,
+                      const std::string &name)
+{
+    const std::vector<Tok> &t = lx.toks;
+    for (std::size_t i = 0; i + 5 < t.size(); i++) {
+        if ((t[i].text == "struct" || t[i].text == "class") &&
+            t[i + 1].text == outer && t[i + 2].text == ":" &&
+            t[i + 3].text == ":" && t[i + 4].text == name &&
+            t[i + 5].text == "{")
+            return fieldsInStructBody(t, i + 5);
+    }
+    return {};
 }
 
 /** All identifier texts in a lexed file. */
@@ -633,6 +662,7 @@ class Linter
   private:
     void scanFile(FileScan &f);
     void statsRules();
+    void snapshotRules();
     void emit(const FileScan &f, int line, const char *rule,
               const std::string &msg);
     void emitRaw(const Diag &d) { diags_.push_back(d); }
@@ -935,6 +965,101 @@ Linter::statsRules()
     }
 }
 
+void
+Linter::snapshotRules()
+{
+    const fs::path root = opts_.projectRoot;
+    const fs::path procHh = root / "src/core/processor.hh";
+    const fs::path procCc = root / "src/core/processor.cc";
+    const fs::path snapCc = root / "src/core/snapshot_io.cc";
+
+    auto readLex = [](const fs::path &p, FileScan &f) {
+        std::ifstream in(p);
+        if (!in)
+            return false;
+        std::stringstream ss;
+        ss << in.rdbuf();
+        f.path = p.string();
+        f.lx = lex(ss.str());
+        parseDirectives(f);
+        return true;
+    };
+
+    FileScan fProcHh, fProcCc, fSnapCc;
+    if (!readLex(procHh, fProcHh) || !readLex(procCc, fProcCc) ||
+        !readLex(snapCc, fSnapCc)) {
+        // Not a full project tree; the snapshot cross-check needs the
+        // declaration, the restore path, and the serializer together.
+        if (!opts_.quiet)
+            std::fprintf(stderr,
+                         "simlint: note: snapshot pipeline files not "
+                         "found under '%s'; S004 skipped\n",
+                         root.string().c_str());
+        return;
+    }
+
+    std::vector<FieldDef> snapFields =
+        qualifiedStructFields(fProcHh.lx, "Processor", "Snapshot");
+    if (snapFields.empty()) {
+        emitRaw({fProcHh.path, 1, "S004",
+                 "could not parse Processor::Snapshot fields; the "
+                 "snapshot coverage cross-check is blind"});
+        return;
+    }
+
+    // S004: every Snapshot member must flow through all three legs of
+    // the checkpoint path — applied by Processor::restore(), written
+    // by Snapshot::save(), and read back by Snapshot::load(). A member
+    // missing anywhere means warmup checkpoints silently drop state
+    // and restored runs diverge from straight-line warmup.
+    std::vector<Tok> restoreBody =
+        methodBody(fProcCc.lx, "Processor", "restore");
+    std::vector<Tok> saveBody =
+        methodBody(fSnapCc.lx, "Snapshot", "save");
+    std::vector<Tok> loadBody =
+        methodBody(fSnapCc.lx, "Snapshot", "load");
+    if (restoreBody.empty() || saveBody.empty() || loadBody.empty()) {
+        emitRaw({fSnapCc.path, 1, "S004",
+                 "Processor::restore() / Snapshot::save() / "
+                 "Snapshot::load() definition not found; the snapshot "
+                 "coverage cross-check is blind"});
+        return;
+    }
+
+    auto idents = [](const std::vector<Tok> &body) {
+        std::set<std::string> out;
+        for (const Tok &t : body)
+            if (t.kind == Tok::Ident)
+                out.insert(t.text);
+        return out;
+    };
+    std::set<std::string> restoreIds = idents(restoreBody);
+    std::set<std::string> saveIds = idents(saveBody);
+    std::set<std::string> loadIds = idents(loadBody);
+
+    for (const FieldDef &fd : snapFields) {
+        if (suppressed(fProcHh, fd.line, "S004"))
+            continue;
+        if (!restoreIds.count(fd.name))
+            emitRaw({fProcHh.path, fd.line, "S004",
+                     "Processor::Snapshot::" + fd.name + " is not "
+                     "applied by Processor::restore(); restored runs "
+                     "would diverge from straight-line warmup"});
+        if (!saveIds.count(fd.name))
+            emitRaw({fProcHh.path, fd.line, "S004",
+                     "Processor::Snapshot::" + fd.name + " is not "
+                     "written by Snapshot::save() in "
+                     "src/core/snapshot_io.cc; serialized checkpoints "
+                     "would silently drop it"});
+        else if (!loadIds.count(fd.name))
+            emitRaw({fProcHh.path, fd.line, "S004",
+                     "Processor::Snapshot::" + fd.name + " is not read "
+                     "back by Snapshot::load() in "
+                     "src/core/snapshot_io.cc; deserialized "
+                     "checkpoints would silently drop it"});
+    }
+}
+
 int
 Linter::run()
 {
@@ -1014,8 +1139,10 @@ Linter::run()
 
     for (FileScan &f : files_)
         scanFile(f);
-    if (!opts_.noStats)
+    if (!opts_.noStats) {
         statsRules();
+        snapshotRules();
+    }
 
     std::sort(diags_.begin(), diags_.end(),
               [](const Diag &a, const Diag &b) {

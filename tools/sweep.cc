@@ -5,7 +5,7 @@
  *
  *   sweep --preset table3 [--threads N] [--out report.json]
  *         [--warmup N] [--measure N] [--batched] [--no-timing]
- *         [--quiet]
+ *         [--checkpoints DIR] [--checkpoint-salt TAG] [--quiet]
  *   sweep --list
  *
  * Per-run metrics are bit-identical for every --threads value: each
@@ -15,6 +15,11 @@
  * --no-timing drops those fields so the whole report file is
  * byte-identical across thread counts — and, with --batched, across
  * the batched and unbatched execution strategies (CI diffs the two).
+ *
+ * With --checkpoints, post-warmup machine states persist in a
+ * warmup-checkpoint store: a second run of the same preset restores
+ * each point's warmup from disk instead of re-simulating it, with
+ * byte-identical reports (docs/PERF.md, "Warmup checkpoints").
  */
 
 #include <cstdio>
@@ -23,6 +28,7 @@
 #include <fstream>
 #include <string>
 
+#include "sim/checkpoint.hh"
 #include "sim/presets.hh"
 #include "sim/sweep.hh"
 
@@ -53,8 +59,14 @@ usage(const char *prog, int code)
                  "results)\n"
                  "  --no-timing     omit wall-clock fields from the "
                  "report (byte-identical across thread counts)\n"
+                 "  --checkpoints DIR\n"
+                 "                  warmup-checkpoint store directory "
+                 "(default: none = warm starts off)\n"
+                 "  --checkpoint-salt TAG\n"
+                 "                  checkpoint version salt (default: "
+                 "%s)\n"
                  "  --quiet         no per-run progress on stderr\n",
-                 prog, prog);
+                 prog, prog, defaultCheckpointSalt);
     return code;
 }
 
@@ -71,6 +83,8 @@ main(int argc, char **argv)
     bool include_timing = true;
     bool quiet = false;
     bool batched = false;
+    std::string ckpt_dir;
+    std::string ckpt_salt = defaultCheckpointSalt;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -102,6 +116,10 @@ main(int argc, char **argv)
             batched = true;
         } else if (arg == "--no-timing") {
             include_timing = false;
+        } else if (arg == "--checkpoints") {
+            ckpt_dir = need("--checkpoints");
+        } else if (arg == "--checkpoint-salt") {
+            ckpt_salt = need("--checkpoint-salt");
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -130,6 +148,9 @@ main(int argc, char **argv)
 
     SweepOptions opts;
     opts.threads = threads;
+    WarmupCheckpointStore checkpoints(ckpt_dir, ckpt_salt);
+    if (checkpoints.enabled())
+        opts.checkpoints = &checkpoints;
     std::size_t done = 0;
     if (!quiet) {
         opts.onComplete = [&done, &points](std::size_t,
@@ -164,5 +185,18 @@ main(int argc, char **argv)
                  preset.c_str(), res.runs.size(), res.threads,
                  res.wallSeconds, res.cpuSeconds(), res.speedup(),
                  dest.c_str());
+    if (checkpoints.enabled()) {
+        CheckpointStats ks = checkpoints.stats();
+        std::size_t warm = 0;
+        for (const SweepRun &r : res.runs)
+            warm += r.warmStart ? 1 : 0;
+        std::fprintf(stderr,
+                     "sweep: warm starts %zu/%zu (checkpoint hits %llu "
+                     "misses %llu stores %llu)\n",
+                     warm, res.runs.size(),
+                     static_cast<unsigned long long>(ks.hits),
+                     static_cast<unsigned long long>(ks.misses),
+                     static_cast<unsigned long long>(ks.stores));
+    }
     return 0;
 }

@@ -9,24 +9,40 @@
  *   stats     print the daemon's cache + scheduler counters
  *   ping      protocol round-trip check
  *   shutdown  ask the daemon to drain and exit
+ *   prune     bound on-disk store size (no daemon needed)
  *
  * `submit --out FILE` writes the streamed report exactly as
  * `sweep --preset NAME --no-timing --out FILE` would (report + "\n"),
  * so the two files can be compared with cmp(1) -- the conformance
  * contract CI enforces. `--require-cached FRAC` fails the exit status
  * when fewer than FRAC of the points were served from the cache, which
- * is how warm-path tests pin that caching actually happened.
+ * is how warm-path tests pin that caching actually happened;
+ * `--require-warm FRAC` is the analogous gate on warm-started warmups
+ * among the points that were actually computed.
+ *
+ * `prune --dir DIR [--dir DIR ...] --max-bytes N` walks the given
+ * store directories (result caches and checkpoint stores alike),
+ * deletes leftover writer temp files, and then deletes
+ * oldest-modified-first artifacts (*.cpt result payloads, *.ckp
+ * checkpoint blobs) until the combined size is within the bound. It
+ * operates on the filesystem directly -- safe to run from cron while a
+ * daemon is up, because stores treat a vanished file as a plain miss.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "common/json.hh"
@@ -47,10 +63,13 @@ usage(const char *prog, int code)
                  "commands:\n"
                  "  submit --preset NAME [--warmup N] [--measure N]\n"
                  "         [--active-clusters N] [--out FILE]\n"
-                 "         [--require-cached FRAC] [--quiet]\n"
+                 "         [--require-cached FRAC] [--require-warm "
+                 "FRAC] [--quiet]\n"
                  "  stats\n"
                  "  ping\n"
-                 "  shutdown\n",
+                 "  shutdown\n"
+                 "  prune --dir DIR [--dir DIR ...] --max-bytes N "
+                 "[--quiet]\n",
                  prog);
     return code;
 }
@@ -144,7 +163,7 @@ int
 runSubmit(Client &client, const std::string &preset,
           std::uint64_t warmup, std::uint64_t measure,
           int active_clusters, const std::string &out_path,
-          double require_cached, bool quiet)
+          double require_cached, double require_warm, bool quiet)
 {
     JsonWriter w;
     w.beginObject();
@@ -213,14 +232,25 @@ runSubmit(Client &client, const std::string &preset,
         const std::string &status = frame.at("status").asString();
         std::uint64_t hits =
             static_cast<std::uint64_t>(frame.at("cache_hits").asInt());
+        std::uint64_t computed =
+            static_cast<std::uint64_t>(frame.at("computed").asInt());
+        std::uint64_t merged =
+            static_cast<std::uint64_t>(frame.at("merged").asInt());
+        // Absent on pre-checkpoint daemons; treat as zero warm starts.
+        std::uint64_t warm_hits =
+            frame.has("warm_hits")
+                ? static_cast<std::uint64_t>(
+                      frame.at("warm_hits").asInt())
+                : 0;
         if (!quiet)
             std::fprintf(
                 stderr,
-                "sweepc: %s; cache %llu, computed %lld, merged %lld, "
-                "failed %lld, cancelled %lld\n",
+                "sweepc: %s; cache %llu, computed %llu (warm %llu), "
+                "merged %llu, failed %lld, cancelled %lld\n",
                 status.c_str(), static_cast<unsigned long long>(hits),
-                static_cast<long long>(frame.at("computed").asInt()),
-                static_cast<long long>(frame.at("merged").asInt()),
+                static_cast<unsigned long long>(computed),
+                static_cast<unsigned long long>(warm_hits),
+                static_cast<unsigned long long>(merged),
                 static_cast<long long>(frame.at("failed").asInt()),
                 static_cast<long long>(frame.at("cancelled").asInt()));
         if (status != "ok")
@@ -251,8 +281,110 @@ runSubmit(Client &client, const std::string &preset,
                 return 1;
             }
         }
+        if (require_warm > 0.0 && computed + merged > 0) {
+            // Denominator: points that actually ran a simulation (or
+            // merged into one); cache-replayed points never warm up at
+            // all, so they neither help nor hurt the gate.
+            double frac = static_cast<double>(warm_hits) /
+                          static_cast<double>(computed + merged);
+            if (frac < require_warm) {
+                std::fprintf(stderr,
+                             "sweepc: warm fraction %.2f below "
+                             "required %.2f\n",
+                             frac, require_warm);
+                return 1;
+            }
+        }
         return 0;
     }
+}
+
+/** One prunable artifact on disk. */
+struct PruneEntry {
+    std::string path;
+    std::uint64_t bytes = 0;
+    std::time_t mtime = 0;
+};
+
+bool
+hasSuffix(const std::string &s, const char *suffix)
+{
+    std::size_t n = std::strlen(suffix);
+    return s.size() >= n &&
+           s.compare(s.size() - n, n, suffix) == 0;
+}
+
+int
+runPrune(const std::vector<std::string> &dirs, std::uint64_t max_bytes,
+         bool quiet)
+{
+    std::vector<PruneEntry> entries;
+    std::uint64_t total = 0;
+    std::size_t stale_tmp = 0;
+    for (const std::string &dir : dirs) {
+        DIR *d = opendir(dir.c_str());
+        if (!d) {
+            std::fprintf(stderr, "sweepc: cannot open %s: %s\n",
+                         dir.c_str(), std::strerror(errno));
+            return 1;
+        }
+        while (struct dirent *e = readdir(d)) {
+            std::string name = e->d_name;
+            std::string path = dir + "/" + name;
+            // Leftover temp files from crashed writers are plain
+            // garbage: unreferenced, never read back. Drop them first.
+            if (name.compare(0, 5, ".tmp-") == 0) {
+                if (std::remove(path.c_str()) == 0)
+                    stale_tmp++;
+                continue;
+            }
+            if (!hasSuffix(name, ".cpt") && !hasSuffix(name, ".ckp"))
+                continue;
+            struct stat st = {};
+            if (stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode))
+                continue;
+            PruneEntry pe;
+            pe.path = std::move(path);
+            pe.bytes = static_cast<std::uint64_t>(st.st_size);
+            pe.mtime = st.st_mtime;
+            total += pe.bytes;
+            entries.push_back(std::move(pe));
+        }
+        closedir(d);
+    }
+
+    // Oldest-modified first; path as a deterministic tiebreak.
+    std::sort(entries.begin(), entries.end(),
+              [](const PruneEntry &a, const PruneEntry &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path < b.path;
+              });
+
+    std::size_t removed = 0;
+    std::uint64_t freed = 0;
+    for (const PruneEntry &pe : entries) {
+        if (total <= max_bytes)
+            break;
+        if (std::remove(pe.path.c_str()) != 0)
+            continue; // raced with a concurrent prune; fine
+        total -= pe.bytes;
+        freed += pe.bytes;
+        removed++;
+    }
+
+    if (!quiet)
+        std::fprintf(stderr,
+                     "sweepc: prune kept %llu bytes in %llu artifacts; "
+                     "removed %llu artifacts (%llu bytes), %llu stale "
+                     "temp files\n",
+                     static_cast<unsigned long long>(total),
+                     static_cast<unsigned long long>(entries.size() -
+                                                     removed),
+                     static_cast<unsigned long long>(removed),
+                     static_cast<unsigned long long>(freed),
+                     static_cast<unsigned long long>(stale_tmp));
+    return 0;
 }
 
 } // namespace
@@ -269,7 +401,11 @@ main(int argc, char **argv)
     std::uint64_t measure = 0;
     int active_clusters = 0;
     double require_cached = 0.0;
+    double require_warm = 0.0;
     bool quiet = false;
+    std::vector<std::string> prune_dirs;
+    std::uint64_t max_bytes = 0;
+    bool have_max_bytes = false;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -296,6 +432,13 @@ main(int argc, char **argv)
             out_path = need("--out");
         } else if (arg == "--require-cached") {
             require_cached = std::atof(need("--require-cached"));
+        } else if (arg == "--require-warm") {
+            require_warm = std::atof(need("--require-warm"));
+        } else if (arg == "--dir") {
+            prune_dirs.push_back(need("--dir"));
+        } else if (arg == "--max-bytes") {
+            max_bytes = std::strtoull(need("--max-bytes"), nullptr, 10);
+            have_max_bytes = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -310,6 +453,15 @@ main(int argc, char **argv)
 
     if (command.empty())
         return usage(argv[0], 2);
+    if (command == "prune") {
+        // Pure filesystem work: no daemon, no port.
+        if (prune_dirs.empty() || !have_max_bytes) {
+            std::fprintf(stderr,
+                         "sweepc: prune needs --dir and --max-bytes\n");
+            return usage(argv[0], 2);
+        }
+        return runPrune(prune_dirs, max_bytes, quiet);
+    }
     if (!port_file.empty()) {
         std::ifstream f(port_file);
         if (!f || !(f >> port)) {
@@ -333,7 +485,7 @@ main(int argc, char **argv)
         }
         return runSubmit(client, preset, warmup, measure,
                          active_clusters, out_path, require_cached,
-                         quiet);
+                         require_warm, quiet);
     }
     if (command == "stats") {
         JsonWriter w;

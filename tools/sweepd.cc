@@ -3,15 +3,19 @@
  * Resident sweep daemon: sweep-as-a-service over a loopback socket.
  *
  *   sweepd [--port N] [--port-file FILE] [--cache DIR] [--salt TAG]
+ *          [--checkpoints DIR] [--checkpoint-salt TAG]
  *          [--workers N] [--max-jobs N]
  *
  * Clients (tools/sweepc, or anything that can speak newline-delimited
  * JSON; see docs/SERVING.md) submit preset sweeps and stream results
  * back. Finished points persist in a content-addressed cache under
  * --cache, so resubmitting a sweep replays byte-identical results
- * without simulating. SIGTERM/SIGINT drain gracefully: points being
- * computed finish (and land in the cache), everything queued is
- * cancelled, then the process exits 0.
+ * without simulating. With --checkpoints, post-warmup machine states
+ * persist too: cold points whose results are not cached restore their
+ * warmup from the checkpoint store instead of re-simulating it.
+ * SIGTERM/SIGINT drain gracefully: points being computed finish (and
+ * land in the cache), everything queued is cancelled, then the process
+ * exits 0.
  */
 
 #include <csignal>
@@ -22,6 +26,7 @@
 
 #include "serve/cache.hh"
 #include "serve/server.hh"
+#include "sim/checkpoint.hh"
 
 using namespace clustersim;
 
@@ -50,11 +55,17 @@ usage(const char *prog, int code)
                  "none = caching off)\n"
                  "  --salt TAG      cache version salt (default: "
                  "%s)\n"
+                 "  --checkpoints DIR\n"
+                 "                  warmup-checkpoint store directory "
+                 "(default: none = warm starts off)\n"
+                 "  --checkpoint-salt TAG\n"
+                 "                  checkpoint version salt (default: "
+                 "%s)\n"
                  "  --workers N     simulation worker threads "
                  "(default: 1)\n"
                  "  --max-jobs N    active-job bound before `busy` "
                  "(default: 8)\n",
-                 prog, serve::defaultCacheSalt);
+                 prog, serve::defaultCacheSalt, defaultCheckpointSalt);
     return code;
 }
 
@@ -66,6 +77,8 @@ main(int argc, char **argv)
     serve::SweepServer::Config cfg;
     std::string cache_dir;
     std::string salt = serve::defaultCacheSalt;
+    std::string ckpt_dir;
+    std::string ckpt_salt = defaultCheckpointSalt;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -84,6 +97,10 @@ main(int argc, char **argv)
             cache_dir = need("--cache");
         } else if (arg == "--salt") {
             salt = need("--salt");
+        } else if (arg == "--checkpoints") {
+            ckpt_dir = need("--checkpoints");
+        } else if (arg == "--checkpoint-salt") {
+            ckpt_salt = need("--checkpoint-salt");
         } else if (arg == "--workers") {
             cfg.workers = std::atoi(need("--workers"));
         } else if (arg == "--max-jobs") {
@@ -102,23 +119,35 @@ main(int argc, char **argv)
     std::signal(SIGPIPE, SIG_IGN);
 
     serve::CacheStore cache(cache_dir, salt);
+    WarmupCheckpointStore checkpoints(ckpt_dir, ckpt_salt);
+    if (checkpoints.enabled())
+        cfg.checkpoints = &checkpoints;
     serve::SweepServer server(cache, cfg);
     g_server = &server;
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
 
-    std::fprintf(stderr, "sweepd: listening on 127.0.0.1:%d (cache: %s)\n",
+    std::fprintf(stderr,
+                 "sweepd: listening on 127.0.0.1:%d (cache: %s, "
+                 "checkpoints: %s)\n",
                  server.port(),
-                 cache.enabled() ? cache.dir().c_str() : "off");
+                 cache.enabled() ? cache.dir().c_str() : "off",
+                 checkpoints.enabled() ? checkpoints.dir().c_str()
+                                       : "off");
     server.run();
 
     serve::CacheStats cs = cache.stats();
+    CheckpointStats ks = checkpoints.stats();
     std::fprintf(stderr,
                  "sweepd: drained; cache hits %llu misses %llu "
+                 "stores %llu; checkpoint hits %llu misses %llu "
                  "stores %llu\n",
                  static_cast<unsigned long long>(cs.hits),
                  static_cast<unsigned long long>(cs.misses),
-                 static_cast<unsigned long long>(cs.stores));
+                 static_cast<unsigned long long>(cs.stores),
+                 static_cast<unsigned long long>(ks.hits),
+                 static_cast<unsigned long long>(ks.misses),
+                 static_cast<unsigned long long>(ks.stores));
     g_server = nullptr;
     return 0;
 }
