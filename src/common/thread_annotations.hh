@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis annotations and the annotated lock
+ * vocabulary built on them.
+ *
+ * The CSIM_* macros wrap clang's capability attributes
+ * (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) and expand to
+ * nothing on other compilers, so the annotated tree still builds with
+ * gcc while the clang CI job enforces `-Wthread-safety
+ * -Wthread-safety-beta` as errors.
+ *
+ * libstdc++'s std::mutex / std::lock_guard carry no capability
+ * attributes, so locking through them is invisible to the analysis.
+ * The thin wrappers below (Mutex, MutexLock, UniqueLock,
+ * ConditionVariable) restore visibility: they are zero-overhead
+ * forwarding shims whose methods carry acquire/release attributes.
+ * Every mutex in the concurrent tree is a clustersim::Mutex, every
+ * guard one of the two scoped types, and every condition variable a
+ * ConditionVariable -- which is also what lets simlint's C-rules
+ * (C001-C005, tools/simlint.cc) recognize the lock graph textually.
+ *
+ * Conventions:
+ *  - data members guarded by a lock carry CSIM_GUARDED_BY(lock);
+ *    members that legitimately need no guard (immutable after
+ *    construction, single-thread confined) carry a reasoned C001
+ *    suppression comment instead, so every exemption is written down.
+ *  - private `...Locked()` helpers carry CSIM_REQUIRES(lock); public
+ *    entry points that take the lock themselves carry
+ *    CSIM_EXCLUDES(lock) to reject reentrant callers at compile time.
+ *  - condition-variable waits use the predicate overload only
+ *    (enforced by C002); the predicate lambda is annotated
+ *    `CSIM_REQUIRES(lock)` because it runs with the lock held.
+ *  - lock ranks are declared at the member with CSIM_ACQUIRED_BEFORE;
+ *    simlint C004 checks the declared order is acyclic across the
+ *    whole tree.
+ */
+
+#ifndef CLUSTERSIM_COMMON_THREAD_ANNOTATIONS_HH
+#define CLUSTERSIM_COMMON_THREAD_ANNOTATIONS_HH
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#if defined(__clang__)
+#define CSIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CSIM_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a type as a lockable capability (argument names its kind). */
+#define CSIM_CAPABILITY(x) CSIM_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type whose lifetime holds a capability. */
+#define CSIM_SCOPED_CAPABILITY CSIM_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding `x`. */
+#define CSIM_GUARDED_BY(x) CSIM_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose pointee is guarded by `x`. */
+#define CSIM_PT_GUARDED_BY(x) CSIM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function callable only with the listed capabilities held. */
+#define CSIM_REQUIRES(...) \
+    CSIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function that acquires the listed capabilities (held on return). */
+#define CSIM_ACQUIRE(...) \
+    CSIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the listed capabilities. */
+#define CSIM_RELEASE(...) \
+    CSIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function that acquires on success (first arg: success value). */
+#define CSIM_TRY_ACQUIRE(...) \
+    CSIM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Function that must NOT be entered with the listed locks held
+ *  (deadlock guard for self-locking entry points). */
+#define CSIM_EXCLUDES(...) CSIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Declares lock rank: this lock is always taken before the listed
+ *  ones. simlint C004 verifies the declared relation is a DAG. */
+#define CSIM_ACQUIRED_BEFORE(...) \
+    CSIM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/** Inverse rank declaration (taken after the listed locks). */
+#define CSIM_ACQUIRED_AFTER(...) \
+    CSIM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/** Function returning a reference to the named capability. */
+#define CSIM_RETURN_CAPABILITY(x) \
+    CSIM_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: disable analysis inside one function. Every use needs
+ *  a comment saying why the analysis cannot see the invariant. */
+#define CSIM_NO_THREAD_SAFETY_ANALYSIS \
+    CSIM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace clustersim {
+
+/**
+ * Annotated std::mutex. Same semantics, same size; exists so lock
+ * acquisition is visible to the analysis and to simlint. Prefer the
+ * scoped guards below; call lock()/unlock() directly only in code that
+ * genuinely needs split acquisition.
+ */
+class CSIM_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() CSIM_ACQUIRE() { m_.lock(); }
+    void unlock() CSIM_RELEASE() { m_.unlock(); }
+    bool try_lock() CSIM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+    /** Underlying mutex, for interop (UniqueLock, CV wait). */
+    std::mutex &native() { return m_; }
+
+  private:
+    std::mutex m_;
+};
+
+/** Annotated std::lock_guard: hold for the full scope, no unlock. */
+class CSIM_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m) CSIM_ACQUIRE(m) : m_(m) { m_.lock(); }
+    ~MutexLock() CSIM_RELEASE() { m_.unlock(); }
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &m_;
+};
+
+/**
+ * Annotated std::unique_lock: relockable scope guard whose native
+ * handle feeds ConditionVariable::wait.
+ */
+class CSIM_SCOPED_CAPABILITY UniqueLock
+{
+  public:
+    explicit UniqueLock(Mutex &m) CSIM_ACQUIRE(m) : lk_(m.native()) {}
+    ~UniqueLock() CSIM_RELEASE() {}
+    UniqueLock(const UniqueLock &) = delete;
+    UniqueLock &operator=(const UniqueLock &) = delete;
+
+    void lock() CSIM_ACQUIRE() { lk_.lock(); }
+    void unlock() CSIM_RELEASE() { lk_.unlock(); }
+    bool owns_lock() const { return lk_.owns_lock(); }
+
+    /** Underlying handle, for ConditionVariable::wait only. */
+    std::unique_lock<std::mutex> &native() { return lk_; }
+
+  private:
+    std::unique_lock<std::mutex> lk_;
+};
+
+/**
+ * Condition variable over clustersim::Mutex. Only the predicate wait
+ * is offered -- the unconditional overload invites lost-wakeup bugs,
+ * and simlint C002 rejects it tree-wide. Annotate the predicate
+ * lambda CSIM_REQUIRES(the mutex): it always runs with the lock held.
+ */
+class ConditionVariable
+{
+  public:
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+    template <typename Pred>
+    void
+    wait(UniqueLock &lock, Pred pred)
+    {
+        cv_.wait(lock.native(), std::move(pred));
+    }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace clustersim
+
+#endif // CLUSTERSIM_COMMON_THREAD_ANNOTATIONS_HH

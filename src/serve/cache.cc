@@ -94,7 +94,7 @@ std::optional<std::string>
 CacheStore::load(const std::string &key)
 {
     auto miss = [this](bool corrupt) -> std::optional<std::string> {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stats_.misses++;
         if (corrupt)
             stats_.corrupt++;
@@ -130,7 +130,7 @@ CacheStore::load(const std::string &key)
     if (sha256Hex(payload) != sha)
         return miss(true);
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stats_.hits++;
     return payload;
 }
@@ -143,7 +143,7 @@ CacheStore::store(const std::string &key, const std::string &payload)
 
     std::uint64_t serial;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         serial = tmpCounter_++;
     }
     // Unique temp name, then atomic rename: readers only ever see
@@ -170,7 +170,7 @@ CacheStore::store(const std::string &key, const std::string &payload)
         warn("cache: failed to store ", path);
     }
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (ok)
         stats_.stores++;
     else
@@ -180,7 +180,7 @@ CacheStore::store(const std::string &key, const std::string &payload)
 CacheStats
 CacheStore::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_;
 }
 

@@ -21,10 +21,10 @@
 #define CLUSTERSIM_SERVE_CACHE_HH
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 
+#include "common/thread_annotations.hh"
 #include "sim/sweep.hh"
 
 namespace clustersim {
@@ -75,12 +75,14 @@ class CacheStore
     bool contains(const std::string &key) const;
 
     /** Payload stored under key; nullopt on miss or corruption. */
-    std::optional<std::string> load(const std::string &key);
+    std::optional<std::string> load(const std::string &key)
+        CSIM_EXCLUDES(mutex_);
 
     /** Persist payload under key (atomic rename; last writer wins). */
-    void store(const std::string &key, const std::string &payload);
+    void store(const std::string &key, const std::string &payload)
+        CSIM_EXCLUDES(mutex_);
 
-    CacheStats stats() const;
+    CacheStats stats() const CSIM_EXCLUDES(mutex_);
 
     /** Entry count and payload bytes currently on disk (directory
      *  scan; for the stats protocol frame, not hot paths). */
@@ -89,11 +91,13 @@ class CacheStore
   private:
     std::string pathFor(const std::string &key) const;
 
+    // simlint-ignore(C001): immutable after construction
     std::string dir_;
+    // simlint-ignore(C001): immutable after construction
     std::string salt_;
-    mutable std::mutex mutex_;
-    CacheStats stats_;
-    std::uint64_t tmpCounter_ = 0;
+    mutable Mutex mutex_;
+    CacheStats stats_ CSIM_GUARDED_BY(mutex_);
+    std::uint64_t tmpCounter_ CSIM_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace serve

@@ -1,3 +1,6 @@
+// simlint: thread-launcher -- owns the scheduler worker pool; workers
+// are joined by drain()
+
 #include "serve/scheduler.hh"
 
 #include <algorithm>
@@ -106,14 +109,43 @@ PointScheduler::submit(const SubmitRequest &req, JobEvents events)
     bool known = false;
     for (const std::string &n : sweepPresetNames())
         known = known || n == req.preset;
-
-    std::lock_guard<std::mutex> lock(mutex_);
     if (!known) {
+        MutexLock lock(mutex_);
         stats_.jobsRejected++;
         out.errorCode = "unknown_preset";
         out.errorMessage = "unknown preset '" + req.preset + "'";
         return out;
     }
+
+    // Expand and plan before taking the lock: preset expansion, the
+    // sweep plan, and the per-point cache probes (a stat() each) are
+    // far too heavy to run while workers wait to deliver. A submission
+    // the backpressure bound then rejects wastes that work -- the
+    // cheap side of the trade.
+    auto job = std::make_unique<Job>();
+    job->name = req.preset;
+    job->events = std::move(events);
+    job->points = makeSweepPreset(req.preset, req.warmup, req.measure);
+    if (req.activeClusters != 0)
+        for (RunPoint &p : job->points)
+            p.cfg.activeClustersAtReset = req.activeClusters;
+    job->plan = planSweep(job->points, /*derive_seeds=*/true);
+
+    std::size_t n = job->points.size();
+    job->entries.resize(n);
+    job->state.assign(n, Job::Pending);
+    job->cacheKeys.reserve(n);
+    std::size_t cached = 0;
+    for (std::size_t i = 0; i < n; i++) {
+        std::string key = cache_.keyFor(job->points[i],
+                                        job->plan.points[i].label,
+                                        job->plan.points[i].seed);
+        if (cache_.contains(key))
+            cached++;
+        job->cacheKeys.push_back(std::move(key));
+    }
+
+    MutexLock lock(mutex_);
     if (draining_ || stop_) {
         stats_.jobsRejected++;
         out.errorCode = "shutting_down";
@@ -129,31 +161,14 @@ PointScheduler::submit(const SubmitRequest &req, JobEvents events)
         return out;
     }
 
-    auto job = std::make_unique<Job>();
+    // The id (and the pseudo-keys derived from it) exists only once
+    // the job is admitted, so this tail stays under the lock.
     job->id = nextJob_++;
-    job->name = req.preset;
-    job->events = std::move(events);
-    job->points = makeSweepPreset(req.preset, req.warmup, req.measure);
-    if (req.activeClusters != 0)
-        for (RunPoint &p : job->points)
-            p.cfg.activeClustersAtReset = req.activeClusters;
-    job->plan = planSweep(job->points, /*derive_seeds=*/true);
-
-    std::size_t n = job->points.size();
-    job->entries.resize(n);
-    job->state.assign(n, Job::Pending);
-    job->cacheKeys.reserve(n);
     job->ikeys.reserve(n);
-    std::size_t cached = 0;
-    for (std::size_t i = 0; i < n; i++) {
-        std::string key = cache_.keyFor(job->points[i],
-                                        job->plan.points[i].label,
-                                        job->plan.points[i].seed);
-        if (cache_.contains(key))
-            cached++;
-        job->ikeys.push_back(key.empty() ? pseudoKey(job->id, i) : key);
-        job->cacheKeys.push_back(std::move(key));
-    }
+    for (std::size_t i = 0; i < n; i++)
+        job->ikeys.push_back(job->cacheKeys[i].empty()
+                                 ? pseudoKey(job->id, i)
+                                 : job->cacheKeys[i]);
 
     out.ok = true;
     out.job = job->id;
@@ -167,22 +182,41 @@ PointScheduler::submit(const SubmitRequest &req, JobEvents events)
 void
 PointScheduler::start(std::uint64_t id)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    // Phase one (locked): snapshot the job's cache keys.
+    std::vector<std::string> keys;
+    {
+        MutexLock lock(mutex_);
+        auto jit = jobs_.find(id);
+        if (jit == jobs_.end())
+            return;
+        keys = jit->second->cacheKeys;
+    }
+
+    // Phase two (unlocked): replay every cached point. Each load is a
+    // full payload read plus a sha256 verify, so a warm resubmission
+    // of a large sweep must not hold the scheduler lock while it
+    // touches the disk.
+    std::vector<std::pair<std::size_t, std::string>> replay;
+    for (std::size_t i = 0; i < keys.size(); i++) {
+        if (keys[i].empty())
+            continue;
+        std::optional<std::string> payload = cache_.load(keys[i]);
+        if (payload)
+            replay.emplace_back(i, std::move(*payload));
+    }
+
+    // Phase three (locked): deliver the replays in submission order --
+    // re-checking each point, since the job may have been cancelled
+    // while we read the disk -- then shard what is left.
+    MutexLock lock(mutex_);
     auto jit = jobs_.find(id);
     if (jit == jobs_.end())
         return;
     Job &job = *jit->second;
-
-    // Replay every cached point first, in submission order: warm
-    // resubmissions stream their whole result from here without
-    // touching the worker pool.
-    for (std::size_t i = 0; i < job.total(); i++) {
-        if (job.cacheKeys[i].empty())
+    for (auto &r : replay) {
+        if (job.state[r.first] != Job::Pending)
             continue;
-        std::optional<std::string> payload =
-            cache_.load(job.cacheKeys[i]);
-        if (payload)
-            deliverPayload(job, i, *payload, PointSource::Cache);
+        deliverPayload(job, r.first, r.second, PointSource::Cache);
     }
     maybeFinishLocked(id);
     if (jobs_.find(id) == jobs_.end())
@@ -227,7 +261,7 @@ PointScheduler::start(std::uint64_t id)
 bool
 PointScheduler::cancel(std::uint64_t id)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto jit = jobs_.find(id);
     if (jit == jobs_.end())
         return false;
@@ -240,7 +274,7 @@ PointScheduler::cancel(std::uint64_t id)
 void
 PointScheduler::drain()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    UniqueLock lock(mutex_);
     if (!draining_) {
         draining_ = true;
         // Drop everything not yet claimed by a worker: queued tasks
@@ -271,8 +305,9 @@ PointScheduler::drain()
             maybeFinishLocked(id);
         }
     }
-    idleCv_.wait(lock,
-                 [this] { return runningTasks_ == 0 && queue_.empty(); });
+    idleCv_.wait(lock, [this]() CSIM_REQUIRES(mutex_) {
+        return runningTasks_ == 0 && queue_.empty();
+    });
     if (!stop_) {
         stop_ = true;
         workCv_.notify_all();
@@ -286,7 +321,7 @@ PointScheduler::drain()
 ServeStats
 PointScheduler::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_;
 }
 
@@ -296,9 +331,10 @@ PointScheduler::workerLoop()
     for (;;) {
         Task task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            workCv_.wait(lock,
-                         [this] { return stop_ || !queue_.empty(); });
+            UniqueLock lock(mutex_);
+            workCv_.wait(lock, [this]() CSIM_REQUIRES(mutex_) {
+                return stop_ || !queue_.empty();
+            });
             if (queue_.empty()) {
                 if (stop_)
                     return;
@@ -310,7 +346,7 @@ PointScheduler::workerLoop()
         }
         executeTask(std::move(task));
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             runningTasks_--;
             if (runningTasks_ == 0 && queue_.empty())
                 idleCv_.notify_all();
@@ -325,7 +361,7 @@ PointScheduler::executeTask(Task task)
     // waiters all cancelled is dropped here without simulating.
     std::vector<TaskMember> live;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         for (TaskMember &m : task.members) {
             auto it = inflight_.find(m.ikey);
             if (it == inflight_.end())
@@ -382,7 +418,7 @@ PointScheduler::executeTask(Task task)
         }
     }
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (std::size_t i = 0; i < live.size(); i++) {
         auto it = inflight_.find(live[i].ikey);
         if (it == inflight_.end())

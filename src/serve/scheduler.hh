@@ -29,16 +29,18 @@
 #ifndef CLUSTERSIM_SERVE_SCHEDULER_HH
 #define CLUSTERSIM_SERVE_SCHEDULER_HH
 
-#include <condition_variable>
+// simlint: thread-launcher -- declares the scheduler's worker pool;
+// the threads are launched and joined by scheduler.cc
+
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "serve/cache.hh"
 #include "serve/protocol.hh"
 #include "sim/plan.hh"
@@ -109,11 +111,12 @@ class PointScheduler
      * (the server sends its `accepted` frame between submit and start,
      * so the frame always precedes every point event).
      */
-    SubmitResult submit(const SubmitRequest &req, JobEvents events);
+    SubmitResult submit(const SubmitRequest &req, JobEvents events)
+        CSIM_EXCLUDES(mutex_);
 
     /** Phase two: replay cached points (synchronously, from this
      *  thread) and enqueue the rest. No-op on unknown ids. */
-    void start(std::uint64_t job);
+    void start(std::uint64_t job) CSIM_EXCLUDES(mutex_);
 
     /**
      * Cancel a job's pending points. Points a worker is computing right
@@ -121,48 +124,57 @@ class PointScheduler
      * them); only this job stops receiving. Returns false when the id
      * is unknown or already finished.
      */
-    bool cancel(std::uint64_t job);
+    bool cancel(std::uint64_t job) CSIM_EXCLUDES(mutex_);
 
     /**
      * Graceful shutdown: reject new work, let running tasks finish and
      * deliver, cancel everything queued, join the workers. Idempotent;
      * also run by the destructor.
      */
-    void drain();
+    void drain() CSIM_EXCLUDES(mutex_);
 
-    ServeStats stats() const;
+    ServeStats stats() const CSIM_EXCLUDES(mutex_);
 
   private:
     struct Job;
     struct Task;
     struct Inflight;
 
-    void workerLoop();
-    void executeTask(Task task);
+    void workerLoop() CSIM_EXCLUDES(mutex_);
+    void executeTask(Task task) CSIM_EXCLUDES(mutex_);
     void deliverPayload(Job &job, std::size_t index,
-                        const std::string &payload, PointSource source);
+                        const std::string &payload, PointSource source)
+        CSIM_REQUIRES(mutex_);
     void deliverFailure(Job &job, std::size_t index,
-                        const std::string &message);
+                        const std::string &message)
+        CSIM_REQUIRES(mutex_);
     void detachWaiter(const std::string &key, std::uint64_t job,
-                      std::size_t index);
-    void cancelPendingLocked(Job &job);
-    void maybeFinishLocked(std::uint64_t id);
+                      std::size_t index) CSIM_REQUIRES(mutex_);
+    void cancelPendingLocked(Job &job) CSIM_REQUIRES(mutex_);
+    void maybeFinishLocked(std::uint64_t id) CSIM_REQUIRES(mutex_);
 
+    // simlint-ignore(C001): reference to an internally-synchronized
+    // store; never mutated through the scheduler lock
     CacheStore &cache_;
+    // simlint-ignore(C001): immutable after construction
     Config cfg_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable workCv_;   ///< workers: queue or stop
-    std::condition_variable idleCv_;   ///< drain: running tasks done
-    std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
-    std::map<std::string, Inflight> inflight_;
-    std::deque<Task> queue_;
+    mutable Mutex mutex_;
+    ConditionVariable workCv_;   ///< workers: queue or stop
+    ConditionVariable idleCv_;   ///< drain: running tasks done
+    std::map<std::uint64_t, std::unique_ptr<Job>> jobs_
+        CSIM_GUARDED_BY(mutex_);
+    std::map<std::string, Inflight> inflight_ CSIM_GUARDED_BY(mutex_);
+    std::deque<Task> queue_ CSIM_GUARDED_BY(mutex_);
+    // simlint-ignore(C001): written by the constructor, joined by
+    // drain() after every worker observed stop_; never accessed while
+    // a worker runs
     std::vector<std::thread> workers_;
-    ServeStats stats_;
-    std::uint64_t nextJob_ = 1;
-    std::size_t runningTasks_ = 0;
-    bool draining_ = false;
-    bool stop_ = false;
+    ServeStats stats_ CSIM_GUARDED_BY(mutex_);
+    std::uint64_t nextJob_ CSIM_GUARDED_BY(mutex_) = 1;
+    std::size_t runningTasks_ CSIM_GUARDED_BY(mutex_) = 0;
+    bool draining_ CSIM_GUARDED_BY(mutex_) = false;
+    bool stop_ CSIM_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace serve

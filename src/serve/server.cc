@@ -1,3 +1,6 @@
+// simlint: thread-launcher -- spawns one reader thread per accepted
+// connection; all are joined by run() before it returns
+
 #include "serve/server.hh"
 
 #include <cerrno>
@@ -32,9 +35,9 @@ struct SweepServer::Connection {
 
     /** Write one frame line; drops silently once the peer is gone. */
     void
-    sendLine(const std::string &frame)
+    sendLine(const std::string &frame) CSIM_EXCLUDES(writeMutex)
     {
-        std::lock_guard<std::mutex> lock(writeMutex);
+        MutexLock lock(writeMutex);
         if (closed)
             return;
         std::string line = frame + "\n";
@@ -53,32 +56,36 @@ struct SweepServer::Connection {
     /** Stop all traffic and unblock the reader's recv(). The fd stays
      *  open (dtor closes) so late writers can never hit a reused fd. */
     void
-    shutdownBoth()
+    shutdownBoth() CSIM_EXCLUDES(writeMutex)
     {
-        std::lock_guard<std::mutex> lock(writeMutex);
+        MutexLock lock(writeMutex);
         closed = true;
         ::shutdown(fd, SHUT_RDWR);
     }
 
     void
-    addJob(std::uint64_t job)
+    addJob(std::uint64_t job) CSIM_EXCLUDES(jobsMutex)
     {
-        std::lock_guard<std::mutex> lock(jobsMutex);
+        MutexLock lock(jobsMutex);
         jobs.push_back(job);
     }
 
     std::vector<std::uint64_t>
-    takeJobs()
+    takeJobs() CSIM_EXCLUDES(jobsMutex)
     {
-        std::lock_guard<std::mutex> lock(jobsMutex);
+        MutexLock lock(jobsMutex);
         return std::move(jobs);
     }
 
+    // simlint-ignore(C001): immutable after construction (closed only
+    // by the destructor, after both users are done)
     int fd = -1;
-    std::mutex writeMutex;
-    bool closed = false;
-    std::mutex jobsMutex;
-    std::vector<std::uint64_t> jobs;
+    /** Scheduler callbacks write frames while holding the scheduler
+     *  lock, so writeMutex ranks below it (see docs/SERVING.md). */
+    Mutex writeMutex;
+    bool closed CSIM_GUARDED_BY(writeMutex) = false;
+    Mutex jobsMutex;
+    std::vector<std::uint64_t> jobs CSIM_GUARDED_BY(jobsMutex);
 };
 
 SweepServer::SweepServer(CacheStore &cache, Config cfg)
@@ -162,7 +169,7 @@ SweepServer::run()
             continue;
         auto conn = std::make_shared<Connection>(fd);
         {
-            std::lock_guard<std::mutex> lock(connsMutex_);
+            MutexLock lock(connsMutex_);
             conns_.push_back(conn);
         }
         readers_.emplace_back(
@@ -177,7 +184,7 @@ SweepServer::run()
 
     std::vector<std::shared_ptr<Connection>> conns;
     {
-        std::lock_guard<std::mutex> lock(connsMutex_);
+        MutexLock lock(connsMutex_);
         conns = conns_;
     }
     for (const auto &c : conns)

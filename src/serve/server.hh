@@ -20,13 +20,16 @@
 #ifndef CLUSTERSIM_SERVE_SERVER_HH
 #define CLUSTERSIM_SERVE_SERVER_HH
 
+// simlint: thread-launcher -- declares the per-connection reader
+// threads; they are launched and joined by server.cc's run()
+
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "serve/cache.hh"
 #include "serve/scheduler.hh"
 
@@ -71,15 +74,27 @@ class SweepServer
     void dispatchLine(const std::shared_ptr<Connection> &conn,
                       const std::string &line);
 
+    // simlint-ignore(C001): reference to an internally-synchronized
+    // store
     CacheStore &cache_;
+    // simlint-ignore(C001): immutable after construction
     Config cfg_;
+    // simlint-ignore(C001): internally synchronized (own lock)
     PointScheduler scheduler_;
+    // simlint-ignore(C001): set by the constructor, closed by the
+    // run() thread / destructor only
     int listenFd_ = -1;
+    // simlint-ignore(C001): immutable after construction; written only
+    // through the async-signal-safe requestStop() write()
     int stopPipe_[2] = {-1, -1};
+    // simlint-ignore(C001): immutable after construction
     int port_ = 0;
 
-    std::mutex connsMutex_;
-    std::vector<std::shared_ptr<Connection>> conns_;
+    Mutex connsMutex_;
+    std::vector<std::shared_ptr<Connection>> conns_
+        CSIM_GUARDED_BY(connsMutex_);
+    // simlint-ignore(C001): confined to the run() thread (accept loop
+    // spawns, drain joins)
     std::vector<std::thread> readers_;
 };
 

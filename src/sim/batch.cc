@@ -9,15 +9,18 @@
  * the byte-identity contract with runSweep().
  */
 
+// simlint: thread-launcher -- runSweepBatched() owns the per-batch
+// worker pool; threads are joined before it returns
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <optional>
 #include <thread>
 
 #include "check/invariant.hh"
 #include "common/logging.hh"
+#include "common/thread_annotations.hh"
 #include "sim/checkpoint.hh"
 #include "sim/plan.hh"
 #include "sim/sweep.hh"
@@ -57,7 +60,7 @@ constexpr std::uint64_t warmupSlice = 8192;
 void
 runBatch(const SweepPlan &plan, const SweepPlan::Batch &batch,
          const std::vector<RunPoint> &points, SweepResult &out,
-         std::mutex &complete_mutex, const SweepOptions &opts)
+         Mutex &complete_mutex, const SweepOptions &opts)
 {
     // Size the shared buffer for the longest (warmup + measure) any
     // member runs, plus that member's fetch-ahead margin.
@@ -211,7 +214,7 @@ runBatch(const SweepPlan &plan, const SweepPlan::Batch &batch,
             slot.warmStart = e.restored;
 
             if (opts.onComplete) {
-                std::lock_guard<std::mutex> lock(complete_mutex);
+                MutexLock lock(complete_mutex);
                 opts.onComplete(idx, slot.result);
             }
         }
@@ -245,7 +248,7 @@ runSweepBatched(const std::vector<RunPoint> &points,
     // simlint-ignore(D002): timing-only bookkeeping, never a sim input
     Clock::time_point sweep_start = Clock::now();
     std::atomic<std::size_t> next{0};
-    std::mutex complete_mutex;
+    Mutex complete_mutex;
 
     auto worker = [&]() {
         // Mirror runSimulation(): in a check build, validate batched

@@ -111,7 +111,7 @@ std::optional<std::string>
 WarmupCheckpointStore::load(const std::string &key)
 {
     auto miss = [this](bool corrupt) -> std::optional<std::string> {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stats_.misses++;
         if (corrupt)
             stats_.corrupt++;
@@ -146,7 +146,7 @@ WarmupCheckpointStore::load(const std::string &key)
     if (sha256Hex(payload) != sha)
         return miss(true);
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stats_.hits++;
     return payload;
 }
@@ -160,7 +160,7 @@ WarmupCheckpointStore::store(const std::string &key,
 
     std::uint64_t serial;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         serial = tmpCounter_++;
     }
     // Unique temp name, then atomic rename: readers only ever see
@@ -186,7 +186,7 @@ WarmupCheckpointStore::store(const std::string &key,
         warn("checkpoint: failed to store ", path);
     }
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (ok)
         stats_.stores++;
     else
@@ -203,11 +203,11 @@ WarmupCheckpointStore::beginCompute(std::vector<std::string> keys)
     if (keys.empty())
         return {};
 
-    std::unique_lock<std::mutex> lock(inflightMutex_);
+    UniqueLock lock(inflightMutex_);
     // All-or-nothing claim: waiting until the whole sorted set is free
     // and inserting it atomically means two claimants can never hold
     // disjoint halves of each other's sets (the lock-order deadlock).
-    inflightCv_.wait(lock, [&] {
+    inflightCv_.wait(lock, [&]() CSIM_REQUIRES(inflightMutex_) {
         for (const std::string &k : keys)
             if (inflight_.count(k))
                 return false;
@@ -222,7 +222,7 @@ void
 WarmupCheckpointStore::endCompute(const std::vector<std::string> &keys)
 {
     {
-        std::lock_guard<std::mutex> lock(inflightMutex_);
+        MutexLock lock(inflightMutex_);
         for (const std::string &k : keys)
             inflight_.erase(k);
     }
@@ -242,7 +242,7 @@ WarmupCheckpointStore::ComputeLease::release()
 CheckpointStats
 WarmupCheckpointStore::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_;
 }
 

@@ -31,14 +31,13 @@
 #ifndef CLUSTERSIM_SIM_CHECKPOINT_HH
 #define CLUSTERSIM_SIM_CHECKPOINT_HH
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "core/processor.hh"
 #include "sim/sweep.hh"
 
@@ -102,10 +101,12 @@ class WarmupCheckpointStore
     bool contains(const std::string &key) const;
 
     /** Payload stored under key; nullopt on miss or corruption. */
-    std::optional<std::string> load(const std::string &key);
+    std::optional<std::string> load(const std::string &key)
+        CSIM_EXCLUDES(mutex_);
 
     /** Persist payload under key (atomic rename; last writer wins). */
-    void store(const std::string &key, const std::string &payload);
+    void store(const std::string &key, const std::string &payload)
+        CSIM_EXCLUDES(mutex_);
 
     /**
      * Exclusive in-process compute lease over a set of warmup keys.
@@ -157,9 +158,10 @@ class WarmupCheckpointStore
      * miss, compute and store() under the lease. Empty keys are
      * ignored; an all-empty list returns an inert lease.
      */
-    ComputeLease beginCompute(std::vector<std::string> keys);
+    ComputeLease beginCompute(std::vector<std::string> keys)
+        CSIM_EXCLUDES(inflightMutex_);
 
-    CheckpointStats stats() const;
+    CheckpointStats stats() const CSIM_EXCLUDES(mutex_);
 
     /** Entry count and file bytes currently on disk (directory scan;
      *  for stats frames and prune, not hot paths). */
@@ -167,17 +169,22 @@ class WarmupCheckpointStore
 
   private:
     std::string pathFor(const std::string &key) const;
-    void endCompute(const std::vector<std::string> &keys);
+    void endCompute(const std::vector<std::string> &keys)
+        CSIM_EXCLUDES(inflightMutex_);
 
+    // simlint-ignore(C001): immutable after construction
     std::string dir_;
+    // simlint-ignore(C001): immutable after construction
     std::string salt_;
-    mutable std::mutex mutex_;
-    CheckpointStats stats_;
-    std::uint64_t tmpCounter_ = 0;
+    mutable Mutex mutex_;
+    CheckpointStats stats_ CSIM_GUARDED_BY(mutex_);
+    std::uint64_t tmpCounter_ CSIM_GUARDED_BY(mutex_) = 0;
 
-    std::mutex inflightMutex_;
-    std::condition_variable inflightCv_;
-    std::set<std::string> inflight_;
+    /** Lease claims never nest inside the stats lock; rank the lease
+     *  lock above it so the discipline is declared, not tribal. */
+    Mutex inflightMutex_ CSIM_ACQUIRED_BEFORE(mutex_);
+    ConditionVariable inflightCv_;
+    std::set<std::string> inflight_ CSIM_GUARDED_BY(inflightMutex_);
 };
 
 } // namespace clustersim

@@ -1,12 +1,15 @@
+// simlint: thread-launcher -- runSweep() owns the classic worker pool;
+// threads are joined before it returns
+
 #include "sim/sweep.hh"
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <thread>
 
 #include "check/invariant.hh"
+#include "common/thread_annotations.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
@@ -152,7 +155,7 @@ runSweep(const std::vector<RunPoint> &points, const SweepOptions &opts)
     // simlint-ignore(D002): timing-only bookkeeping, never a sim input
     Clock::time_point sweep_start = Clock::now();
     std::atomic<std::size_t> next{0};
-    std::mutex complete_mutex;
+    Mutex complete_mutex;
 
     // Canonical per-point identities, shared with the batched driver
     // and the serve-layer cache (sim/plan.hh).
@@ -204,7 +207,7 @@ runSweep(const std::vector<RunPoint> &points, const SweepOptions &opts)
             slot.wallSeconds = secondsSince(run_start);
 
             if (opts.onComplete) {
-                std::lock_guard<std::mutex> lock(complete_mutex);
+                MutexLock lock(complete_mutex);
                 opts.onComplete(i, slot.result);
             }
         }

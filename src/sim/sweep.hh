@@ -65,7 +65,10 @@ struct SweepOptions {
     bool deriveSeeds = true;
     /**
      * Called as each run completes (from worker threads, serialized
-     * internally); for progress reporting.
+     * internally under a clustersim::Mutex -- see
+     * common/thread_annotations.hh); for progress reporting. Must not
+     * re-enter the sweep API: the completion lock is held while it
+     * runs.
      */
     std::function<void(std::size_t index, const SimResult &)> onComplete;
     /**

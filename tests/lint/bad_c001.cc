@@ -1,0 +1,19 @@
+// simlint fixture: C001 must fire on the unguarded counter of a
+// mutex-owning class.
+#include <mutex>
+
+class Counter {
+  public:
+    void bump();
+
+  private:
+    std::mutex mutex_;
+    long value_ = 0;
+};
+
+void
+Counter::bump()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    value_++;
+}

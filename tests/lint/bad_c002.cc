@@ -1,0 +1,11 @@
+// simlint fixture: C002 must fire on a predicate-less
+// condition-variable wait.
+#include <condition_variable>
+#include <mutex>
+
+void
+waitForSignal(std::mutex &m, std::condition_variable &cv)
+{
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock);
+}

@@ -1,0 +1,10 @@
+// simlint fixture: C003 must fire on a naked std::thread in a file
+// that is not annotated as a thread launcher.
+#include <thread>
+
+void
+fireAndForget(void (*fn)())
+{
+    std::thread t(fn);
+    t.detach();
+}

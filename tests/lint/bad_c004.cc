@@ -1,0 +1,13 @@
+// simlint fixture: C004 must fire on a lock-order cycle. The declared
+// CSIM_ACQUIRED_BEFORE order a_ < b_ < c_ < a_ cannot be satisfied by
+// any acquisition sequence.
+#include <mutex>
+
+#include "common/thread_annotations.hh"
+
+class Pipeline {
+  private:
+    std::mutex a_ CSIM_ACQUIRED_BEFORE(b_);
+    std::mutex b_ CSIM_ACQUIRED_BEFORE(c_);
+    std::mutex c_ CSIM_ACQUIRED_BEFORE(a_);
+};

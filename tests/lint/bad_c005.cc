@@ -1,0 +1,10 @@
+// simlint fixture: C005 must fire on a guard over a name that is not
+// a mutex declared anywhere in the scanned tree.
+#include <mutex>
+
+void
+poke(long &shared)
+{
+    std::lock_guard<std::mutex> lock(ghost_);
+    shared++;
+}

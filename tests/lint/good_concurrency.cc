@@ -1,0 +1,54 @@
+// simlint fixture: fully disciplined concurrent code; no C rule may
+// fire. Every member of the mutex-owning class is guarded, suppressed
+// with a reason, or a synchronization primitive itself; the wait uses
+// a predicate; the declared lock order is a DAG; every guard names a
+// declared mutex; and the thread lives in a blessed launcher file.
+// simlint: thread-launcher -- fixture owns and joins its one worker
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_annotations.hh"
+
+class Queue {
+  public:
+    void push(int v);
+    int pop();
+
+  private:
+    std::mutex mutex_ CSIM_ACQUIRED_BEFORE(statsMutex_);
+    std::condition_variable cv_;
+    int head_ CSIM_GUARDED_BY(mutex_) = 0;
+    std::mutex statsMutex_;
+    long pushes_ CSIM_GUARDED_BY(statsMutex_) = 0;
+    // simlint-ignore(C001): immutable after construction
+    int capacity_ = 64;
+};
+
+void
+Queue::push(int v)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    head_ = v;
+    cv_.notify_one();
+    {
+        std::lock_guard<std::mutex> slock(statsMutex_);
+        pushes_++;
+    }
+}
+
+int
+Queue::pop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return head_ != 0; });
+    return head_;
+}
+
+void
+runWorker(Queue &q)
+{
+    std::thread worker([&q] { q.pop(); });
+    worker.join();
+}

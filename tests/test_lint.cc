@@ -74,6 +74,64 @@ TEST(SimlintSelfTest, BadFixturesFireTheirRule)
     expectFires("bad_h004.cc", "H004");
     expectFires("bad_t001.cc", "T001");
     expectFires("bad_l001.cc", "L001");
+    expectFires("bad_c001.cc", "C001");
+    expectFires("bad_c002.cc", "C002");
+    expectFires("bad_c003.cc", "C003");
+    expectFires("bad_c004.cc", "C004");
+    expectFires("bad_c005.cc", "C005");
+}
+
+TEST(SimlintSelfTest, ConcurrencyRulesPassOnDisciplinedCode)
+{
+    // Annotated members, reasoned suppressions, predicate waits, a
+    // DAG lock order, declared guards, and a blessed launcher file:
+    // every C rule's negative case in one fixture.
+    LintRun r = runSimlint("--no-stats --quiet " +
+                           fixture("good_concurrency.cc"));
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
+TEST(SimlintSelfTest, LockOrderCycleNamesTheCycle)
+{
+    LintRun r = runSimlint("--no-stats --quiet " +
+                           fixture("bad_c004.cc"));
+    EXPECT_NE(r.exitCode, 0);
+    EXPECT_NE(r.output.find("C004"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("a_ -> b_ -> c_ -> a_"), std::string::npos)
+        << "the finding should spell out the cycle:\n" << r.output;
+}
+
+TEST(SimlintSelfTest, LockGraphDumpListsDeclaredEdges)
+{
+    LintRun r = runSimlint("--no-stats --quiet --lock-graph " +
+                           fixture("bad_c004.cc"));
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("a_ -> b_"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("c_ -> a_"), std::string::npos) << r.output;
+}
+
+TEST(SimlintSelfTest, RuleSelectionFiltersByCategory)
+{
+    // The same fixture is clean under --rules D and fires under
+    // --rules C: selection gates both the findings and the exit code.
+    LintRun rd = runSimlint("--no-stats --quiet --rules D " +
+                            fixture("bad_c001.cc"));
+    EXPECT_EQ(rd.exitCode, 0) << rd.output;
+    LintRun rc = runSimlint("--no-stats --quiet --rules C " +
+                            fixture("bad_c001.cc"));
+    EXPECT_NE(rc.exitCode, 0);
+    EXPECT_NE(rc.output.find("C001"), std::string::npos) << rc.output;
+}
+
+TEST(SimlintSelfTest, SummaryLineReportsPerRuleCounts)
+{
+    // Without --quiet the stderr summary carries the file count, the
+    // per-rule breakdown, and a wall time.
+    LintRun r = runSimlint("--no-stats " + fixture("bad_c001.cc"));
+    EXPECT_NE(r.exitCode, 0);
+    EXPECT_NE(r.output.find("1 file(s)"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("[C001 x1]"), std::string::npos) << r.output;
 }
 
 TEST(SimlintSelfTest, TraceGateRuleSparesColdRegions)

@@ -19,8 +19,10 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <arpa/inet.h>
@@ -789,6 +791,120 @@ TEST(Serve, SchedulerDrainCancelsQueuedAndRejectsNewJobs)
     SubmitResult r2 = sched.submit(tinySmoke(), late.events());
     EXPECT_FALSE(r2.ok);
     EXPECT_EQ(r2.errorCode, "shutting_down");
+}
+
+TEST(Serve, SchedulerStressAnnotatedInvariants)
+{
+    // Many clients submitting, cancelling, and abandoning jobs against
+    // the annotated scheduler with the warmup-checkpoint store on.
+    // Under TSan this is the data-race probe for every CSIM_GUARDED_BY
+    // in scheduler.hh; with or without it, the counters must reconcile
+    // exactly after drain: per job the done-frame legs partition the
+    // point count, and globally ServeStats matches what the clients
+    // saw happen.
+    constexpr int kClients = 4;
+    constexpr int kRounds = 5;
+
+    TempDir dir;
+    CacheStore cache(dir.path() + "/cache");
+    WarmupCheckpointStore ckpt(dir.path() + "/ckpt");
+    PointScheduler sched(cache, {3, 32, &ckpt});
+
+    struct DoneJob {
+        std::unique_ptr<JobRecorder> rec;
+        std::size_t points = 0;
+    };
+    std::mutex statsMutex;
+    std::vector<DoneJob> jobs;
+    std::uint64_t acceptedJobs = 0, rejectedJobs = 0, cancelsHonored = 0;
+
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; c++) {
+        clients.emplace_back([&, c] {
+            std::vector<DoneJob> mine;
+            std::uint64_t myAccepted = 0, myRejected = 0, myCancels = 0;
+            for (int r = 0; r < kRounds; r++) {
+                SubmitRequest req = tinySmoke();
+                // Two distinct sweep identities so rounds exercise
+                // both the cold path and the cache/merge paths.
+                req.measure = (r % 2 == 0) ? 2000 : 2500;
+                auto rec = std::make_unique<JobRecorder>();
+                SubmitResult sr = sched.submit(req, rec->events());
+                if (!sr.ok) {
+                    EXPECT_EQ(sr.errorCode, "busy");
+                    myRejected++;
+                    continue;
+                }
+                myAccepted++;
+                sched.start(sr.job);
+                // A third of the jobs race a cancel against their own
+                // workers; cancel() returning true is the scheduler's
+                // promise that the job counts as cancelled.
+                if ((c + r) % 3 == 0 && sched.cancel(sr.job))
+                    myCancels++;
+                rec->wait();
+                mine.push_back({std::move(rec), sr.points});
+            }
+            std::lock_guard<std::mutex> lock(statsMutex);
+            for (auto &j : mine)
+                jobs.push_back(std::move(j));
+            acceptedJobs += myAccepted;
+            rejectedJobs += myRejected;
+            cancelsHonored += myCancels;
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    sched.drain();
+
+    // Every accepted job reached its terminal frame, and its done
+    // counters partition its point count.
+    std::uint64_t sumHits = 0, sumComputed = 0, sumMerged = 0;
+    std::uint64_t sumFailed = 0, sumCancelled = 0, totalPoints = 0;
+    for (const DoneJob &j : jobs) {
+        std::lock_guard<std::mutex> lock(j.rec->mutex);
+        ASSERT_TRUE(j.rec->finished);
+        EXPECT_TRUE(j.rec->status == "ok" ||
+                    j.rec->status == "cancelled")
+            << j.rec->status;
+        EXPECT_EQ(j.rec->cacheHits + j.rec->computed + j.rec->merged +
+                      j.rec->failed + j.rec->cancelled,
+                  j.points);
+        // A warm start is credited to every waiter of the point, so
+        // merged copies count too.
+        EXPECT_LE(j.rec->warmHits, j.rec->computed + j.rec->merged);
+        sumHits += j.rec->cacheHits;
+        sumComputed += j.rec->computed;
+        sumMerged += j.rec->merged;
+        sumFailed += j.rec->failed;
+        sumCancelled += j.rec->cancelled;
+        totalPoints += j.points;
+    }
+    ASSERT_EQ(jobs.size(), acceptedJobs);
+
+    // Global stats agree with the clients' ledger: jobs in, jobs
+    // bounced, cancels honored, and every point accounted for on
+    // exactly one leg.
+    ServeStats s = sched.stats();
+    EXPECT_EQ(s.jobsAccepted, acceptedJobs);
+    EXPECT_EQ(s.jobsRejected, rejectedJobs);
+    EXPECT_EQ(s.jobsCancelled, cancelsHonored);
+    EXPECT_EQ(s.pointsFromCache, sumHits);
+    EXPECT_EQ(s.pointsComputed, sumComputed);
+    EXPECT_EQ(s.pointsMerged, sumMerged);
+    EXPECT_EQ(s.pointsFailed, sumFailed);
+    EXPECT_EQ(s.pointsCancelled, sumCancelled);
+    EXPECT_EQ(s.pointsFromCache + s.pointsComputed + s.pointsMerged +
+                  s.pointsFailed + s.pointsCancelled,
+              totalPoints);
+    EXPECT_EQ(sumFailed, 0u);
+
+    // The checkpoint store was really in the loop: cold warmups were
+    // persisted and later rounds leased or restored them. (One stored
+    // checkpoint can serve several batched points, so no equality
+    // against warm-hit sums.)
+    EXPECT_GT(ckpt.stats().stores, 0u);
+    EXPECT_GT(ckpt.stats().hits, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -555,3 +555,109 @@ TEST_F(ServeDaemon, ShutdownRequestDrainsLikeSigterm)
     ASSERT_TRUE(WIFEXITED(status));
     EXPECT_EQ(WEXITSTATUS(status), 0);
 }
+
+// ---------------------------------------------------------------------------
+// `sweepc prune` against live writers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Write `bytes` of filler into path and back-date its mtime by
+ *  `ageSeconds` (0 = leave it fresh). */
+void
+writeArtifact(const std::string &path, std::size_t bytes,
+              long ageSeconds)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(f.is_open()) << path;
+    f << std::string(bytes, 'x');
+    f.close();
+    if (ageSeconds > 0) {
+        timeval now = {};
+        gettimeofday(&now, nullptr);
+        timeval times[2] = {now, now};
+        times[0].tv_sec -= ageSeconds;
+        times[1].tv_sec -= ageSeconds;
+        ASSERT_EQ(utimes(path.c_str(), times), 0)
+            << path << ": " << std::strerror(errno);
+    }
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st = {};
+    return stat(path.c_str(), &st) == 0;
+}
+
+/** Run `sweepc prune --dir dir --max-bytes N --quiet`; returns the
+ *  child pid (caller reaps). */
+pid_t
+spawnPrune(const std::string &dir, std::uint64_t maxBytes)
+{
+    pid_t pid = fork();
+    EXPECT_GE(pid, 0);
+    if (pid == 0) {
+        std::string mb = std::to_string(maxBytes);
+        execl(SWEEPC_BIN, "sweepc", "prune", "--dir", dir.c_str(),
+              "--max-bytes", mb.c_str(), "--quiet",
+              static_cast<char *>(nullptr));
+        _exit(127);
+    }
+    return pid;
+}
+
+} // namespace
+
+TEST(SweepcPrune, RacingPrunesSpareFreshArtifactsAndLiveTempFiles)
+{
+    char tmpl[] = "/tmp/clustersim-prune-XXXXXX";
+    char *p = mkdtemp(tmpl);
+    ASSERT_NE(p, nullptr);
+    std::string dir = p;
+
+    // Five cold artifacts an hour old, one artifact a daemon wrote
+    // moments ago, one in-flight temp file (fresh: a writer is between
+    // create and rename), and one crashed-writer temp an hour old.
+    for (int i = 0; i < 5; i++)
+        writeArtifact(dir + "/old" + std::to_string(i) + ".cpt", 100,
+                      3600 + i);
+    writeArtifact(dir + "/fresh.cpt", 100, 0);
+    writeArtifact(dir + "/.tmp-42-1", 100, 0);
+    writeArtifact(dir + "/.tmp-42-2", 100, 3600);
+
+    // Two prunes race on the same store, as cron overlap would. The
+    // budget (150) forces every cold artifact out; entries vanishing
+    // mid-walk must be charged as freed, not skipped, or the loser of
+    // the race over-deletes into the fresh artifact.
+    pid_t a = spawnPrune(dir, 150);
+    pid_t b = spawnPrune(dir, 150);
+    int statusA = 0, statusB = 0;
+    ASSERT_EQ(waitpid(a, &statusA, 0), a);
+    ASSERT_EQ(waitpid(b, &statusB, 0), b);
+    ASSERT_TRUE(WIFEXITED(statusA));
+    ASSERT_TRUE(WIFEXITED(statusB));
+    EXPECT_EQ(WEXITSTATUS(statusA), 0);
+    EXPECT_EQ(WEXITSTATUS(statusB), 0);
+
+    // The racing writer's artifact and its live temp file survive;
+    // the cold artifacts and the crashed writer's debris are gone.
+    EXPECT_TRUE(fileExists(dir + "/fresh.cpt"));
+    EXPECT_TRUE(fileExists(dir + "/.tmp-42-1"));
+    EXPECT_FALSE(fileExists(dir + "/.tmp-42-2"));
+    for (int i = 0; i < 5; i++)
+        EXPECT_FALSE(fileExists(dir + "/old" + std::to_string(i) +
+                                ".cpt"));
+
+    // Re-pruning an already-compliant store is a no-op.
+    pid_t c = spawnPrune(dir, 150);
+    int statusC = 0;
+    ASSERT_EQ(waitpid(c, &statusC, 0), c);
+    ASSERT_TRUE(WIFEXITED(statusC) && WEXITSTATUS(statusC) == 0);
+    EXPECT_TRUE(fileExists(dir + "/fresh.cpt"));
+    EXPECT_TRUE(fileExists(dir + "/.tmp-42-1"));
+
+    for (const char *f : {"/fresh.cpt", "/.tmp-42-1"})
+        std::remove((dir + f).c_str());
+    rmdir(dir.c_str());
+}

@@ -45,6 +45,9 @@
  * clears --min-warm-speedup (default 2.0) and the reports match.
  */
 
+// simlint: thread-launcher -- owns the --jobs benchmark worker pool;
+// workers write disjoint result slots and are joined before reporting
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>

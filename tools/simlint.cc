@@ -12,6 +12,14 @@
  * diagnostics.
  *
  * Rule families (see docs/TESTING.md for the full table):
+ *   C0xx  concurrency   lock discipline: every member of a
+ *                       mutex-owning class is CSIM_GUARDED_BY-annotated
+ *                       (C001), condition variables wait with a
+ *                       predicate (C002), std::thread only in blessed
+ *                       launcher files (C003), the declared
+ *                       CSIM_ACQUIRED_BEFORE order is a DAG (C004),
+ *                       and scoped guards only lock declared mutexes
+ *                       (C005)
  *   D0xx  determinism   banned sources of run-to-run variation
  *   H0xx  hot path      allocation / growth / string / throw bans in
  *                       files annotated `// simlint: hot-path`
@@ -26,6 +34,8 @@
  *   // simlint: hot-path          whole file is steady-state code
  *   // simlint: cold-begin        construction/reconfig region where
  *   // simlint: cold-end          H-rules do not apply
+ *   // simlint: thread-launcher   file legitimately owns std::thread
+ *                                 workers (C003 does not apply)
  *   // simlint-ignore(D002): why  suppress rule(s) on this line, or on
  *                                 the next line when the comment stands
  *                                 alone; the reason is mandatory
@@ -35,6 +45,7 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -60,6 +71,24 @@ struct RuleInfo {
 };
 
 const RuleInfo ruleTable[] = {
+    {"C001", "unguarded member of a mutex-owning class",
+     "annotate the member CSIM_GUARDED_BY(the mutex), or carry a "
+     "reasoned simlint-ignore when it is immutable or thread-confined "
+     "(src/common/thread_annotations.hh)"},
+    {"C002", "condition-variable wait without a predicate",
+     "use wait(lock, predicate); an unconditional wait() invites lost "
+     "wakeups and spurious-wakeup bugs"},
+    {"C003", "std::thread outside a blessed launcher file",
+     "route work through an existing pool (scheduler, sweep drivers), "
+     "or annotate the file `// simlint: thread-launcher -- why` if it "
+     "legitimately owns workers"},
+    {"C004", "lock-order cycle in CSIM_ACQUIRED_BEFORE declarations",
+     "the declared acquisition order must form a DAG; break the cycle "
+     "or fix the wrong declaration"},
+    {"C005", "scoped guard over an undeclared mutex",
+     "the guard's argument must name a clustersim::Mutex or std::mutex "
+     "declared in the scanned tree, so every lock is reachable from "
+     "the annotated set"},
     {"D001", "banned random source",
      "use the project PCG in src/common/random.* (seeded, deterministic)"},
     {"D002", "wall-clock read",
@@ -276,6 +305,7 @@ struct FileScan {
     std::string path;        ///< as given on the command line
     LexedFile lx;
     bool hotPath = false;
+    bool threadLauncher = false;   ///< C003 blessing
     std::vector<std::pair<int, int>> coldRanges;
     /** line -> rule ids suppressed on that line ("*" = all). */
     std::map<int, std::set<std::string>> suppress;
@@ -321,6 +351,8 @@ parseDirectives(FileScan &f)
                 what = what.substr(0, sp);
             if (what == "hot-path") {
                 f.hotPath = true;
+            } else if (what == "thread-launcher") {
+                f.threadLauncher = true;
             } else if (what == "cold-begin") {
                 if (coldOpen >= 0)
                     f.directiveDiags.push_back(
@@ -640,16 +672,187 @@ methodBody(const LexedFile &lx, const std::string &cls,
 }
 
 // ---------------------------------------------------------------------------
+// Class-member statement extraction (for the C rules)
+// ---------------------------------------------------------------------------
+
+/**
+ * One member-declaration statement of a class body. Nested brace groups
+ * (function bodies, nested types) and the argument lists of CSIM_*
+ * annotation macros are stripped; the macro names themselves are kept
+ * in `annotations` so C001 can see CSIM_GUARDED_BY.
+ */
+struct MemberStmt {
+    std::vector<const Tok *> toks;
+    std::set<std::string> annotations;   ///< CSIM_* macros on the decl
+    bool function = false;               ///< carries non-macro parens
+};
+
+/** A class/struct definition found in a token stream. */
+struct ClassDef {
+    std::string name;
+    std::size_t braceIdx;                ///< index of the opening `{`
+};
+
+/** Step j past a balanced `( ... )` group whose `(` is at j+1; leaves
+ *  j on the closing `)` (or at end of input). */
+void
+skipParens(const std::vector<Tok> &t, std::size_t &j)
+{
+    int d = 0;
+    for (j++; j < t.size(); j++) {
+        if (t[j].text == "(")
+            d++;
+        else if (t[j].text == ")" && --d == 0)
+            break;
+    }
+}
+
+/**
+ * Every class/struct definition in a token stream, including nested and
+ * out-of-line qualified ones (`struct Outer::Inner { ... }`). Skips
+ * forward declarations, `enum struct`, and annotation macros between
+ * the keyword and the name (`class CSIM_CAPABILITY("mutex") Mutex`).
+ */
+std::vector<ClassDef>
+classBodies(const std::vector<Tok> &t)
+{
+    std::vector<ClassDef> out;
+    for (std::size_t i = 0; i < t.size(); i++) {
+        if (t[i].text != "struct" && t[i].text != "class")
+            continue;
+        if (prevIs(t, i, "enum"))
+            continue;
+        std::string name;
+        bool inBase = false;
+        for (std::size_t j = i + 1; j < t.size() && j < i + 96; j++) {
+            const std::string &s = t[j].text;
+            if (s == "{") {
+                if (!name.empty())
+                    out.push_back({name, j});
+                break;
+            }
+            if (s == ";" || s == "(" || s == "=")
+                break;  // forward declaration / macro call / alias
+            if (s == ":") {
+                if (tokIs(t, j + 1, ":")) {
+                    j++;  // `::` qualifier; keep collecting the name
+                    continue;
+                }
+                inBase = true;  // base clause; the name is fixed now
+                continue;
+            }
+            if (t[j].kind != Tok::Ident || inBase)
+                continue;
+            if (s.rfind("CSIM_", 0) == 0) {
+                if (tokIs(t, j + 1, "("))
+                    skipParens(t, j);
+                continue;  // capability annotation, not the name
+            }
+            if (s != "final")
+                name = s;
+        }
+    }
+    return out;
+}
+
+/** Member statements of the class body opening at braceIdx. */
+std::vector<MemberStmt>
+memberStatements(const std::vector<Tok> &t, std::size_t braceIdx)
+{
+    std::vector<MemberStmt> out;
+    MemberStmt cur;
+    int depth = 1;
+    for (std::size_t j = braceIdx + 1; j < t.size() && depth > 0; j++) {
+        const std::string &s = t[j].text;
+        if (s == "}") {
+            depth--;
+            continue;
+        }
+        if (s == "{") {
+            // Nested group: a function body, a nested type, or (after
+            // `=`) a brace initializer. Only the initializer continues
+            // the statement.
+            int d = 1;
+            while (++j < t.size() && d > 0) {
+                if (t[j].text == "{")
+                    d++;
+                else if (t[j].text == "}")
+                    d--;
+            }
+            j--;
+            bool init = false;
+            for (const Tok *tk : cur.toks)
+                if (tk->text == "=")
+                    init = true;
+            if (!init)
+                cur = MemberStmt();
+            continue;
+        }
+        if (s == ";") {
+            if (!cur.toks.empty() && !cur.function)
+                out.push_back(cur);
+            cur = MemberStmt();
+            continue;
+        }
+        if (s == ":" && cur.toks.size() == 1 &&
+            (cur.toks[0]->text == "public" ||
+             cur.toks[0]->text == "private" ||
+             cur.toks[0]->text == "protected")) {
+            cur = MemberStmt();  // access specifier
+            continue;
+        }
+        if (t[j].kind == Tok::Ident && s.rfind("CSIM_", 0) == 0) {
+            cur.annotations.insert(s);
+            if (tokIs(t, j + 1, "("))
+                skipParens(t, j);
+            continue;
+        }
+        if (s == "(")
+            cur.function = true;
+        cur.toks.push_back(&t[j]);
+    }
+    return out;
+}
+
+bool
+stmtHasIdent(const MemberStmt &m, const char *id)
+{
+    for (const Tok *tk : m.toks)
+        if (tk->kind == Tok::Ident && tk->text == id)
+            return true;
+    return false;
+}
+
+/** The declared name of a data-member statement: the last identifier
+ *  before `=` (or before the terminating `;` when no initializer). */
+std::string
+memberName(const MemberStmt &m)
+{
+    std::string last;
+    for (const Tok *tk : m.toks) {
+        if (tk->text == "=")
+            break;
+        if (tk->kind == Tok::Ident)
+            last = tk->text;
+    }
+    return last;
+}
+
+// ---------------------------------------------------------------------------
 // The linter
 // ---------------------------------------------------------------------------
 
 struct Options {
     std::vector<std::string> paths;
     std::string projectRoot = ".";
+    /** Rule ids ("C001") and category letters ("C") to run; empty
+     *  means every rule. */
+    std::set<std::string> rules;
     bool fixList = false;
     bool quiet = false;
     bool listRules = false;
     bool noStats = false;
+    bool lockGraph = false;
 };
 
 class Linter
@@ -661,11 +864,36 @@ class Linter
 
   private:
     void scanFile(FileScan &f);
+    void concurrencyPrePass();
+    void concurrencyFileRules(FileScan &f);
+    void lockOrderRules();
     void statsRules();
     void snapshotRules();
     void emit(const FileScan &f, int line, const char *rule,
               const std::string &msg);
-    void emitRaw(const Diag &d) { diags_.push_back(d); }
+    void emitRaw(const Diag &d)
+    {
+        if (ruleEnabled(d.rule))
+            diags_.push_back(d);
+    }
+
+    bool ruleEnabled(const std::string &id) const
+    {
+        if (opts_.rules.empty())
+            return true;
+        return opts_.rules.count(id) ||
+               opts_.rules.count(id.substr(0, 1));
+    }
+
+    bool categoryEnabled(char c) const
+    {
+        if (opts_.rules.empty())
+            return true;
+        for (const std::string &r : opts_.rules)
+            if (!r.empty() && r[0] == c)
+                return true;
+        return false;
+    }
 
     bool allowlisted(const std::string &path) const
     {
@@ -673,10 +901,20 @@ class Linter
         return path.find("common/random.") != std::string::npos;
     }
 
+    /** One declared CSIM_ACQUIRED_BEFORE/AFTER ordering: src must be
+     *  acquired before dst. */
+    struct LockEdge {
+        std::string src, dst;
+        std::size_t fileIdx;
+        int line;
+    };
+
     Options opts_;
     std::vector<FileScan> files_;
     std::set<std::string> smallVecVars_;
     std::set<std::string> reservedVars_;
+    std::set<std::string> declaredMutexes_;
+    std::vector<LockEdge> lockEdges_;
     std::vector<Diag> diags_;
 };
 
@@ -686,7 +924,7 @@ Linter::emit(const FileScan &f, int line, const char *rule,
 {
     if (suppressed(f, line, rule))
         return;
-    diags_.push_back({f.path, line, rule, msg});
+    emitRaw({f.path, line, rule, msg});
 }
 
 void
@@ -851,6 +1089,273 @@ Linter::scanFile(FileScan &f)
                  "tracing");
         }
     }
+}
+
+/**
+ * Cross-file facts the C rules need: every declared mutex identifier
+ * (clustersim::Mutex or std::mutex, members/locals/parameters alike)
+ * for C005, and the CSIM_ACQUIRED_BEFORE/AFTER ordering edges for C004
+ * and --lock-graph.
+ */
+void
+Linter::concurrencyPrePass()
+{
+    for (std::size_t fi = 0; fi < files_.size(); fi++) {
+        const std::vector<Tok> &t = files_[fi].lx.toks;
+        for (std::size_t i = 0; i < t.size(); i++) {
+            if (t[i].kind != Tok::Ident)
+                continue;
+            const std::string &s = t[i].text;
+
+            if (s == "Mutex" || s == "mutex") {
+                std::size_t j = i + 1;
+                while (tokIs(t, j, "&") || tokIs(t, j, "*"))
+                    j++;
+                // `mutex & native (` is a function returning a mutex
+                // reference, not a declaration; skip it so native()
+                // escapes stay outside the blessed set.
+                if (j < t.size() && t[j].kind == Tok::Ident &&
+                    t[j].text.rfind("CSIM_", 0) != 0 &&
+                    !tokIs(t, j + 1, "("))
+                    declaredMutexes_.insert(t[j].text);
+            }
+
+            if ((s == "CSIM_ACQUIRED_BEFORE" ||
+                 s == "CSIM_ACQUIRED_AFTER") &&
+                tokIs(t, i + 1, "(")) {
+                // The annotated member is the nearest preceding ident.
+                std::string src;
+                for (std::size_t k = i; k-- > 0;) {
+                    if (t[k].kind == Tok::Ident) {
+                        src = t[k].text;
+                        break;
+                    }
+                    if (t[k].text == ";" || t[k].text == "{" ||
+                        t[k].text == "}")
+                        break;
+                }
+                if (src.empty())
+                    continue;
+                const bool before = (s == "CSIM_ACQUIRED_BEFORE");
+                int d = 0;
+                std::string arg;
+                auto addEdge = [&] {
+                    if (arg.empty())
+                        return;
+                    if (before)
+                        lockEdges_.push_back({src, arg, fi, t[i].line});
+                    else
+                        lockEdges_.push_back({arg, src, fi, t[i].line});
+                    arg.clear();
+                };
+                for (std::size_t k = i + 1; k < t.size(); k++) {
+                    if (t[k].text == "(") {
+                        d++;
+                    } else if (t[k].text == ")") {
+                        if (--d == 0) {
+                            addEdge();
+                            break;
+                        }
+                    } else if (t[k].text == "," && d == 1) {
+                        addEdge();
+                    } else if (t[k].kind == Tok::Ident) {
+                        arg = t[k].text;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/** Per-file C rules: C001 (unguarded members), C002 (predicate-less
+ *  waits), C003 (naked std::thread), C005 (guard over an undeclared
+ *  mutex). */
+void
+Linter::concurrencyFileRules(FileScan &f)
+{
+    const std::vector<Tok> &t = f.lx.toks;
+
+    // --- C001: every member of a mutex-owning class is guarded -------
+    for (const ClassDef &cd : classBodies(t)) {
+        std::vector<MemberStmt> members =
+            memberStatements(t, cd.braceIdx);
+        auto isMutexDecl = [](const MemberStmt &m) {
+            return stmtHasIdent(m, "Mutex") || stmtHasIdent(m, "mutex");
+        };
+        auto isExempt = [&](const MemberStmt &m) {
+            // Locks guard, they are not guarded; condition variables
+            // and atomics synchronize themselves.
+            return isMutexDecl(m) ||
+                   stmtHasIdent(m, "ConditionVariable") ||
+                   stmtHasIdent(m, "condition_variable") ||
+                   stmtHasIdent(m, "condition_variable_any") ||
+                   stmtHasIdent(m, "atomic");
+        };
+        bool ownsMutex = false;
+        for (const MemberStmt &m : members)
+            if (isMutexDecl(m))
+                ownsMutex = true;
+        if (!ownsMutex)
+            continue;
+        for (const MemberStmt &m : members) {
+            if (m.toks.empty() || m.function || isExempt(m))
+                continue;
+            bool notData = false;
+            for (const char *kw :
+                 {"static", "constexpr", "using", "typedef", "friend",
+                  "operator", "struct", "class", "enum", "template"})
+                if (stmtHasIdent(m, kw))
+                    notData = true;
+            if (notData)
+                continue;
+            if (m.annotations.count("CSIM_GUARDED_BY") ||
+                m.annotations.count("CSIM_PT_GUARDED_BY"))
+                continue;
+            std::string name = memberName(m);
+            if (name.empty())
+                continue;
+            emit(f, m.toks.front()->line, "C001",
+                 "'" + cd.name + "::" + name + "' is a member of a "
+                 "mutex-owning class but has no CSIM_GUARDED_BY; "
+                 "annotate it, or suppress with the reason it needs no "
+                 "lock");
+        }
+    }
+
+    for (std::size_t i = 0; i < t.size(); i++) {
+        if (t[i].kind != Tok::Ident)
+            continue;
+        const std::string &s = t[i].text;
+
+        // --- C002: condition-variable wait without a predicate -------
+        if ((s == "wait" || s == "wait_for" || s == "wait_until") &&
+            tokIs(t, i + 1, "(") &&
+            (prevIs(t, i, ".") ||
+             (prevIs(t, i, ">") && i >= 2 && t[i - 2].text == "-"))) {
+            std::string recv = receiverOf(t, i);
+            std::string lower = recv;
+            for (char &c : lower)
+                c = (c >= 'A' && c <= 'Z')
+                        ? static_cast<char>(c - 'A' + 'a')
+                        : c;
+            if (lower.find("cv") != std::string::npos ||
+                lower.find("cond") != std::string::npos) {
+                int commas = 0, depth = 0;
+                for (std::size_t j = i + 1; j < t.size(); j++) {
+                    if (t[j].text == "(") {
+                        depth++;
+                    } else if (t[j].text == ")") {
+                        if (--depth == 0)
+                            break;
+                    } else if (t[j].text == "," && depth == 1) {
+                        commas++;
+                    }
+                }
+                int need = (s == "wait") ? 1 : 2;
+                if (commas < need)
+                    emit(f, t[i].line, "C002",
+                         "'" + recv + "." + s + "' without a "
+                         "predicate; unconditional waits lose wakeups "
+                         "-- use the predicate overload");
+            }
+        }
+
+        // --- C003: naked std::thread outside launcher files ----------
+        if ((s == "thread" || s == "jthread") && prevIs(t, i, ":") &&
+            !tokIs(t, i + 1, ":") && !f.threadLauncher) {
+            emit(f, t[i].line, "C003",
+                 "'std::" + s + "' outside a blessed launcher file; "
+                 "route work through an existing pool, or annotate the "
+                 "file '// simlint: thread-launcher -- <why>'");
+        }
+
+        // --- C005: scoped guard over an undeclared mutex -------------
+        if (s == "lock_guard" || s == "unique_lock" ||
+            s == "scoped_lock" || s == "shared_lock" ||
+            s == "MutexLock" || s == "UniqueLock") {
+            std::size_t j = i + 1;
+            if (tokIs(t, j, "<")) {
+                int d = 0;
+                for (; j < t.size(); j++) {
+                    if (t[j].text == "<") {
+                        d++;
+                    } else if (t[j].text == ">" && --d == 0) {
+                        j++;
+                        break;
+                    }
+                }
+            }
+            if (j >= t.size() || t[j].kind != Tok::Ident ||
+                !tokIs(t, j + 1, "("))
+                continue;  // not a guard construction
+            // Innermost identifier of the first constructor argument:
+            // `mutex_`, `rec.mutex`, `store->mutex_` all resolve to
+            // their final name.
+            int d = 0;
+            std::string arg;
+            for (std::size_t k = j + 1; k < t.size(); k++) {
+                if (t[k].text == "(") {
+                    d++;
+                } else if (t[k].text == ")") {
+                    if (--d == 0)
+                        break;
+                } else if (t[k].text == "," && d == 1) {
+                    break;
+                } else if (t[k].kind == Tok::Ident) {
+                    arg = t[k].text;
+                }
+            }
+            if (!arg.empty() && !declaredMutexes_.count(arg))
+                emit(f, t[i].line, "C005",
+                     "guard over '" + arg + "', which is not a mutex "
+                     "declared anywhere in the scanned tree; every "
+                     "lock must be reachable from the annotated set");
+        }
+    }
+}
+
+/** C004: the declared CSIM_ACQUIRED_BEFORE/AFTER order is a DAG. */
+void
+Linter::lockOrderRules()
+{
+    std::map<std::string, std::vector<std::size_t>> adj;
+    for (std::size_t e = 0; e < lockEdges_.size(); e++)
+        adj[lockEdges_[e].src].push_back(e);
+
+    std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+    std::vector<std::string> stack;
+    auto visit = [&](auto &&self, const std::string &n) -> void {
+        color[n] = 1;
+        stack.push_back(n);
+        auto it = adj.find(n);
+        if (it != adj.end()) {
+            for (std::size_t e : it->second) {
+                const LockEdge &ed = lockEdges_[e];
+                int c = color.count(ed.dst) ? color[ed.dst] : 0;
+                if (c == 0) {
+                    self(self, ed.dst);
+                } else if (c == 1) {
+                    // Back edge: the grey target is on the stack.
+                    std::size_t p = 0;
+                    while (p < stack.size() && stack[p] != ed.dst)
+                        p++;
+                    std::string path = ed.dst;
+                    for (std::size_t q = p + 1; q < stack.size(); q++)
+                        path += " -> " + stack[q];
+                    path += " -> " + ed.dst;
+                    emit(files_[ed.fileIdx], ed.line, "C004",
+                         "declared lock order has a cycle: " + path +
+                         "; CSIM_ACQUIRED_BEFORE declarations must "
+                         "form a DAG");
+                }
+            }
+        }
+        stack.pop_back();
+        color[n] = 2;
+    };
+    for (const auto &kv : adj)
+        if (!color.count(kv.first))
+            visit(visit, kv.first);
 }
 
 void
@@ -1069,6 +1574,10 @@ Linter::run()
         return 0;
     }
 
+    // simlint-ignore(D002): the linter times itself for the summary
+    // line; no simulated state depends on this clock read
+    const auto wallStart = std::chrono::steady_clock::now();
+
     // Collect files.
     std::vector<std::string> sources;
     for (const std::string &p : opts_.paths) {
@@ -1137,9 +1646,27 @@ Linter::run()
         }
     }
 
-    for (FileScan &f : files_)
+    concurrencyPrePass();
+
+    if (opts_.lockGraph) {
+        // Dump the declared acquisition-order graph (the C004 input)
+        // and stop; CI archives this as a reviewable artifact.
+        std::printf("# simlint lock-order graph: %zu edge(s) from "
+                    "CSIM_ACQUIRED_BEFORE/_AFTER declarations\n",
+                    lockEdges_.size());
+        for (const LockEdge &e : lockEdges_)
+            std::printf("%s -> %s  # %s:%d\n", e.src.c_str(),
+                        e.dst.c_str(), files_[e.fileIdx].path.c_str(),
+                        e.line);
+        return 0;
+    }
+
+    for (FileScan &f : files_) {
         scanFile(f);
-    if (!opts_.noStats) {
+        concurrencyFileRules(f);
+    }
+    lockOrderRules();
+    if (!opts_.noStats && categoryEnabled('S')) {
         statsRules();
         snapshotRules();
     }
@@ -1169,9 +1696,25 @@ Linter::run()
         }
     }
 
-    if (!opts_.quiet)
-        std::fprintf(stderr, "simlint: %zu file(s), %zu diagnostic(s)\n",
-                     files_.size(), diags_.size());
+    if (!opts_.quiet) {
+        std::map<std::string, int> perRule;
+        for (const Diag &d : diags_)
+            perRule[d.rule]++;
+        std::string breakdown;
+        for (const auto &[id, n] : perRule)
+            breakdown += (breakdown.empty() ? " [" : ", ") + id +
+                         " x" + std::to_string(n);
+        if (!breakdown.empty())
+            breakdown += "]";
+        // simlint-ignore(D002): linter wall time for the summary line
+        const auto wallEnd = std::chrono::steady_clock::now();
+        std::chrono::duration<double> wall = wallEnd - wallStart;
+        std::fprintf(stderr,
+                     "simlint: %zu file(s), %zu diagnostic(s)%s, "
+                     "%.3fs\n",
+                     files_.size(), diags_.size(), breakdown.c_str(),
+                     wall.count());
+    }
     return diags_.empty() ? 0 : 1;
 }
 
@@ -1185,9 +1728,15 @@ usage()
         "(default: <root>/src)\n"
         "  --project-root DIR   tree containing src/ and tests/ for "
         "the S rules (default: .)\n"
+        "  --rules LIST         run only these comma-separated rule "
+        "ids or category\n"
+        "                       letters (e.g. C or C001,D); default: "
+        "all rules\n"
         "  --fix-list           append a per-rule summary with fix "
         "hints\n"
         "  --no-stats           skip the S (stats pipeline) rules\n"
+        "  --lock-graph         print the declared lock-order graph "
+        "and exit\n"
         "  --list-rules         print the rule table and exit\n"
         "  --quiet              suppress the summary line\n");
 }
@@ -1208,6 +1757,32 @@ main(int argc, char **argv)
             opts.listRules = true;
         } else if (a == "--no-stats") {
             opts.noStats = true;
+        } else if (a == "--lock-graph") {
+            opts.lockGraph = true;
+        } else if (a == "--rules") {
+            if (++i >= argc) {
+                usage();
+                return 2;
+            }
+            std::stringstream ss(argv[i]);
+            std::string item;
+            while (std::getline(ss, item, ',')) {
+                item = trim(item);
+                if (item.empty())
+                    continue;
+                bool category =
+                    item.size() == 1 &&
+                    std::string("CDHSTL").find(item) !=
+                        std::string::npos;
+                if (!category && !findRule(item)) {
+                    std::fprintf(stderr,
+                                 "simlint: unknown rule or category "
+                                 "'%s'\n",
+                                 item.c_str());
+                    return 2;
+                }
+                opts.rules.insert(item);
+            }
         } else if (a == "--project-root") {
             if (++i >= argc) {
                 usage();

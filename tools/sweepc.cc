@@ -306,6 +306,14 @@ struct PruneEntry {
     std::time_t mtime = 0;
 };
 
+/**
+ * Writers create `.tmp-<pid>-<serial>` and atomically rename it into
+ * place. A temp file younger than this is presumed to belong to a
+ * live writer between create and rename; deleting it would fail that
+ * writer's store. Anything older is debris from a crashed writer.
+ */
+constexpr std::time_t kTmpGraceSeconds = 60;
+
 bool
 hasSuffix(const std::string &s, const char *suffix)
 {
@@ -332,8 +340,18 @@ runPrune(const std::vector<std::string> &dirs, std::uint64_t max_bytes,
             std::string name = e->d_name;
             std::string path = dir + "/" + name;
             // Leftover temp files from crashed writers are plain
-            // garbage: unreferenced, never read back. Drop them first.
+            // garbage: unreferenced, never read back. Drop them --
+            // but only past the grace window, so a daemon writer
+            // between create and rename keeps its file.
             if (name.compare(0, 5, ".tmp-") == 0) {
+                struct stat st = {};
+                // simlint-ignore(D002): prune is an operations tool
+                // comparing host mtimes; nothing simulated depends on
+                // this clock read
+                std::time_t now = std::time(nullptr);
+                if (stat(path.c_str(), &st) == 0 &&
+                    now - st.st_mtime < kTmpGraceSeconds)
+                    continue;
                 if (std::remove(path.c_str()) == 0)
                     stale_tmp++;
                 continue;
@@ -361,13 +379,29 @@ runPrune(const std::vector<std::string> &dirs, std::uint64_t max_bytes,
                   return a.path < b.path;
               });
 
-    std::size_t removed = 0;
+    std::size_t removed = 0, vanished = 0;
     std::uint64_t freed = 0;
     for (const PruneEntry &pe : entries) {
         if (total <= max_bytes)
             break;
-        if (std::remove(pe.path.c_str()) != 0)
-            continue; // raced with a concurrent prune; fine
+        // The scan-to-unlink window is racy against a live daemon:
+        // re-check the artifact just before removing it. A newer
+        // mtime means the daemon re-wrote the entry after we ranked
+        // it as cold -- keep it and free space elsewhere.
+        struct stat st = {};
+        if (stat(pe.path.c_str(), &st) == 0 && st.st_mtime > pe.mtime)
+            continue;
+        if (std::remove(pe.path.c_str()) != 0) {
+            if (errno == ENOENT) {
+                // A concurrent prune (or the daemon) already dropped
+                // it; its bytes are gone either way. Account for them
+                // so this pass does not over-delete live artifacts to
+                // compensate.
+                total -= pe.bytes;
+                vanished++;
+            }
+            continue;
+        }
         total -= pe.bytes;
         freed += pe.bytes;
         removed++;
@@ -380,7 +414,7 @@ runPrune(const std::vector<std::string> &dirs, std::uint64_t max_bytes,
                      "temp files\n",
                      static_cast<unsigned long long>(total),
                      static_cast<unsigned long long>(entries.size() -
-                                                     removed),
+                                                     removed - vanished),
                      static_cast<unsigned long long>(removed),
                      static_cast<unsigned long long>(freed),
                      static_cast<unsigned long long>(stale_tmp));
