@@ -5,6 +5,7 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "reconfig/registry.hh"
 #include "sim/presets.hh"
 #include "workload/benchmarks.hh"
 
@@ -26,23 +27,32 @@ struct GoldenVariant {
     std::string controllerKey;
 };
 
+/** A GoldenVariant backed by a registry policy handle: the canonical
+ *  handle key becomes the controllerKey, so golden points share the
+ *  cache/warm-start identity vocabulary with the sweep presets. */
+GoldenVariant
+policyVariant(const std::string &label, ProcessorConfig cfg,
+              const std::string &policy, const PolicyParams &params = {})
+{
+    ControllerHandle h = makeController(policy, params);
+    return {label, std::move(cfg), std::move(h.make), std::move(h.key)};
+}
+
 std::vector<GoldenVariant>
 goldenVariants()
 {
     return {
         {"static-16", staticSubsetConfig(16), nullptr, ""},
         {"static-4", staticSubsetConfig(4), nullptr, ""},
-        {"ivl-explore", clusteredConfig(16), makeExploreController,
-         "ivl-explore-10K"},
-        {"ivl-ilp-10K", clusteredConfig(16),
-         [] { return makeIlpController(10000); }, "ivl-ilp-10K"},
-        {"fg-branch", clusteredConfig(16), makeFinegrainController,
-         "fg-branch"},
+        policyVariant("ivl-explore", clusteredConfig(16), "ivl-explore"),
+        policyVariant("ivl-ilp-10K", clusteredConfig(16), "ivl-ilp",
+                      {{"interval", "10000"}}),
+        policyVariant("fg-branch", clusteredConfig(16), "fg-branch"),
         {"static-16-grid",
          staticSubsetConfig(16, InterconnectKind::Grid), nullptr, ""},
-        {"ivl-explore-dcache",
-         clusteredConfig(16, InterconnectKind::Ring, true),
-         makeExploreController, "ivl-explore-10K"},
+        policyVariant("ivl-explore-dcache",
+                      clusteredConfig(16, InterconnectKind::Ring, true),
+                      "ivl-explore"),
         {"monolithic-16", monolithicConfig(16), nullptr, ""},
     };
 }

@@ -698,7 +698,8 @@ Processor::doCommit()
         }
 
         if (controller_)
-            controller_->onCommit({op.pc, op.op, head.distant, cycle_});
+            controller_->onCommit({op.pc, op.op, head.distant, cycle_,
+                                   op.isControl() && head.mispredicted});
         CSIM_TRACE(commit(op.op, head.distant, cycle_));
 
         stats_.committed++;

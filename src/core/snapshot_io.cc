@@ -42,8 +42,10 @@
 #include "predictor/twolevel.hh"
 #include "reconfig/distant_ilp.hh"
 #include "reconfig/finegrain.hh"
+#include "reconfig/ineffectuality.hh"
 #include "reconfig/interval_explore.hh"
 #include "reconfig/interval_ilp.hh"
+#include "reconfig/oracle.hh"
 
 namespace clustersim {
 
@@ -885,6 +887,58 @@ FinegrainController::loadState(SnapshotReader &r)
     tableFlushes_ = r.u64();
     tableConflicts_ = r.u64();
     return r.ok();
+}
+
+void
+IneffectualityController::saveState(SnapshotWriter &w) const
+{
+    w.u64(instsInInterval_);
+    w.u64(mispredictsInInterval_);
+    w.u64(ladderIdx_);
+    w.i64(target_);
+    w.u64(intervals_);
+    w.u64(gateEvents_);
+    w.u64(ungateEvents_);
+    w.f64(predictedWasted_);
+    w.f64(lastFraction_);
+}
+
+bool
+IneffectualityController::loadState(SnapshotReader &r)
+{
+    instsInInterval_ = r.u64();
+    mispredictsInInterval_ = r.u64();
+    if (!loadSize(r, ladderIdx_, params_.configs.size() - 1))
+        return false;
+    if (!loadInt(r, target_, 1, hwClusters_))
+        return false;
+    intervals_ = r.u64();
+    gateEvents_ = r.u64();
+    ungateEvents_ = r.u64();
+    predictedWasted_ = r.f64();
+    lastFraction_ = r.f64();
+    return r.ok();
+}
+
+void
+OracleController::saveState(SnapshotWriter &w) const
+{
+    // The schedule and interval length are identity, rebuilt by the
+    // factory; only the replay position is dynamic. target_ travels
+    // for the S005 audit, then is cross-checked against the schedule.
+    w.u64(committed_);
+    w.i64(target_);
+}
+
+bool
+OracleController::loadState(SnapshotReader &r)
+{
+    committed_ = r.u64();
+    if (!loadInt(r, target_, 1, hwClusters_))
+        return false;
+    // A payload from a different schedule (or horizon) would desync
+    // the replay: the stored target must match the schedule's.
+    return r.ok() && target_ == targetAt(committed_);
 }
 
 // --- the whole snapshot -----------------------------------------------------

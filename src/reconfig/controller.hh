@@ -29,7 +29,26 @@ struct CommitEvent {
     OpClass op = OpClass::IntAlu;
     bool distant = false; ///< issued >= distantDepth younger than head
     Cycle cycle = 0;      ///< commit cycle
+    /** Mispredicted branch (fetch stalled behind it until resolve). */
+    bool mispredicted = false;
 };
+
+/**
+ * The paper's branch/memref phase test: two interval counts differ
+ * significantly when they are more than `significance` apart, compared
+ * in double so fractional thresholds (interval / metric_divisor for a
+ * non-integral quotient) are honoured exactly rather than truncated.
+ * Shared by the interval controllers and the offline instability
+ * analysis in sim/phase_stats so the online and offline phase tests
+ * cannot drift apart.
+ */
+inline bool
+metricDiffers(std::uint64_t a, std::uint64_t b, double significance)
+{
+    double diff = a >= b ? static_cast<double>(a - b)
+                         : static_cast<double>(b - a);
+    return diff > significance;
+}
 
 /** Base class for cluster-count controllers. */
 class ReconfigController

@@ -89,8 +89,11 @@ class FinegrainController : public ReconfigController
     TableEntry &entryFor(Addr pc);
     bool isReconfigPoint(const CommitEvent &ev);
 
+    // simlint-ignore(S005): constructor identity, rebuilt by the factory
     FinegrainParams params_;
+    // simlint-ignore(S005): constructor identity, rebuilt by the factory
     int origBig_;   ///< constructor-time bigConfig (pre-clamp)
+    // simlint-ignore(S005): constructor identity, rebuilt by the factory
     int origSmall_; ///< constructor-time smallConfig (pre-clamp)
     std::vector<TableEntry> table_;
     DistantIlpTracker tracker_;

@@ -102,9 +102,7 @@ IntervalExploreController::endInterval(Cycle now)
     double metric_sig =
         static_cast<double>(intervalLength_) / params_.metricDivisor;
     auto differs = [&](std::uint64_t a, std::uint64_t b) {
-        return std::llabs(static_cast<long long>(a) -
-                          static_cast<long long>(b)) >
-               static_cast<long long>(metric_sig);
+        return metricDiffers(a, b, metric_sig);
     };
 
     if (!haveReference_) {
@@ -229,8 +227,12 @@ IntervalExploreController::phaseChange()
                     have_best = true;
                 }
             }
+            // An empty ledger means no stable interval ever completed:
+            // there is no evidence for any configuration, so prefer the
+            // fewest clusters (the same tie-break as above, and the
+            // cheapest choice in leakage).
             if (!have_best)
-                target_ = params_.configs.back();
+                target_ = params_.configs.front();
             CSIM_TRACE(event(TraceEventKind::Discontinue, 0, target_,
                              intervalLength_));
         }

@@ -79,8 +79,10 @@ class IntervalExploreController : public ReconfigController
     void endInterval(Cycle now);
     void phaseChange();
 
+    // simlint-ignore(S005): constructor identity, rebuilt by the factory
     IntervalExploreParams params_;
     /** Constructor-time candidate list; attach() filters per hardware. */
+    // simlint-ignore(S005): constructor identity, rebuilt by the factory
     std::vector<int> allConfigs_;
 
     // interval accumulation

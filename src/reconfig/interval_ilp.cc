@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 
 #include "check/invariant.hh"
 #include "common/logging.hh"
@@ -86,9 +85,7 @@ IntervalIlpController::endInterval(Cycle now)
         static_cast<double>(params_.intervalLength) /
         params_.metricDivisor;
     auto differs = [&](std::uint64_t a, std::uint64_t b) {
-        return std::llabs(static_cast<long long>(a) -
-                          static_cast<long long>(b)) >
-               static_cast<long long>(metric_sig);
+        return metricDiffers(a, b, metric_sig);
     };
 
     if (measuring_) {

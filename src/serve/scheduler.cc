@@ -460,7 +460,8 @@ PointScheduler::deliverPayload(Job &job, std::size_t index,
     double ipc = 0.0, avg_active = 0.0;
     payloadMetrics(payload, benchmark, config, ipc, avg_active);
 
-    job.entries[index] = ReportEntry{payload, ipc, avg_active};
+    job.entries[index] =
+        ReportEntry{payload, ipc, avg_active, benchmark, config};
     job.state[index] = Job::Done;
     job.done++;
     switch (source) {

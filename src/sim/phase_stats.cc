@@ -1,7 +1,6 @@
 #include "sim/phase_stats.hh"
 
 #include <cmath>
-#include <cstdlib>
 #include <limits>
 
 #include "common/logging.hh"
@@ -85,12 +84,8 @@ instabilityFactor(const std::vector<IntervalSample> &samples,
         }
 
         bool changed =
-            std::llabs(static_cast<long long>(branches) -
-                       static_cast<long long>(ref_branches)) >
-                static_cast<long long>(metric_sig) ||
-            std::llabs(static_cast<long long>(memrefs) -
-                       static_cast<long long>(ref_memrefs)) >
-                static_cast<long long>(metric_sig) ||
+            metricDiffers(branches, ref_branches, metric_sig) ||
+            metricDiffers(memrefs, ref_memrefs, metric_sig) ||
             (ref_ipc > 0.0 &&
              std::abs(ipc - ref_ipc) / ref_ipc > ipc_tolerance);
 

@@ -187,7 +187,8 @@ planPoints(const std::vector<RunPoint> &points, bool derive_seeds)
         m.index = i;
         m.label = !p.label.empty() ? p.label : p.cfg.name;
         m.seed = derive_seeds
-            ? sweepSeed(p.workload.seed, p.workload.name, m.label)
+            ? sweepSeed(p.workload.seed, p.workload.name,
+                        !p.seedTag.empty() ? p.seedTag : m.label)
             : p.workload.seed;
         out.push_back(std::move(m));
     }

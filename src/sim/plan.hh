@@ -41,7 +41,9 @@ struct PlannedPoint {
 /**
  * Per-point planning exactly as every execution path applies it:
  * label defaults to the config name; with derive_seeds the workload
- * seed is replaced by sweepSeed(seed, benchmark, label).
+ * seed is replaced by sweepSeed(seed, benchmark, label), where a
+ * non-empty RunPoint::seedTag stands in for the label (points sharing
+ * a tag share a stream).
  */
 std::vector<PlannedPoint> planPoints(const std::vector<RunPoint> &points,
                                      bool derive_seeds);

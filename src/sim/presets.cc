@@ -3,9 +3,8 @@
 #include <iterator>
 
 #include "common/logging.hh"
-#include "reconfig/finegrain.hh"
-#include "reconfig/interval_explore.hh"
-#include "reconfig/interval_ilp.hh"
+#include "reconfig/registry.hh"
+#include "sim/oracle_policy.hh"
 #include "workload/benchmarks.hh"
 
 namespace clustersim {
@@ -84,38 +83,36 @@ slowHopsConfig()
 }
 
 // --- Controller factories -------------------------------------------------
+// Thin wrappers over the policy registry (reconfig/registry.hh), kept
+// for direct construction in tests and tools; presets use registry
+// handles so every preset point carries the policy's canonical key.
 
 std::unique_ptr<ReconfigController>
 makeExploreController()
 {
-    IntervalExploreParams p;
-    p.initialInterval = 10000; // paper value
-    p.maxInterval = 10000000;  // paper: 1B, scaled with run lengths
-    return std::make_unique<IntervalExploreController>(p);
+    // Registry defaults are the paper values (10K initial interval;
+    // max interval 1B scaled to 10M with this repo's run lengths).
+    return makeController("ivl-explore").make();
 }
 
 std::unique_ptr<ReconfigController>
 makeIlpController(std::uint64_t interval)
 {
-    IntervalIlpParams p;
-    p.intervalLength = interval;
-    return std::make_unique<IntervalIlpController>(p);
+    return makeController("ivl-ilp",
+                          {{"interval", std::to_string(interval)}})
+        .make();
 }
 
 std::unique_ptr<ReconfigController>
 makeFinegrainController()
 {
-    FinegrainParams p;
-    return std::make_unique<FinegrainController>(p);
+    return makeController("fg-branch").make();
 }
 
 std::unique_ptr<ReconfigController>
 makeSubroutineController()
 {
-    FinegrainParams p;
-    p.subroutineMode = true;
-    p.samplesNeeded = 3;
-    return std::make_unique<FinegrainController>(p);
+    return makeController("fg-subroutine").make();
 }
 
 // --- Named sweep presets --------------------------------------------------
@@ -138,25 +135,47 @@ struct SweepVariant {
     std::string controllerKey;
 };
 
+/**
+ * Build a variant whose controller comes from the policy registry: the
+ * point's controllerKey is the registry handle's canonical key, so
+ * every parameterization is content-addressable (warmup sharing, serve
+ * cache) without hand-maintained key strings.
+ */
+SweepVariant
+policyVariant(const std::string &label, ProcessorConfig cfg,
+              const std::string &policy, const PolicyParams &params = {})
+{
+    ControllerHandle h = makeController(policy, params);
+    return {label, std::move(cfg), std::move(h.make), std::move(h.key)};
+}
+
+/** Append one benchmark x variants cross to an existing point list. */
+void
+appendCross(std::vector<RunPoint> &points, const WorkloadSpec &w,
+            const std::vector<SweepVariant> &variants,
+            std::uint64_t warmup, std::uint64_t measure)
+{
+    for (const SweepVariant &v : variants) {
+        RunPoint p;
+        p.label = v.label;
+        p.cfg = v.cfg;
+        p.workload = w;
+        p.makeController = v.makeController;
+        p.warmup = warmup;
+        p.measure = measure;
+        p.controllerKey = v.controllerKey;
+        points.push_back(std::move(p));
+    }
+}
+
 /** Cross every benchmark with every variant, in row-major order. */
 std::vector<RunPoint>
 crossGrid(const std::vector<SweepVariant> &variants,
           std::uint64_t warmup, std::uint64_t measure)
 {
     std::vector<RunPoint> points;
-    for (const WorkloadSpec &w : allBenchmarks()) {
-        for (const SweepVariant &v : variants) {
-            RunPoint p;
-            p.label = v.label;
-            p.cfg = v.cfg;
-            p.workload = w;
-            p.makeController = v.makeController;
-            p.warmup = warmup;
-            p.measure = measure;
-            p.controllerKey = v.controllerKey;
-            points.push_back(std::move(p));
-        }
-    }
+    for (const WorkloadSpec &w : allBenchmarks())
+        appendCross(points, w, variants, warmup, measure);
     return points;
 }
 
@@ -168,8 +187,9 @@ staticPlusExploreVariants(InterconnectKind kind, bool decentralized)
          ""},
         {"static-16", staticSubsetConfig(16, kind, decentralized),
          nullptr, ""},
-        {"ivl-explore", clusteredConfig(16, kind, decentralized),
-         makeExploreController, "ivl-explore-10K"},
+        policyVariant("ivl-explore",
+                      clusteredConfig(16, kind, decentralized),
+                      "ivl-explore"),
     };
 }
 
@@ -180,7 +200,7 @@ sweepPresetNames()
 {
     static const std::vector<std::string> names = {
         "table3", "fig3", "fig5", "fig6", "fig7", "fig8",
-        "sensitivity", "smoke",
+        "sensitivity", "smoke", "tournament",
     };
     return names;
 }
@@ -211,14 +231,14 @@ makeSweepPreset(const std::string &name, std::uint64_t warmup,
         std::vector<SweepVariant> variants = {
             {"static-4", staticSubsetConfig(4), nullptr, ""},
             {"static-16", staticSubsetConfig(16), nullptr, ""},
-            {"ivl-explore", clusteredConfig(16), makeExploreController,
-             "ivl-explore-10K"},
-            {"ivl-ilp-1K", clusteredConfig(16),
-             [] { return makeIlpController(1000); }, "ivl-ilp-1K"},
-            {"ivl-ilp-10K", clusteredConfig(16),
-             [] { return makeIlpController(10000); }, "ivl-ilp-10K"},
-            {"ivl-ilp-100K", clusteredConfig(16),
-             [] { return makeIlpController(100000); }, "ivl-ilp-100K"},
+            policyVariant("ivl-explore", clusteredConfig(16),
+                          "ivl-explore"),
+            policyVariant("ivl-ilp-1K", clusteredConfig(16), "ivl-ilp",
+                          {{"interval", "1000"}}),
+            policyVariant("ivl-ilp-10K", clusteredConfig(16), "ivl-ilp",
+                          {{"interval", "10000"}}),
+            policyVariant("ivl-ilp-100K", clusteredConfig(16), "ivl-ilp",
+                          {{"interval", "100000"}}),
         };
         return crossGrid(variants, warm, run(2000000));
     }
@@ -226,28 +246,25 @@ makeSweepPreset(const std::string &name, std::uint64_t warmup,
         std::vector<SweepVariant> variants = {
             {"static-4", staticSubsetConfig(4), nullptr, ""},
             {"static-16", staticSubsetConfig(16), nullptr, ""},
-            {"ivl-explore", clusteredConfig(16), makeExploreController,
-             "ivl-explore-10K"},
-            {"fg-branch", clusteredConfig(16), makeFinegrainController,
-             "fg-branch"},
-            {"fg-subroutine", clusteredConfig(16),
-             makeSubroutineController, "fg-subroutine-3"},
+            policyVariant("ivl-explore", clusteredConfig(16),
+                          "ivl-explore"),
+            policyVariant("fg-branch", clusteredConfig(16), "fg-branch"),
+            policyVariant("fg-subroutine", clusteredConfig(16),
+                          "fg-subroutine"),
         };
         return crossGrid(variants, warm, run(2000000));
     }
     if (name == "fig7") {
         std::vector<SweepVariant> variants =
             staticPlusExploreVariants(InterconnectKind::Ring, true);
-        variants.push_back({"ivl-ilp-1K",
-                            clusteredConfig(16, InterconnectKind::Ring,
-                                            true),
-                            [] { return makeIlpController(1000); },
-                            "ivl-ilp-1K"});
-        variants.push_back({"ivl-ilp-10K",
-                            clusteredConfig(16, InterconnectKind::Ring,
-                                            true),
-                            [] { return makeIlpController(10000); },
-                            "ivl-ilp-10K"});
+        variants.push_back(policyVariant(
+            "ivl-ilp-1K",
+            clusteredConfig(16, InterconnectKind::Ring, true), "ivl-ilp",
+            {{"interval", "1000"}}));
+        variants.push_back(policyVariant(
+            "ivl-ilp-10K",
+            clusteredConfig(16, InterconnectKind::Ring, true), "ivl-ilp",
+            {{"interval", "10000"}}));
         return crossGrid(variants, warm, run(2000000));
     }
     if (name == "fig8") {
@@ -277,8 +294,7 @@ makeSweepPreset(const std::string &name, std::uint64_t warmup,
             std::vector<SweepVariant> variants = {
                 {tag + "/static-4", s4, nullptr, ""},
                 {tag + "/static-16", s16, nullptr, ""},
-                {tag + "/ivl-explore", hw, makeExploreController,
-                 "ivl-explore-10K"},
+                policyVariant(tag + "/ivl-explore", hw, "ivl-explore"),
             };
             auto grid = crossGrid(variants, warm, run(1500000));
             points.insert(points.end(),
@@ -290,11 +306,53 @@ makeSweepPreset(const std::string &name, std::uint64_t warmup,
     if (name == "smoke") {
         std::vector<SweepVariant> variants = {
             {"static-16", staticSubsetConfig(16), nullptr, ""},
-            {"ivl-explore", clusteredConfig(16), makeExploreController,
-             "ivl-explore-10K"},
+            policyVariant("ivl-explore", clusteredConfig(16),
+                          "ivl-explore"),
         };
         return crossGrid(variants, warmup ? warmup : 30000,
                          run(120000));
+    }
+    if (name == "tournament") {
+        // Race every dynamic policy on the same 16-cluster machine,
+        // per benchmark. Every point of one benchmark carries the same
+        // seedTag, so the planner gives all six policies the *same*
+        // instruction stream: the ranked table compares them
+        // head-to-head, and the oracle -- whose probe runs are seeded
+        // with the very same tag-derived seed -- bounds the reactive
+        // field on the stream it is scored on. The probes themselves
+        // are deferred into the handle's factory (building the grid,
+        // e.g. for `sweep --list`, must stay cheap).
+        registerOraclePolicy();
+        std::uint64_t meas = run(1000000);
+        std::vector<RunPoint> points;
+        for (const WorkloadSpec &w : allBenchmarks()) {
+            std::vector<SweepVariant> variants = {
+                policyVariant("ivl-explore", clusteredConfig(16),
+                              "ivl-explore"),
+                policyVariant("ivl-ilp-10K", clusteredConfig(16),
+                              "ivl-ilp", {{"interval", "10000"}}),
+                policyVariant("fg-branch", clusteredConfig(16),
+                              "fg-branch"),
+                policyVariant("fg-subroutine", clusteredConfig(16),
+                              "fg-subroutine"),
+                policyVariant("ineffectuality", clusteredConfig(16),
+                              "ineffectuality"),
+                policyVariant(
+                    "oracle", clusteredConfig(16), "oracle",
+                    {{"bench", w.name},
+                     {"seed",
+                      std::to_string(sweepSeed(w.seed, w.name,
+                                               "tournament"))},
+                     {"horizon", std::to_string(warm + meas)},
+                     {"warmup", std::to_string(warm)},
+                     {"interval", "1000"}}),
+            };
+            std::size_t first = points.size();
+            appendCross(points, w, variants, warm, meas);
+            for (std::size_t i = first; i < points.size(); i++)
+                points[i].seedTag = "tournament";
+        }
+        return points;
     }
     CSIM_ASSERT(false, "unknown sweep preset: ", name);
     return {};

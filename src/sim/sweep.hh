@@ -50,6 +50,15 @@ struct RunPoint {
      * grouped (always correct, just slower). Ignored by runSweep().
      */
     std::string controllerKey;
+    /**
+     * When non-empty, replaces the label in derived-seed computation:
+     * seed = sweepSeed(base, benchmark, seedTag). Points of one
+     * benchmark sharing a tag race the *same* instruction stream, so
+     * their metrics compare head-to-head (the tournament preset tags
+     * all its policy variants). Empty (the default) preserves the
+     * per-label decorrelation of every other preset.
+     */
+    std::string seedTag;
 };
 
 /** Sweep execution options. */
@@ -168,11 +177,13 @@ std::string pointPayloadJson(const SimResult &r, std::uint64_t seed,
                              std::uint64_t warmup, std::uint64_t measure);
 
 /** One report entry for assembleSweepReport(): the payload bytes plus
- *  the two metrics the aggregate block needs. */
+ *  the fields the aggregate and ranking blocks need. */
 struct ReportEntry {
     std::string payload;          ///< pointPayloadJson() bytes
     double ipc = 0.0;
     double avgActiveClusters = 0.0;
+    std::string benchmark;        ///< run-point benchmark name
+    std::string config;           ///< run-point label (policy variant)
 };
 
 /**
@@ -181,9 +192,23 @@ struct ReportEntry {
  * delegates here, so a report assembled from cached payloads is
  * byte-identical to one computed live -- the identity the sweep
  * server's conformance rig asserts.
+ *
+ * Reports named "tournament" additionally carry a "ranking" array (see
+ * sweepRankingJson below); every other report's bytes are unchanged.
  */
 std::string assembleSweepReport(const std::string &name,
                                 const std::vector<ReportEntry> &entries);
+
+/**
+ * The controller-tournament ranked table: entries grouped by config
+ * label (one group per policy), scored on IPC (geometric mean across
+ * benchmarks -- the paper's figure-of-merit) and on leakage savings
+ * from the sim/energy model, ranked by IPC geomean with deterministic
+ * name tie-breaks. Emitted into tournament reports by
+ * assembleSweepReport()/sweepReportJson(); exposed for tests.
+ */
+void sweepRankingJson(JsonWriter &w,
+                      const std::vector<ReportEntry> &entries);
 
 /**
  * Sweep-level JSON report.

@@ -1,0 +1,18 @@
+#include "reconfig/probe.hh"
+
+void
+ProbeController::saveState(SnapshotWriter &w) const
+{
+    w.u64(committed_);
+    w.u32(orphanCount_);
+    // ghostTarget_ is never written: checkpoints drop it.
+}
+
+bool
+ProbeController::loadState(SnapshotReader &r)
+{
+    committed_ = r.u64();
+    ghostTarget_ = r.u32();
+    // orphanCount_ is never read back.
+    return r.atEnd();
+}

@@ -1,0 +1,27 @@
+// Miniature controller checkpoint pipeline for the S005 self-test:
+// ghostTarget_ escapes saveState() and orphanCount_ escapes
+// loadState(), and both must be reported; committed_ is fully covered
+// and params_ carries a reasoned ignore, so both must stay silent.
+// The inline method and the nested struct probe the member parser: a
+// signature's parens must not swallow the member after the body, and
+// a nested type is not a data member.
+class SnapshotWriter;
+class SnapshotReader;
+
+class ProbeController {
+  public:
+    void saveState(SnapshotWriter &w) const;
+    bool loadState(SnapshotReader &r);
+    int targetClusters() const { return ghostTarget_; }
+
+  private:
+    struct TableEntry {
+        int advice = 16;
+    };
+
+    // simlint-ignore(S005): constructor identity, rebuilt by the factory
+    int params_ = 0;
+    unsigned long committed_ = 0;
+    int ghostTarget_ = 16; // loaded, but saveState() never writes it
+    int orphanCount_ = 0;  // saved, but loadState() never reads it
+};

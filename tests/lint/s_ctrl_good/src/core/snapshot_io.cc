@@ -1,0 +1,18 @@
+#include "reconfig/probe.hh"
+
+void
+ProbeController::saveState(SnapshotWriter &w) const
+{
+    w.u64(committed_);
+    w.u32(ghostTarget_);
+    w.u32(orphanCount_);
+}
+
+bool
+ProbeController::loadState(SnapshotReader &r)
+{
+    committed_ = r.u64();
+    ghostTarget_ = r.u32();
+    orphanCount_ = r.u32();
+    return r.atEnd();
+}

@@ -38,6 +38,8 @@
 
 #include "core/processor.hh"
 #include "core/snapshot_io.hh"
+#include "reconfig/oracle.hh"
+#include "reconfig/registry.hh"
 #include "sim/checkpoint.hh"
 #include "sim/plan.hh"
 #include "sim/presets.hh"
@@ -194,6 +196,18 @@ TEST(Checkpoint, SerializedRoundTripMatchesStraightLine)
         {"explore", [] { return makeExploreController(); }},
         {"ilp", [] { return makeIlpController(10000); }},
         {"finegrain", [] { return makeFinegrainController(); }},
+        {"ineffectuality",
+         [] { return makeController("ineffectuality").make(); }},
+        {"oracle",
+         [] {
+             // A per-commit (slot = 1) schedule round-trips the same
+             // committed-count replay state the tournament oracle uses.
+             std::vector<int> sched;
+             for (int i = 0; i < 64; i++)
+                 sched.push_back(2 << (i % 4));
+             return std::make_unique<OracleController>(
+                 1, std::move(sched));
+         }},
     };
     const std::pair<const char *, InterconnectKind> kinds[] = {
         {"ring", InterconnectKind::Ring},

@@ -226,6 +226,40 @@ TEST(SimlintSelfTest, SnapshotRulePassesOnCoveredTree)
     EXPECT_TRUE(r.output.empty()) << r.output;
 }
 
+TEST(SimlintSelfTest, ControllerRuleCatchesEscapedState)
+{
+    std::string tree = fixture("s_ctrl_bad");
+    LintRun r = runSimlint("--quiet --project-root " + tree + " " +
+                           tree + "/src");
+    EXPECT_NE(r.exitCode, 0);
+    // Each fixture member escapes one leg of the controller checkpoint
+    // path: ghostTarget_ is never written by saveState(), orphanCount_
+    // is saved but never read back by loadState().
+    EXPECT_NE(r.output.find("S005"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("ghostTarget_"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("orphanCount_"), std::string::npos)
+        << r.output;
+    // The covered member and the suppressed identity member stay
+    // silent, and the nested type is not mistaken for a data member.
+    EXPECT_EQ(r.output.find("committed_"), std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("params_"), std::string::npos) << r.output;
+    EXPECT_EQ(r.output.find("TableEntry"), std::string::npos)
+        << r.output;
+}
+
+TEST(SimlintSelfTest, ControllerRulePassesOnCoveredTree)
+{
+    // Full saveState()/loadState() coverage plus one identity member
+    // behind a written S005 suppression: clean.
+    std::string tree = fixture("s_ctrl_good");
+    LintRun r = runSimlint("--quiet --project-root " + tree + " " +
+                           tree + "/src");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
 TEST(SimlintSelfTest, FixListSummarizesByRule)
 {
     LintRun r = runSimlint("--no-stats --quiet --fix-list " +

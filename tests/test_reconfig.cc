@@ -2,8 +2,9 @@
  * @file
  * Unit tests for the reconfiguration machinery: the distant-ILP
  * tracker, the Figure 4 interval-with-exploration controller, the
- * no-exploration distant-ILP controller, and the fine-grained
- * branch-table controller.
+ * no-exploration distant-ILP controller, the fine-grained branch-table
+ * controller, the ineffectuality-gating controller, the offline-oracle
+ * DP and schedule replay, and the controller-policy registry.
  */
 
 #include <gtest/gtest.h>
@@ -12,8 +13,11 @@
 
 #include "reconfig/distant_ilp.hh"
 #include "reconfig/finegrain.hh"
+#include "reconfig/ineffectuality.hh"
 #include "reconfig/interval_explore.hh"
 #include "reconfig/interval_ilp.hh"
+#include "reconfig/oracle.hh"
+#include "reconfig/registry.hh"
 
 using namespace clustersim;
 
@@ -821,4 +825,423 @@ TEST(Explore, ZeroIpcExplorationIsNotAdopted)
         feedExploreInterval(c, cycle, false);
     EXPECT_TRUE(c.stable());
     EXPECT_EQ(c.failedExplorations(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// metricDiffers: the shared phase-test helper (controller.hh)
+// ---------------------------------------------------------------------------
+
+TEST(MetricDiffers, IntegralBoundaryExact)
+{
+    // Strictly-greater: a difference equal to the significance is not
+    // a phase change; one count past it is.
+    EXPECT_FALSE(metricDiffers(110, 100, 10.0));
+    EXPECT_TRUE(metricDiffers(111, 100, 10.0));
+}
+
+TEST(MetricDiffers, SymmetricWhenSecondCountIsLarger)
+{
+    // Regression: the unsigned difference was once taken before the
+    // comparison, so b > a wrapped to a huge value after the cast and
+    // the decreasing direction misfired. Both directions must behave
+    // identically.
+    EXPECT_FALSE(metricDiffers(100, 110, 10.0));
+    EXPECT_TRUE(metricDiffers(100, 111, 10.0));
+    EXPECT_FALSE(metricDiffers(0, 10, 10.0));
+    EXPECT_TRUE(metricDiffers(0, 11, 10.0));
+}
+
+TEST(MetricDiffers, FractionalSignificanceHonoured)
+{
+    // interval / metric_divisor is fractional for e.g. a 1050-long
+    // interval: 10.5 must not truncate to 10. floor(sig) stays quiet,
+    // ceil(sig) fires.
+    EXPECT_FALSE(metricDiffers(110, 100, 10.5));
+    EXPECT_TRUE(metricDiffers(111, 100, 10.5));
+    EXPECT_FALSE(metricDiffers(100, 110, 10.5));
+    EXPECT_TRUE(metricDiffers(100, 111, 10.5));
+}
+
+// ---------------------------------------------------------------------------
+// Discontinue with an empty popularity ledger
+// ---------------------------------------------------------------------------
+
+TEST(Explore, DiscontinueWithEmptyLedgerPrefersFewestClusters)
+{
+    IntervalExploreParams p;
+    p.initialInterval = 1000;
+    p.maxInterval = 1500;
+    // front() == 4 distinguishes the fewest-clusters fallback from the
+    // old configs.back() bug (which would leave the widest machine on).
+    p.configs = {4, 8, 16};
+    IntervalExploreController c(p);
+    c.attach(16, 16);
+    Cycle cycle = 0;
+
+    // Alternate the branch density every interval: every exploration
+    // aborts on the reference mismatch before a stable interval can
+    // complete, so the popularity ledger is still empty when the
+    // interval doubles past the bound and the algorithm gives up.
+    for (int i = 0; i < 40 && !c.discontinued(); i++)
+        feed(c, 1000, cycle, 1.0, i % 2 ? 2.5 : 8.0);
+    ASSERT_TRUE(c.discontinued());
+    EXPECT_EQ(c.targetClusters(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// IneffectualityController
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Feed one decision interval in which the first `mispredicts` commits
+ *  are mispredicted branches and the rest plain ALU ops. */
+void
+feedMisp(IneffectualityController &c, std::uint64_t n,
+         std::uint64_t mispredicts)
+{
+    for (std::uint64_t i = 0; i < n; i++) {
+        CommitEvent ev;
+        ev.pc = 0x1000 + (i % 64) * 4;
+        ev.op = i < mispredicts ? OpClass::CondBranch : OpClass::IntAlu;
+        ev.mispredicted = i < mispredicts;
+        ev.cycle = static_cast<Cycle>(i);
+        c.onCommit(ev);
+    }
+}
+
+IneffectualityParams
+smallIneffParams()
+{
+    IneffectualityParams p;
+    p.intervalLength = 1000;
+    return p;
+}
+
+} // namespace
+
+TEST(Ineffectuality, StartsFullyEnabled)
+{
+    IneffectualityController c;
+    c.attach(16, 16);
+    EXPECT_EQ(c.targetClusters(), 16);
+    EXPECT_EQ(c.intervals(), 0u);
+}
+
+TEST(Ineffectuality, GatesOneLadderStepPerDirtyInterval)
+{
+    // 6 mispredicts * 80 waste = 480 slots against 1000 committed:
+    // fraction 480/1480 = 0.324 > 0.30 gates one rung per interval.
+    IneffectualityController c(smallIneffParams());
+    c.attach(16, 16);
+    feedMisp(c, 1000, 6);
+    EXPECT_EQ(c.targetClusters(), 8);
+    feedMisp(c, 1000, 6);
+    EXPECT_EQ(c.targetClusters(), 4);
+    feedMisp(c, 1000, 6);
+    EXPECT_EQ(c.targetClusters(), 2);
+    // Ladder floor: still dirty, nowhere further down to go.
+    feedMisp(c, 1000, 6);
+    EXPECT_EQ(c.targetClusters(), 2);
+    EXPECT_EQ(c.gateEvents(), 3u);
+    EXPECT_EQ(c.intervals(), 4u);
+}
+
+TEST(Ineffectuality, UngatesOneStepPerCleanInterval)
+{
+    IneffectualityController c(smallIneffParams());
+    c.attach(16, 16);
+    feedMisp(c, 1000, 6);
+    feedMisp(c, 1000, 6);
+    ASSERT_EQ(c.targetClusters(), 4);
+    feedMisp(c, 1000, 0);
+    EXPECT_EQ(c.targetClusters(), 8);
+    feedMisp(c, 1000, 0);
+    EXPECT_EQ(c.targetClusters(), 16);
+    // Ladder ceiling.
+    feedMisp(c, 1000, 0);
+    EXPECT_EQ(c.targetClusters(), 16);
+    EXPECT_EQ(c.ungateEvents(), 2u);
+}
+
+TEST(Ineffectuality, HysteresisBandHoldsConfiguration)
+{
+    // 3 mispredicts: fraction 240/1240 = 0.194 sits between the ungate
+    // (0.15) and gate (0.30) thresholds -- no move in either direction.
+    IneffectualityController c(smallIneffParams());
+    c.attach(16, 16);
+    feedMisp(c, 1000, 6);
+    ASSERT_EQ(c.targetClusters(), 8);
+    for (int i = 0; i < 4; i++)
+        feedMisp(c, 1000, 3);
+    EXPECT_EQ(c.targetClusters(), 8);
+    EXPECT_EQ(c.gateEvents(), 1u);
+    EXPECT_EQ(c.ungateEvents(), 0u);
+}
+
+TEST(Ineffectuality, ThresholdBoundariesAreStrict)
+{
+    // With waste 1000 per mispredict over a 1000-instruction interval,
+    // one mispredict lands exactly on a 0.5/0.5 band edge: neither the
+    // gate (strictly greater) nor the ungate (strictly less) may fire.
+    IneffectualityParams p;
+    p.intervalLength = 1000;
+    p.wastePerMispredict = 1000.0;
+    p.gateThreshold = 0.5;
+    p.ungateThreshold = 0.5;
+    IneffectualityController c(p);
+    c.attach(16, 16);
+    feedMisp(c, 1000, 2); // 2000/3000 = 0.667 > 0.5: gate to 8
+    ASSERT_EQ(c.targetClusters(), 8);
+    feedMisp(c, 1000, 1); // 1000/2000 = 0.5 exactly: hold
+    EXPECT_EQ(c.targetClusters(), 8);
+    EXPECT_EQ(c.gateEvents(), 1u);
+    EXPECT_EQ(c.ungateEvents(), 0u);
+    feedMisp(c, 1000, 0); // 0 < 0.5: ungate
+    EXPECT_EQ(c.targetClusters(), 16);
+}
+
+TEST(Ineffectuality, ReattachResetsAllPerRunState)
+{
+    IneffectualityController c(smallIneffParams());
+    c.attach(16, 16);
+    for (int i = 0; i < 3; i++)
+        feedMisp(c, 1000, 6);
+    ASSERT_EQ(c.targetClusters(), 2);
+    ASSERT_GT(c.predictedWastedFetch(), 0.0);
+
+    c.attach(16, 16);
+    EXPECT_EQ(c.targetClusters(), 16);
+    EXPECT_EQ(c.intervals(), 0u);
+    EXPECT_EQ(c.gateEvents(), 0u);
+    EXPECT_EQ(c.ungateEvents(), 0u);
+    EXPECT_EQ(c.predictedWastedFetch(), 0.0);
+    EXPECT_EQ(c.lastWastedFraction(), 0.0);
+    // The second run reproduces a fresh controller's decisions.
+    feedMisp(c, 1000, 6);
+    EXPECT_EQ(c.targetClusters(), 8);
+}
+
+TEST(Ineffectuality, AttachFiltersLadderPerHardware)
+{
+    IneffectualityController c(smallIneffParams());
+    c.attach(4, 4);
+    EXPECT_EQ(c.targetClusters(), 4);
+    feedMisp(c, 1000, 6);
+    EXPECT_EQ(c.targetClusters(), 2);
+    // Re-attaching to wider hardware regains the dropped rungs.
+    c.attach(16, 16);
+    EXPECT_EQ(c.targetClusters(), 16);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle DP (solveOracleSchedule) and schedule replay
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Probe rows with the given per-interval cycle costs. */
+std::vector<TimeSeriesRow>
+probeRows(const std::vector<std::uint64_t> &costs)
+{
+    std::vector<TimeSeriesRow> rows;
+    Cycle t = 0;
+    for (std::uint64_t c : costs) {
+        TimeSeriesRow r;
+        r.startCycle = t;
+        r.endCycle = t + c;
+        r.instructions = 1000;
+        rows.push_back(r);
+        t += c;
+    }
+    return rows;
+}
+
+} // namespace
+
+TEST(OracleDp, ZeroPenaltyPicksPerIntervalBest)
+{
+    std::vector<int> schedule = solveOracleSchedule(
+        {2, 16},
+        {probeRows({100, 300, 100}), probeRows({200, 100, 200})}, 0.0);
+    EXPECT_EQ(schedule, (std::vector<int>{2, 16, 2}));
+}
+
+TEST(OracleDp, LargePenaltyCollapsesToBestSingleConfiguration)
+{
+    // Totals: config 2 costs 500, config 16 costs 450. A penalty far
+    // above any per-interval saving forbids switching, so the whole
+    // schedule is the cheaper constant.
+    std::vector<int> schedule = solveOracleSchedule(
+        {2, 16},
+        {probeRows({100, 300, 100}), probeRows({200, 100, 150})},
+        1000000.0);
+    EXPECT_EQ(schedule, (std::vector<int>{16, 16, 16}));
+}
+
+TEST(OracleDp, CostTiePrefersFewerClusters)
+{
+    std::vector<int> schedule = solveOracleSchedule(
+        {2, 4, 16},
+        {probeRows({100, 100}), probeRows({100, 100}),
+         probeRows({100, 100})},
+        200.0);
+    EXPECT_EQ(schedule, (std::vector<int>{2, 2}));
+}
+
+TEST(OracleDp, ShorterProbeReusesLastRowCost)
+{
+    // End-of-run jitter: the config-2 probe closed one interval fewer.
+    // Its final row's cost stands in for the missing interval, where
+    // config 16's measured 50 cycles then wins.
+    std::vector<int> schedule = solveOracleSchedule(
+        {2, 16},
+        {probeRows({100, 100}), probeRows({200, 200, 50})}, 0.0);
+    EXPECT_EQ(schedule, (std::vector<int>{2, 2, 16}));
+}
+
+TEST(OracleDp, AllProbesEmptyGivesEmptySchedule)
+{
+    EXPECT_TRUE(solveOracleSchedule({2, 16}, {{}, {}}, 0.0).empty());
+}
+
+namespace {
+
+void
+feedPlain(ReconfigController &c, std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; i++) {
+        CommitEvent ev;
+        ev.pc = 0x1000;
+        ev.op = OpClass::IntAlu;
+        ev.cycle = static_cast<Cycle>(i);
+        c.onCommit(ev);
+    }
+}
+
+} // namespace
+
+TEST(OracleReplay, FollowsScheduleByCommittedCount)
+{
+    OracleController c(100, {4, 8, 2});
+    c.attach(16, 16);
+    EXPECT_EQ(c.targetClusters(), 4);
+    feedPlain(c, 100);
+    EXPECT_EQ(c.targetClusters(), 8);
+    feedPlain(c, 100);
+    EXPECT_EQ(c.targetClusters(), 2);
+    // Commits past the last slot hold its configuration.
+    feedPlain(c, 500);
+    EXPECT_EQ(c.targetClusters(), 2);
+    EXPECT_EQ(c.committed(), 700u);
+}
+
+TEST(OracleReplay, ClampsScheduleToHardware)
+{
+    OracleController c(100, {16, 2});
+    c.attach(4, 4);
+    EXPECT_EQ(c.targetClusters(), 4);
+    feedPlain(c, 100);
+    EXPECT_EQ(c.targetClusters(), 2);
+}
+
+TEST(OracleReplay, EmptyScheduleDegeneratesToStatic)
+{
+    OracleController c(100, {});
+    c.attach(16, 16);
+    EXPECT_EQ(c.targetClusters(), 16);
+    feedPlain(c, 1000);
+    EXPECT_EQ(c.targetClusters(), 16);
+    c.attach(8, 8);
+    EXPECT_EQ(c.targetClusters(), 8);
+}
+
+TEST(OracleReplay, ReattachRestartsTheSchedule)
+{
+    OracleController c(100, {4, 8});
+    c.attach(16, 16);
+    feedPlain(c, 150);
+    ASSERT_EQ(c.targetClusters(), 8);
+    c.attach(16, 16);
+    EXPECT_EQ(c.committed(), 0u);
+    EXPECT_EQ(c.targetClusters(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Controller registry: canonical keys and factories
+// ---------------------------------------------------------------------------
+
+TEST(Registry, CanonicalKeysSpellOutEffectiveDefaults)
+{
+    // The key contract: every parameter appears at its effective value
+    // in sorted order, so relying on a default and passing it
+    // explicitly produce the same identity.
+    EXPECT_EQ(makeController("ivl-explore").key,
+              "ivl-explore{interval=10000;max-interval=10000000}");
+    EXPECT_EQ(makeController("ivl-explore",
+                             {{"interval", "10000"},
+                              {"max-interval", "10000000"}})
+                  .key,
+              makeController("ivl-explore").key);
+    EXPECT_EQ(makeController("ivl-ilp").key,
+              "ivl-ilp{distant-per-mille=300;interval=1000}");
+    EXPECT_EQ(makeController("fg-branch").key,
+              "fg-branch{samples=10;stride=5}");
+    EXPECT_EQ(makeController("fg-subroutine").key,
+              "fg-subroutine{samples=3}");
+    EXPECT_EQ(makeController("static", {{"active", "4"}}).key,
+              "static{active=4}");
+    EXPECT_EQ(
+        makeController("ineffectuality").key,
+        "ineffectuality{gate=0.3;interval=10000;ungate=0.15;waste=80}");
+}
+
+TEST(Registry, ParameterOverridesLandInKeyAndController)
+{
+    ControllerHandle h =
+        makeController("ineffectuality", {{"interval", "1000"},
+                                          {"gate", "0.5"}});
+    EXPECT_EQ(h.key,
+              "ineffectuality{gate=0.5;interval=1000;ungate=0.15;"
+              "waste=80}");
+    std::unique_ptr<ReconfigController> c = h.make();
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->name(), "ineffectuality");
+}
+
+TEST(Registry, EveryBuiltinPolicyBuildsAWorkingController)
+{
+    for (const std::string &policy : controllerPolicies()) {
+        if (policy == "oracle")
+            continue; // needs workload probes; covered in sim tests
+        ControllerHandle h = makeController(policy);
+        EXPECT_FALSE(h.key.empty()) << policy;
+        ASSERT_NE(h.make, nullptr) << policy;
+        std::unique_ptr<ReconfigController> c = h.make();
+        ASSERT_NE(c, nullptr) << policy;
+        c->attach(16, 16);
+        feedPlain(*c, 100);
+        int t = c->targetClusters();
+        EXPECT_GE(t, 1) << policy;
+        EXPECT_LE(t, 16) << policy;
+    }
+    EXPECT_TRUE(isControllerPolicy("ivl-explore"));
+    EXPECT_FALSE(isControllerPolicy("no-such-policy"));
+}
+
+TEST(Registry, HandleFactoryIsReusable)
+{
+    ControllerHandle h = makeController("ivl-explore");
+    std::unique_ptr<ReconfigController> a = h.make();
+    std::unique_ptr<ReconfigController> b = h.make();
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_NE(a.get(), b.get());
+    // Independent instances: feeding one leaves the other untouched at
+    // its attach-time target (the smallest candidate configuration).
+    a->attach(16, 16);
+    b->attach(16, 16);
+    Cycle cycle = 0;
+    feed(*a, 30000, cycle, 1.0);
+    EXPECT_EQ(b->targetClusters(), 2);
 }

@@ -767,6 +767,41 @@ TEST(Serve, SchedulerFailedPointReportsInStream)
     EXPECT_EQ(ok.status, "ok");
 }
 
+TEST(Serve, SchedulerServesTournamentByteIdenticalToCli)
+{
+    // The tournament's oracle points are registry-keyed like any other
+    // policy, so the whole preset flows through the content-addressed
+    // cache; the served report -- ranked table included -- must be the
+    // CLI `sweep --no-timing` report byte for byte, cold and cached.
+    TempDir dir;
+    CacheStore cache(dir.path() + "/cache");
+    PointScheduler sched(cache, {2, 8});
+    SubmitRequest req;
+    req.preset = "tournament";
+    req.warmup = 1000;
+    req.measure = 2000;
+
+    JobRecorder cold;
+    SubmitResult r1 = sched.submit(req, cold.events());
+    ASSERT_TRUE(r1.ok);
+    sched.start(r1.job);
+    cold.wait();
+    ASSERT_EQ(cold.status, "ok");
+    std::string reference = cliReport(req);
+    EXPECT_EQ(cold.report, reference);
+    EXPECT_NE(cold.report.find("\"ranking\":["), std::string::npos);
+
+    JobRecorder warm;
+    SubmitResult r2 = sched.submit(req, warm.events());
+    ASSERT_TRUE(r2.ok);
+    EXPECT_EQ(r2.cached, r2.points);
+    sched.start(r2.job);
+    warm.wait();
+    ASSERT_EQ(warm.status, "ok");
+    EXPECT_EQ(warm.computed, 0u);
+    EXPECT_EQ(warm.report, reference);
+}
+
 TEST(Serve, SchedulerDrainCancelsQueuedAndRejectsNewJobs)
 {
     TempDir dir;

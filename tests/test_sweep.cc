@@ -11,10 +11,12 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 
 #include "common/json.hh"
 #include "reconfig/interval_explore.hh"
+#include "sim/plan.hh"
 #include "sim/presets.hh"
 #include "sim/sweep.hh"
 
@@ -438,4 +440,101 @@ TEST(Presets, ControllerFactoriesProduceNamedSchemes)
     EXPECT_EQ(makeFinegrainController()->name(), "finegrain-branch");
     EXPECT_EQ(makeSubroutineController()->name(),
               "finegrain-subroutine");
+}
+
+// ---------------------------------------------------------------------------
+// Controller tournament preset
+// ---------------------------------------------------------------------------
+
+TEST(Tournament, GridRacesSixKeyedPoliciesPerBenchmarkOnOneStream)
+{
+    std::vector<RunPoint> points =
+        makeSweepPreset("tournament", 2000, 3000);
+    ASSERT_FALSE(points.empty());
+    EXPECT_EQ(points.size() % 6, 0u);
+
+    std::map<std::string, std::set<std::string>> labels;
+    bool sawOracleKey = false;
+    for (const RunPoint &p : points) {
+        // Every competitor is built through the registry: a dynamic
+        // controller with a non-empty canonical key, so every point
+        // can share warmups and be served from the result cache.
+        EXPECT_NE(p.makeController, nullptr) << p.label;
+        EXPECT_FALSE(p.controllerKey.empty()) << p.label;
+        EXPECT_TRUE(pointCacheable(p)) << p.label;
+        EXPECT_EQ(p.seedTag, "tournament") << p.label;
+        labels[p.workload.name].insert(p.label);
+        if (p.controllerKey.rfind("oracle{", 0) == 0)
+            sawOracleKey = true;
+    }
+    EXPECT_TRUE(sawOracleKey);
+    for (const auto &[bench, set] : labels)
+        EXPECT_EQ(set.size(), 6u) << bench;
+
+    // The shared seedTag makes all six policies of one benchmark race
+    // the *same* instruction stream -- the precondition for exact
+    // head-to-head comparison and per-benchmark oracle dominance.
+    std::vector<PlannedPoint> plan = planPoints(points, true);
+    std::map<std::string, std::set<std::uint64_t>> seeds;
+    for (std::size_t i = 0; i < points.size(); i++)
+        seeds[points[i].workload.name].insert(plan[i].seed);
+    for (const auto &[bench, set] : seeds)
+        EXPECT_EQ(set.size(), 1u) << bench;
+}
+
+TEST(Tournament, ReportByteIdenticalAcrossEnginesAndRanked)
+{
+    std::vector<RunPoint> points =
+        makeSweepPreset("tournament", 1000, 2000);
+    SweepOptions serial;
+    serial.threads = 1;
+    SweepOptions parallel;
+    parallel.threads = 4;
+    std::string a = sweepReportJson("tournament", points,
+                                    runSweep(points, serial), false);
+    std::string b =
+        sweepReportJson("tournament", points,
+                        runSweepBatched(points, parallel), false);
+    EXPECT_EQ(a, b);
+
+    // The tournament report carries the ranked table: one row per
+    // policy with the scoring fields.
+    EXPECT_NE(a.find("\"ranking\":["), std::string::npos);
+    EXPECT_NE(a.find("\"rank\":1,\"policy\":"), std::string::npos);
+    EXPECT_NE(a.find("\"ipc_geomean\""), std::string::npos);
+    EXPECT_NE(a.find("\"leakage_savings_mean\""), std::string::npos);
+    for (const char *policy :
+         {"ivl-explore", "ivl-ilp-10K", "fg-branch", "fg-subroutine",
+          "ineffectuality", "oracle"})
+        EXPECT_NE(a.find("\"policy\":\"" + std::string(policy) + "\""),
+                  std::string::npos)
+            << policy;
+}
+
+TEST(Tournament, OracleBoundsEveryReactivePolicyPerBenchmark)
+{
+    // The oracle is best-of by construction: its candidate set contains
+    // every reactive competitor's recorded per-commit trajectory, whose
+    // replay reproduces that run bit-exactly on the shared stream. Its
+    // measured IPC therefore matches or beats every reactive policy on
+    // *each* benchmark, not just in aggregate.
+    std::vector<RunPoint> points =
+        makeSweepPreset("tournament", 1000, 2000);
+    SweepOptions opts;
+    SweepResult res = runSweep(points, opts);
+    ASSERT_EQ(res.runs.size(), points.size());
+
+    std::map<std::string, double> oracle;
+    for (std::size_t i = 0; i < points.size(); i++)
+        if (points[i].label == "oracle")
+            oracle[points[i].workload.name] = res.runs[i].result.ipc;
+    ASSERT_FALSE(oracle.empty());
+    for (std::size_t i = 0; i < points.size(); i++) {
+        if (points[i].label == "oracle")
+            continue;
+        const std::string &bench = points[i].workload.name;
+        ASSERT_TRUE(oracle.count(bench)) << bench;
+        EXPECT_GE(oracle[bench] + 1e-9, res.runs[i].result.ipc)
+            << bench << " / " << points[i].label;
+    }
 }

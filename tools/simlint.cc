@@ -127,6 +127,11 @@ const RuleInfo ruleTable[] = {
      "Processor::restore() and serialized by Snapshot::save()/load() "
      "in src/core/snapshot_io.cc, or warmup checkpoints silently "
      "drop it"},
+    {"S005", "controller state missing from checkpoint path",
+     "every data member of a controller with saveState()/loadState() "
+     "definitions in src/core/snapshot_io.cc must flow through both, "
+     "or carry a reasoned simlint-ignore(S005) when it is identity "
+     "(factory-rebuilt), not dynamic state"},
     {"T001", "ungated trace-sink access in hot path",
      "route the hook through CSIM_TRACE so a default build compiles "
      "it out; raw TraceSink/currentTraceSink use belongs in cold code"},
@@ -606,6 +611,108 @@ structFields(const LexedFile &lx, const std::string &name)
 }
 
 /**
+ * Data members of a full class body whose opening `{` is at braceIdx,
+ * tolerating what real class definitions contain that plain data
+ * structs do not: inline method bodies reset the statement parser (so
+ * a signature's parens cannot swallow the member that follows the
+ * body), and statements opening with a type/alias/static keyword are
+ * not data members.
+ */
+std::vector<FieldDef>
+classBodyFields(const std::vector<Tok> &t, std::size_t braceIdx)
+{
+    std::vector<FieldDef> out;
+    int depth = 0;
+    bool sawParen = false, skipStmt = false, inStmt = false;
+    std::string lastIdent, nameCandidate, stmtFirst;
+    int candLine = 0;
+    auto resetStmt = [&] {
+        sawParen = false;
+        skipStmt = false;
+        inStmt = false;
+        nameCandidate.clear();
+        lastIdent.clear();
+        stmtFirst.clear();
+    };
+    for (std::size_t j = braceIdx; j < t.size(); j++) {
+        const std::string &s = t[j].text;
+        if (s == "{") {
+            depth++;
+            continue;
+        }
+        if (s == "}") {
+            if (--depth == 0)
+                break;
+            // A group closing back to class depth ends an inline
+            // method body (its signature carried parens); a brace
+            // initializer (no parens yet) stays in the statement.
+            if (depth == 1 && sawParen)
+                resetStmt();
+            continue;
+        }
+        if (depth != 1)
+            continue;
+        if (t[j].kind == Tok::Ident && !inStmt) {
+            inStmt = true;
+            stmtFirst = s;
+            skipStmt = s == "struct" || s == "class" || s == "enum" ||
+                       s == "union" || s == "using" ||
+                       s == "typedef" || s == "static" || s == "friend";
+        }
+        if (s == ":" && !sawParen &&
+            (stmtFirst == "public" || stmtFirst == "private" ||
+             stmtFirst == "protected")) {
+            // An access specifier is not a statement: without this
+            // reset, `private:` would fuse with whatever follows it.
+            resetStmt();
+            continue;
+        }
+        if (s == "(") {
+            sawParen = true;
+        } else if (s == "=" && !sawParen && nameCandidate.empty()) {
+            nameCandidate = lastIdent;
+            candLine = t[j].line;
+        } else if (s == ";") {
+            if (!sawParen && !skipStmt) {
+                if (nameCandidate.empty()) {
+                    nameCandidate = lastIdent;
+                    candLine = t[j].line;
+                }
+                if (!nameCandidate.empty())
+                    out.push_back({nameCandidate, candLine});
+            }
+            resetStmt();
+        } else if (t[j].kind == Tok::Ident && nameCandidate.empty()) {
+            lastIdent = t[j].text;
+            candLine = t[j].line;
+        }
+    }
+    return out;
+}
+
+/**
+ * Data members of class/struct `name`, skipping any base-class clause
+ * between the name and the body (which the plain struct finder cannot
+ * see past). Forward declarations are skipped, not matched.
+ */
+std::vector<FieldDef>
+classFields(const LexedFile &lx, const std::string &name)
+{
+    const std::vector<Tok> &t = lx.toks;
+    for (std::size_t i = 0; i + 2 < t.size(); i++) {
+        if (!((t[i].text == "struct" || t[i].text == "class") &&
+              t[i + 1].text == name))
+            continue;
+        std::size_t j = i + 2;
+        while (j < t.size() && t[j].text != "{" && t[j].text != ";")
+            j++;
+        if (j < t.size() && t[j].text == "{")
+            return classBodyFields(t, j);
+    }
+    return {};
+}
+
+/**
  * Data members of an out-of-line nested definition
  * `struct outer::name { ... }` (e.g. `struct Processor::Snapshot`),
  * which the unqualified finder cannot see.
@@ -869,6 +976,7 @@ class Linter
     void lockOrderRules();
     void statsRules();
     void snapshotRules();
+    void controllerRules();
     void emit(const FileScan &f, int line, const char *rule,
               const std::string &msg);
     void emitRaw(const Diag &d)
@@ -1565,6 +1673,130 @@ Linter::snapshotRules()
     }
 }
 
+void
+Linter::controllerRules()
+{
+    const fs::path root = opts_.projectRoot;
+    const fs::path snapCc = root / "src/core/snapshot_io.cc";
+
+    auto readLex = [](const fs::path &p, FileScan &f) {
+        std::ifstream in(p);
+        if (!in)
+            return false;
+        std::stringstream ss;
+        ss << in.rdbuf();
+        f.path = p.string();
+        f.lx = lex(ss.str());
+        parseDirectives(f);
+        return true;
+    };
+
+    FileScan fSnapCc;
+    if (!readLex(snapCc, fSnapCc))
+        return;  // no serializer in this tree; S004 already noted it
+
+    // S005 audits every controller that participates in checkpointing:
+    // a class counts as soon as snapshot_io.cc defines its saveState().
+    // Nothing to audit is not an error -- trees without controller
+    // serialization (the fixture trees) stay silent.
+    const std::vector<Tok> &st = fSnapCc.lx.toks;
+    std::vector<std::string> classes;
+    for (std::size_t i = 0; i + 3 < st.size(); i++) {
+        if (st[i].kind != Tok::Ident || st[i + 1].text != ":" ||
+            st[i + 2].text != ":" || st[i + 3].text != "saveState")
+            continue;
+        const std::string &cls = st[i].text;
+        if (methodBody(fSnapCc.lx, cls, "saveState").empty())
+            continue;  // declaration or call site, not a definition
+        bool seen = false;
+        for (const std::string &c : classes)
+            seen = seen || c == cls;
+        if (!seen)
+            classes.push_back(cls);
+    }
+    if (classes.empty())
+        return;
+
+    // The controllers declare their members in src/reconfig/*.hh; lex
+    // every header once, in sorted order for deterministic diagnostics.
+    std::vector<FileScan> headers;
+    {
+        std::vector<fs::path> paths;
+        std::error_code ec;
+        for (auto it = fs::directory_iterator(root / "src/reconfig", ec);
+             it != fs::directory_iterator(); ++it)
+            if (it->path().extension() == ".hh")
+                paths.push_back(it->path());
+        std::sort(paths.begin(), paths.end());
+        for (const fs::path &p : paths) {
+            FileScan f;
+            if (readLex(p, f))
+                headers.push_back(std::move(f));
+        }
+    }
+
+    for (const std::string &cls : classes) {
+        const FileScan *hdr = nullptr;
+        std::vector<FieldDef> fields;
+        for (const FileScan &f : headers) {
+            fields = classFields(f.lx, cls);
+            if (!fields.empty()) {
+                hdr = &f;
+                break;
+            }
+        }
+        if (!hdr) {
+            emitRaw({fSnapCc.path, 1, "S005",
+                     "could not parse the data members of " + cls +
+                     " in src/reconfig/*.hh; the controller checkpoint "
+                     "coverage cross-check is blind for it"});
+            continue;
+        }
+
+        std::vector<Tok> saveBody =
+            methodBody(fSnapCc.lx, cls, "saveState");
+        std::vector<Tok> loadBody =
+            methodBody(fSnapCc.lx, cls, "loadState");
+        if (loadBody.empty()) {
+            emitRaw({fSnapCc.path, 1, "S005",
+                     cls + "::loadState() definition not found in "
+                     "src/core/snapshot_io.cc; saved controller state "
+                     "could never be restored"});
+            continue;
+        }
+
+        auto idents = [](const std::vector<Tok> &body) {
+            std::set<std::string> out;
+            for (const Tok &t : body)
+                if (t.kind == Tok::Ident)
+                    out.insert(t.text);
+            return out;
+        };
+        std::set<std::string> saveIds = idents(saveBody);
+        std::set<std::string> loadIds = idents(loadBody);
+
+        for (const FieldDef &fd : fields) {
+            if (suppressed(*hdr, fd.line, "S005"))
+                continue;
+            if (!saveIds.count(fd.name))
+                emitRaw({hdr->path, fd.line, "S005",
+                         cls + "::" + fd.name + " is not written by " +
+                         cls + "::saveState() in "
+                         "src/core/snapshot_io.cc; checkpointed "
+                         "controllers would silently drop it (or "
+                         "simlint-ignore(S005) it with a reason if it "
+                         "is configuration-derived identity, not "
+                         "dynamic state)"});
+            else if (!loadIds.count(fd.name))
+                emitRaw({hdr->path, fd.line, "S005",
+                         cls + "::" + fd.name + " is not read back by " +
+                         cls + "::loadState() in "
+                         "src/core/snapshot_io.cc; restored controllers "
+                         "would silently drop it"});
+        }
+    }
+}
+
 int
 Linter::run()
 {
@@ -1669,6 +1901,7 @@ Linter::run()
     if (!opts_.noStats && categoryEnabled('S')) {
         statsRules();
         snapshotRules();
+        controllerRules();
     }
 
     std::sort(diags_.begin(), diags_.end(),
